@@ -1,0 +1,58 @@
+(* pmc_check — the annotation tooling as a command-line front-end: parse
+   annotated-program files, run the static discipline checker and the
+   Table II lowering pass.
+
+     pmc_check                      # check + lower the built-in examples
+     pmc_check --file prog.pmc      # check + lower a program file
+     pmc_check --table              # the lowering table per object size *)
+
+open Cmdliner
+
+let builtin = [ Pmc_compile.Ir.fig6; Pmc_compile.Ir.fig6_missing_fence ]
+
+let check_program p =
+  let r = Pmc_compile.Check.check p in
+  Pmc_compile.Report.pp_check Fmt.stdout p r;
+  Pmc_compile.Report.pp_program_expansion Fmt.stdout Pmc_sim.Config.default
+    p;
+  Fmt.pr "@.";
+  Pmc_compile.Check.ok r
+
+let check_builtin () = List.iter (fun p -> ignore (check_program p)) builtin
+
+let check_file path =
+  match Pmc_compile.Parse.parse_file path with
+  | Ok p -> if check_program p then 0 else 1
+  | Error errs ->
+      List.iter (fun e -> Fmt.epr "%s: %a@." path Pmc_compile.Parse.pp_error e) errs;
+      2
+
+let table sizes =
+  List.iter
+    (fun bytes ->
+      Pmc_compile.Report.pp_lowering_table Fmt.stdout Pmc_sim.Config.default
+        ~bytes;
+      Fmt.pr "@.")
+    sizes
+
+let main show_table file =
+  if show_table then begin table [ 1; 4; 64; 1024 ]; 0 end
+  else
+    match file with
+    | Some path -> check_file path
+    | None ->
+        check_builtin ();
+        0
+
+let cmd =
+  Cmd.v
+    (Cmd.info "pmc_check" ~doc:"Static PMC annotation checking & lowering")
+    Term.(
+      const main
+      $ Arg.(value & flag & info [ "table" ] ~doc:"Print lowering tables.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "file"; "f" ] ~doc:"Check an annotated program file."))
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,85 @@
+(* pmc_demo — run any annotated application on any memory-architecture
+   back-end of the simulated many-core SoC and report the Fig. 8-style
+   statistics.
+
+     pmc_demo --app raytrace --backend swcc --cores 32 --scale 256
+     pmc_demo --list *)
+
+open Cmdliner
+open Pmc_sim
+
+let run_app app_name backend_name cores scale breakdown verify =
+  match Pmc_apps.Registry.find app_name with
+  | None ->
+      Fmt.epr "unknown app %S; try --list@." app_name;
+      exit 1
+  | Some app -> (
+      match Pmc.Backends.of_string backend_name with
+      | None ->
+          Fmt.epr "unknown backend %S (seqcst|nocc|swcc|dsm|spm)@."
+            backend_name;
+          exit 1
+      | Some backend ->
+          let cfg = { Config.default with cores } in
+          let r = Pmc_apps.Runner.run ~cfg app ~backend ~scale in
+          Fmt.pr "%a" Pmc_apps.Runner.pp_result r;
+          if breakdown then begin
+            let s = r.Pmc_apps.Runner.summary in
+            Fmt.pr "%a" Stats.pp_summary s;
+            Fmt.pr "  dcache: %d hits / %d misses; icache misses: %d@."
+              s.Stats.dcache_hits s.Stats.dcache_misses s.Stats.icache_misses;
+            Fmt.pr "  locks: %d acquires, %d transfers; noc writes: %d; \
+                    flushes: %d@."
+              s.Stats.lock_acquires s.Stats.lock_transfers s.Stats.noc_writes
+              s.Stats.flushes
+          end;
+          if verify && not (Pmc_apps.Runner.ok r) then begin
+            Fmt.epr "checksum mismatch!@.";
+            exit 2
+          end)
+
+let list_apps () =
+  Fmt.pr "applications:@.";
+  List.iter (fun n -> Fmt.pr "  %s@." n) Pmc_apps.Registry.names;
+  Fmt.pr "back-ends:@.";
+  List.iter
+    (fun k -> Fmt.pr "  %s@." (Pmc.Backends.to_string k))
+    Pmc.Backends.all
+
+let app_t =
+  Arg.(value & opt string "raytrace" & info [ "app"; "a" ] ~doc:"Application to run.")
+
+let backend_t =
+  Arg.(
+    value & opt string "swcc"
+    & info [ "backend"; "b" ]
+        ~doc:"Memory architecture: seqcst, nocc, swcc, dsm or spm.")
+
+let cores_t =
+  Arg.(value & opt int 32 & info [ "cores"; "c" ] ~doc:"Number of tiles.")
+
+let scale_t =
+  Arg.(value & opt int 64 & info [ "scale"; "s" ] ~doc:"Workload scale.")
+
+let breakdown_t =
+  Arg.(value & flag & info [ "breakdown" ] ~doc:"Print the stall breakdown.")
+
+let verify_t =
+  Arg.(
+    value & opt bool true
+    & info [ "verify" ] ~doc:"Fail if the checksum mismatches.")
+
+let list_t = Arg.(value & flag & info [ "list"; "l" ] ~doc:"List apps.")
+
+let main app backend cores scale breakdown verify list =
+  if list then list_apps ()
+  else run_app app backend cores scale breakdown verify
+
+let cmd =
+  Cmd.v
+    (Cmd.info "pmc_demo" ~doc:"Run PMC-annotated apps on simulated SoCs")
+    Term.(
+      const main $ app_t $ backend_t $ cores_t $ scale_t $ breakdown_t
+      $ verify_t $ list_t)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/broken_flag.ml: Config Fmt List Machine Pmc Pmc_sim

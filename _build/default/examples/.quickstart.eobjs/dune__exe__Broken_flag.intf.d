@@ -1,0 +1,1 @@
+examples/broken_flag.mli:

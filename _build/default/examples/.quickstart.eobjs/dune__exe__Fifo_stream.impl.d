@@ -1,0 +1,1 @@
+examples/fifo_stream.ml: Array Config Engine Fmt Int32 List Machine Pmc Pmc_sim

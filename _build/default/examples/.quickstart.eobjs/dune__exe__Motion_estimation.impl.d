@@ -1,0 +1,1 @@
+examples/motion_estimation.ml: Config Fmt List Pmc Pmc_apps Pmc_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Engine Fmt List Machine Pmc Pmc_sim

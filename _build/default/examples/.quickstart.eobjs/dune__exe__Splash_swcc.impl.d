@@ -1,0 +1,1 @@
+examples/splash_swcc.ml: Fmt List Pmc Pmc_apps Pmc_sim Stats

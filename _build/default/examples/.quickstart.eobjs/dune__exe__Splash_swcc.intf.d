@@ -1,0 +1,1 @@
+examples/splash_swcc.mli:

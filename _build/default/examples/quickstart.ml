@@ -1,0 +1,57 @@
+(* Quickstart: the annotated message-passing pattern of Fig. 6, written
+   once and run on every memory architecture.
+
+   The application below publishes a payload under an exclusive scope,
+   fences, then raises a flag and flushes it; the receiver polls the flag
+   read-only, fences, and acquires the payload.  Because all the required
+   orderings are explicit, swapping the back-end — software cache
+   coherency, distributed shared memory, scratch-pads — is literally one
+   line: "porting applications to hardware with another memory model
+   becomes just a compiler setting".
+
+     dune exec examples/quickstart.exe *)
+
+open Pmc_sim
+
+let run_on backend =
+  (* a 4-tile SoC: in-order cores, non-coherent caches, write-only NoC *)
+  let machine = Machine.create { Config.small with cores = 4 } in
+  let api = Pmc.Backends.create backend machine in
+
+  (* shared objects: a 4-word payload and a 1-word flag *)
+  let data = Pmc.Api.alloc_words api ~name:"X" ~words:4 in
+  let flag = Pmc.Api.alloc_words api ~name:"flag" ~words:1 in
+
+  (* producer on core 0 — Fig. 6, process 1 *)
+  Machine.spawn machine ~core:0 (fun () ->
+      Pmc.Api.entry_x api data;
+      for i = 0 to 3 do
+        Pmc.Api.set_int api data i (42 + i)
+      done;
+      Pmc.Api.fence api;
+      Pmc.Api.exit_x api data;
+      Pmc.Api.entry_x api flag;
+      Pmc.Api.set_int api flag 0 1;
+      Pmc.Api.flush api flag;  (* make the flag visible soon *)
+      Pmc.Api.exit_x api flag);
+
+  (* consumer on core 3 — Fig. 6, process 2 *)
+  let received = ref [] in
+  Machine.spawn machine ~core:3 (fun () ->
+      ignore (Pmc.Api.poll_until api flag 0 (fun v -> v = 1l));
+      Pmc.Api.fence api;
+      Pmc.Api.with_x api data (fun () ->
+          for i = 3 downto 0 do
+            received := Pmc.Api.get_int api data i :: !received
+          done));
+
+  Machine.run machine;
+  Fmt.pr "%-8s received %a in %d cycles@."
+    (Pmc.Backends.to_string backend)
+    Fmt.(list ~sep:comma int)
+    !received
+    (Engine.wall_time (Machine.engine machine))
+
+let () =
+  Fmt.pr "Fig. 6 message passing, same source on every architecture:@.";
+  List.iter run_on Pmc.Backends.all

@@ -1,0 +1,1 @@
+lib/apps/kernels.ml: Array Config Int32 Int64 Machine Pmc Pmc_sim Printf Runner

@@ -1,0 +1,1 @@
+lib/apps/kernels.mli: Runner

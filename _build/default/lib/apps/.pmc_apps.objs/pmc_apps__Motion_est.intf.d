@@ -1,0 +1,1 @@
+lib/apps/motion_est.mli: Runner

@@ -1,0 +1,1 @@
+lib/apps/radiosity_like.ml: Array Config Int32 Int64 Machine Pmc Pmc_sim Printf Prng Runner

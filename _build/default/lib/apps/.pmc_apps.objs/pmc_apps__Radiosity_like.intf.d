@@ -1,0 +1,1 @@
+lib/apps/radiosity_like.mli: Runner

@@ -1,0 +1,1 @@
+lib/apps/raytrace_like.ml: Array Config Int32 Int64 List Machine Pmc Pmc_sim Printf Prng Runner

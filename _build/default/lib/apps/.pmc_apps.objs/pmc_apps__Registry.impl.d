@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Kernels List Motion_est Radiosity_like Raytrace_like Runner Stencil Streaming Volrend_like

@@ -1,0 +1,1 @@
+lib/apps/runner.ml: Config Engine Fmt Int64 Machine Pmc Pmc_sim Printf Stats

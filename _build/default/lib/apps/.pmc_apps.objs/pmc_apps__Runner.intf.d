@@ -1,0 +1,1 @@
+lib/apps/runner.mli: Format Pmc Pmc_sim

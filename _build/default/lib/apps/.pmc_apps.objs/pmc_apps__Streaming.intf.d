@@ -1,0 +1,1 @@
+lib/apps/streaming.mli: Runner

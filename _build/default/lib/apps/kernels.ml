@@ -1,0 +1,126 @@
+(* Small shared-memory kernels used by tests and the ablation benches:
+   a lock-partitioned histogram and a flag-chained parallel reduction.
+   Both are classic annotation-discipline exercises: every shared write
+   sits in an exclusive scope, inter-core hand-offs use the fence + flush
+   publish pattern. *)
+
+open Pmc_sim
+
+module Histogram = struct
+  let groups = 16
+  let bins_per_group = 8
+
+  (* deterministic sample stream per core *)
+  let sample ~core ~i = ((core * 7919) + (i * 104729)) mod (groups * bins_per_group)
+
+  let setup (api : Pmc.Api.t) ~scale =
+    let m = Pmc.Api.machine api in
+    let cfg = Machine.config m in
+    let cores = cfg.Config.cores in
+    let group =
+      Array.init groups (fun g ->
+          Pmc.Api.alloc_words api ~name:(Printf.sprintf "bins%d" g)
+            ~words:bins_per_group)
+    in
+    for core = 0 to cores - 1 do
+      Machine.spawn m ~core (fun () ->
+          for i = 0 to scale - 1 do
+            let s = sample ~core ~i in
+            let g = s / bins_per_group and b = s mod bins_per_group in
+            Machine.instr m 10;
+            Pmc.Api.with_x api group.(g) (fun () ->
+                let v = Pmc.Api.get_int api group.(g) b in
+                Pmc.Api.set_int api group.(g) b (v + 1))
+          done)
+    done;
+    fun () ->
+      let sum = ref 0L in
+      Array.iteri
+        (fun g o ->
+          for b = 0 to bins_per_group - 1 do
+            sum :=
+              Int64.add !sum
+                (Runner.mix64
+                   (Int64.of_int
+                      (((g * bins_per_group) + b) * 100000
+                      + Pmc.Api.peek_int api o b)))
+          done)
+        group;
+      !sum
+
+  let reference ~cores ~scale =
+    let bins = Array.make (groups * bins_per_group) 0 in
+    for core = 0 to cores - 1 do
+      for i = 0 to scale - 1 do
+        let s = sample ~core ~i in
+        bins.(s) <- bins.(s) + 1
+      done
+    done;
+    let sum = ref 0L in
+    Array.iteri
+      (fun i v ->
+        sum := Int64.add !sum (Runner.mix64 (Int64.of_int ((i * 100000) + v))))
+      bins;
+    !sum
+
+  let app : Runner.app =
+    {
+      name = "histogram";
+      code_footprint = 4 * 1024;
+      jump_prob = 0.03;
+      setup;
+      reference;
+    }
+end
+
+module Reduce = struct
+  (* Linear hand-off reduction: core i adds its partial sum and flags core
+     i+1 — a chain of Fig. 6 publishes. *)
+  let value ~core ~i = ((core + 1) * 31) + (i * 7)
+
+  let setup (api : Pmc.Api.t) ~scale =
+    let m = Pmc.Api.machine api in
+    let cfg = Machine.config m in
+    let cores = cfg.Config.cores in
+    let acc = Pmc.Api.alloc_words api ~name:"acc" ~words:1 in
+    let turn = Pmc.Api.alloc_words api ~name:"turn" ~words:1 in
+    for core = 0 to cores - 1 do
+      Machine.spawn m ~core (fun () ->
+          (* local computation *)
+          let local = ref 0 in
+          for i = 0 to scale - 1 do
+            local := !local + value ~core ~i;
+            Machine.instr m 5
+          done;
+          (* wait for my turn, then fold in and pass on *)
+          ignore
+            (Pmc.Api.poll_until api turn 0 (fun v -> Int32.to_int v = core));
+          Pmc.Api.fence api;
+          Pmc.Api.with_x api acc (fun () ->
+              let v = Pmc.Api.get_int api acc 0 in
+              Pmc.Api.set_int api acc 0 (v + !local);
+              Pmc.Api.fence api);
+          Pmc.Api.with_x api turn (fun () ->
+              Pmc.Api.set_int api turn 0 (core + 1);
+              Pmc.Api.flush api turn))
+    done;
+    fun () -> Int64.of_int (Pmc.Api.peek_int api acc 0)
+
+  let reference ~cores ~scale =
+    let total = ref 0 in
+    for core = 0 to cores - 1 do
+      for i = 0 to scale - 1 do
+        total := !total + value ~core ~i
+      done
+    done;
+    Int64.of_int !total
+
+  let app : Runner.app =
+    {
+      name = "reduce";
+      code_footprint = 4 * 1024;
+      jump_prob = 0.02;
+      setup;
+      reference;
+    }
+end

@@ -1,0 +1,14 @@
+(** Small shared-memory kernels for tests and ablations. *)
+
+(** Lock-partitioned histogram: per-group bins updated under exclusive
+    scopes. *)
+module Histogram : sig
+  val groups : int
+  val bins_per_group : int
+  val app : Runner.app
+end
+
+(** Linear hand-off reduction: a chain of Fig. 6 publishes. *)
+module Reduce : sig
+  val app : Runner.app
+end

@@ -1,0 +1,149 @@
+(* Motion estimation — the SPM case study of Section VI-C and Fig. 10.
+
+   Full-search block matching: every block of the current frame is matched
+   against a search window of the reference frame; both are read many
+   times (once per candidate vector), which is exactly the reuse pattern
+   that makes a scratch-pad pay off: the window is staged once per block
+   and then read at local-memory speed, while under software cache
+   coherency the window (sized beyond the L1 D-cache) thrashes on every
+   candidate scan.
+
+   The OCaml scoped API plays the role of the C++ ScopeRO/ScopeX classes
+   of Fig. 10: [Api.with_ro] on the window and block stages them in
+   (entry_ro), accesses inside the scope transparently hit the staged
+   copy, and the destructor-equivalent discards it (exit_ro). *)
+
+open Pmc_sim
+
+let block_dim = 4
+let range = 14                       (* search range in pixels *)
+let window_dim = block_dim + (2 * range)  (* 32 x 32 words = 4 KiB *)
+let window_words = window_dim * window_dim
+let block_words = block_dim * block_dim
+let candidates = (2 * range) + 1
+
+let ref_pixel ~block ~x ~y =
+  Int32.of_int (((block * 37) + (x * 5) + (y * 11)) land 0xFF)
+
+(* The current block equals the reference at a block-dependent offset, so
+   full search has a known-best answer (plus noise to exercise SAD). *)
+let true_vector ~block = (block mod candidates, block * 7 mod candidates)
+
+let cur_pixel ~block ~x ~y =
+  let dx, dy = true_vector ~block in
+  ref_pixel ~block ~x:(x + dx) ~y:(y + dy)
+
+let sad_search read_win read_blk =
+  let best = ref max_int and best_v = ref (0, 0) in
+  for dy = 0 to candidates - 1 do
+    for dx = 0 to candidates - 1 do
+      let sad = ref 0 in
+      for y = 0 to block_dim - 1 do
+        for x = 0 to block_dim - 1 do
+          let w = read_win ((dy + y) * window_dim + (dx + x)) in
+          let b = read_blk ((y * block_dim) + x) in
+          sad := !sad + abs (Int32.to_int w - Int32.to_int b)
+        done
+      done;
+      if !sad < !best then begin
+        best := !sad;
+        best_v := (dx, dy)
+      end
+    done
+  done;
+  !best_v
+
+let setup (api : Pmc.Api.t) ~scale =
+  let m = Pmc.Api.machine api in
+  let cfg = Machine.config m in
+  let blocks = scale in
+  let window =
+    Array.init blocks (fun b ->
+        Pmc.Api.alloc_words api ~name:(Printf.sprintf "window%d" b)
+          ~words:window_words)
+  in
+  let block =
+    Array.init blocks (fun b ->
+        Pmc.Api.alloc_words api ~name:(Printf.sprintf "block%d" b)
+          ~words:block_words)
+  in
+  let vectors = Pmc.Api.alloc_words api ~name:"vectors" ~words:blocks in
+  let next = Pmc.Api.alloc_words api ~name:"work_queue" ~words:1 in
+  (* frames are produced by untimed initialization: video capture is not
+     part of the measured kernel *)
+  Array.iteri
+    (fun b w ->
+      for y = 0 to window_dim - 1 do
+        for x = 0 to window_dim - 1 do
+          Pmc.Api.poke api w ((y * window_dim) + x) (ref_pixel ~block:b ~x ~y)
+        done
+      done)
+    window;
+  Array.iteri
+    (fun b blk ->
+      for y = 0 to block_dim - 1 do
+        for x = 0 to block_dim - 1 do
+          Pmc.Api.poke api blk ((y * block_dim) + x) (cur_pixel ~block:b ~x ~y)
+        done
+      done)
+    block;
+  let worker () =
+    let continue_ = ref true in
+    while !continue_ do
+      let b =
+        Pmc.Api.with_x api next (fun () ->
+            let t = Pmc.Api.get_int api next 0 in
+            if t < blocks then Pmc.Api.set_int api next 0 (t + 1);
+            t)
+      in
+      if b >= blocks then continue_ := false
+      else begin
+        (* ScopeRO(window), ScopeRO(mblock), ScopeX(vector) of Fig. 10 *)
+        let dx, dy =
+          Pmc.Api.with_ro api window.(b) (fun () ->
+              Pmc.Api.with_ro api block.(b) (fun () ->
+                  sad_search
+                    (fun i -> Pmc.Api.get api window.(b) i)
+                    (fun i -> Pmc.Api.get api block.(b) i)))
+        in
+        Machine.instr m 200;
+        Pmc.Api.with_x api vectors (fun () ->
+            Pmc.Api.set_int api vectors b ((dx * 256) + dy))
+      end
+    done
+  in
+  for core = 0 to cfg.Config.cores - 1 do
+    Machine.spawn m ~core worker
+  done;
+  fun () ->
+    let sum = ref 0L in
+    for b = 0 to blocks - 1 do
+      sum :=
+        Int64.add !sum
+          (Runner.mix64 (Int64.of_int ((b * 65536) + Pmc.Api.peek_int api vectors b)))
+    done;
+    !sum
+
+let reference ~cores:_ ~scale =
+  let sum = ref 0L in
+  for b = 0 to scale - 1 do
+    let dx, dy =
+      sad_search
+        (fun i ->
+          ref_pixel ~block:b ~x:(i mod window_dim) ~y:(i / window_dim))
+        (fun i -> cur_pixel ~block:b ~x:(i mod block_dim) ~y:(i / block_dim))
+    in
+    sum :=
+      Int64.add !sum
+        (Runner.mix64 (Int64.of_int ((b * 65536) + (dx * 256) + dy)))
+  done;
+  !sum
+
+let app : Runner.app =
+  {
+    name = "motion_est";
+    code_footprint = 6 * 1024;   (* tight kernel loop *)
+    jump_prob = 0.02;
+    setup;
+    reference;
+  }

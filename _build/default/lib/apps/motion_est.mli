@@ -1,0 +1,16 @@
+(** Full-search motion estimation — the SPM case study of Fig. 10 /
+    Section VI-C.  The search window is read once per candidate vector,
+    so staging it in the scratch-pad (entry_ro on the SPM back-end) beats
+    refetching through a narrow-line cache. *)
+
+val block_dim : int
+val range : int
+val window_dim : int
+val window_words : int
+val block_words : int
+val candidates : int
+
+val true_vector : block:int -> int * int
+(** The planted motion vector of a block — full search must find it. *)
+
+val app : Runner.app

@@ -1,0 +1,124 @@
+(* RADIOSITY-like kernel.
+
+   SPLASH-2 RADIOSITY iteratively redistributes energy between patches of
+   a scene; its distinguishing memory behaviour — the reason it profits
+   least from software cache coherency in Fig. 8 — is that it "addresses
+   and updates the memory in a chaotic way": tasks read a few random
+   patches and then *write* a few random patches, so shared data is
+   exclusive-locked often, flushed often, and exhibits little reuse.
+
+   This kernel reproduces that signature: a dynamically balanced task
+   queue; each task reads [reads_per_task] random patches (read-only
+   scopes), computes, and accumulates energy into [writes_per_task] random
+   patches (exclusive scopes).  All updates are commutative wrap-around
+   additions whose deltas depend only on the task id, so the final state
+   is deterministic under any interleaving — the checksum catches any
+   coherence bug on any back-end. *)
+
+open Pmc_sim
+
+let patches = 48
+let patch_words = 16  (* 64 bytes: 2 cache lines *)
+let reads_per_task = 2
+let writes_per_task = 1
+let compute_per_task = 1200
+let task_batch = 4
+
+(* Deterministic per-task behaviour, independent of which core runs it. *)
+let task_plan ~task =
+  let g = Prng.create (0x5EED + task) in
+  let reads = Array.init reads_per_task (fun _ -> Prng.int g patches) in
+  let writes = Array.init writes_per_task (fun _ -> Prng.int g patches) in
+  let delta =
+    Array.init writes_per_task (fun i ->
+        Int32.of_int (Prng.int g 1000 + i + 1))
+  in
+  (reads, writes, delta)
+
+let setup (api : Pmc.Api.t) ~scale =
+  let m = Pmc.Api.machine api in
+  let cfg = Machine.config m in
+  let total_tasks = scale in
+  let patch =
+    Array.init patches (fun i ->
+        Pmc.Api.alloc_words api
+          ~name:(Printf.sprintf "patch%d" i)
+          ~words:patch_words)
+  in
+  let next_task = Pmc.Api.alloc_words api ~name:"next_task" ~words:1 in
+  let worker () =
+    let continue_ = ref true in
+    while !continue_ do
+      (* dynamic load balancing: grab a batch of task ids *)
+      let first =
+        Pmc.Api.with_x api next_task (fun () ->
+            let t = Pmc.Api.get_int api next_task 0 in
+            if t < total_tasks then
+              Pmc.Api.set_int api next_task 0 (min total_tasks (t + task_batch));
+            t)
+      in
+      if first >= total_tasks then continue_ := false
+      else
+        for task = first to min (total_tasks - 1) (first + task_batch - 1) do
+        let reads, writes, delta = task_plan ~task in
+        (* gather energy from random patches *)
+        Array.iter
+          (fun p ->
+            Pmc.Api.with_ro api patch.(p) (fun () ->
+                for w = 0 to patch_words - 1 do
+                  ignore (Pmc.Api.get api patch.(p) w)
+                done))
+          reads;
+        Machine.instr m compute_per_task;
+        (* scatter: chaotic exclusive updates, one patch at a time *)
+        Array.iteri
+          (fun i p ->
+            Pmc.Api.with_x api patch.(p) (fun () ->
+                for w = 0 to patch_words - 1 do
+                  let v = Pmc.Api.get api patch.(p) w in
+                  Pmc.Api.set api patch.(p) w (Int32.add v delta.(i))
+                done))
+          writes
+        done
+    done
+  in
+  for core = 0 to cfg.Config.cores - 1 do
+    Machine.spawn m ~core worker
+  done;
+  fun () ->
+    let sum = ref 0L in
+    Array.iter
+      (fun p ->
+        for w = 0 to patch_words - 1 do
+          sum :=
+            Int64.add !sum
+              (Int64.of_int32 (Pmc.Api.peek api p w))
+        done)
+      patch;
+    !sum
+
+let reference ~cores:_ ~scale =
+  let state = Array.make (patches * patch_words) 0l in
+  for task = 0 to scale - 1 do
+    let _, writes, delta = task_plan ~task in
+    Array.iteri
+      (fun i p ->
+        for w = 0 to patch_words - 1 do
+          let idx = (p * patch_words) + w in
+          state.(idx) <- Int32.add state.(idx) delta.(i)
+        done)
+      writes
+  done;
+  Array.fold_left
+    (fun acc v -> Int64.add acc (Int64.of_int32 v))
+    0L state
+
+let app : Runner.app =
+  {
+    name = "radiosity";
+    (* large irregular code: noticeable I-cache misses, like Fig. 8 *)
+    code_footprint = 18 * 1024;
+    jump_prob = 0.12;
+    setup;
+    reference;
+  }

@@ -1,0 +1,8 @@
+(** RADIOSITY-like kernel (Fig. 8): chaotic read-write sharing over an
+    irregular task graph — the workload that profits least from software
+    cache coherency.  Updates are commutative, so the checksum is
+    schedule-independent. *)
+
+val patches : int
+val patch_words : int
+val app : Runner.app

@@ -1,0 +1,136 @@
+(* RAYTRACE-like kernel.
+
+   SPLASH-2 RAYTRACE shoots rays through a shared, read-only scene
+   structure (BSP tree + primitives) and writes to a private framebuffer.
+   Its signature is read-dominated sharing with good reuse: once the scene
+   chunks a core needs are cached, almost all shared-read stall disappears
+   under software cache coherency — exactly the RAYTRACE bars of Fig. 8.
+
+   One core builds the scene under exclusive scopes, publishes a ready
+   flag (the Fig. 6 pattern), and every core then traces its own pixels:
+   per pixel a handful of scene chunks are walked inside read-only scopes
+   and the shading result is accumulated privately; per-core results go to
+   a shared result array at the end. *)
+
+open Pmc_sim
+
+let scene_chunks = 24
+let chunk_words = 32  (* 128 bytes *)
+let chunks_per_ray = 3
+let compute_per_ray = 450
+
+let scene_value ~chunk ~word =
+  Int32.of_int (((chunk * 131) + (word * 17) + 7) land 0xFFFF)
+
+(* Which chunks a pixel's ray traverses, and its shading weight. *)
+let ray_plan ~pixel =
+  let g = Prng.create (0xACE + pixel) in
+  (* rays exhibit spatial locality: neighbouring pixels hit overlapping
+     chunks *)
+  let base = pixel / 8 mod scene_chunks in
+  Array.init chunks_per_ray (fun i ->
+      if Prng.bool g 0.7 then (base + i) mod scene_chunks
+      else Prng.int g scene_chunks)
+
+let setup (api : Pmc.Api.t) ~scale =
+  let m = Pmc.Api.machine api in
+  let cfg = Machine.config m in
+  let cores = cfg.Config.cores in
+  let pixels_per_core = scale in
+  let scene =
+    Array.init scene_chunks (fun i ->
+        Pmc.Api.alloc_words api
+          ~name:(Printf.sprintf "scene%d" i)
+          ~words:chunk_words)
+  in
+  let ready = Pmc.Api.alloc_words api ~name:"scene_ready" ~words:1 in
+  let result = Pmc.Api.alloc_words api ~name:"framebuf_sums" ~words:cores in
+  (* The scene is read-only while tracing, so read-only scopes are held
+     over a whole batch of rays: under SWCC the scene then stays cached
+     across the batch (the reuse that gives RAYTRACE its near-zero shared
+     read stall in Fig. 8), while 'no CC' pays the SDRAM round-trip on
+     every single read. *)
+  let batch = 64 in
+  let trace_pixels core =
+    (* wait for the scene (Fig. 6 flag pattern) *)
+    ignore (Pmc.Api.poll_until api ready 0 (fun v -> v = 1l));
+    Pmc.Api.fence api;
+    let acc = ref 0l in
+    let p = ref 0 in
+    while !p < pixels_per_core do
+      let n = min batch (pixels_per_core - !p) in
+      Array.iter (fun c -> Pmc.Api.entry_ro api c) scene;
+      for i = 0 to n - 1 do
+        let pixel = (core * pixels_per_core) + !p + i in
+        let chunks = ray_plan ~pixel in
+        Array.iter
+          (fun c ->
+            (* walk a few nodes of the chunk *)
+            for w = 0 to 5 do
+              acc :=
+                Int32.add !acc
+                  (Pmc.Api.get api scene.(c) ((w * 3) mod chunk_words))
+            done)
+          chunks;
+        Machine.instr m compute_per_ray;
+        (* private framebuffer write *)
+        Machine.private_store m (pixel mod 192) !acc
+      done;
+      List.iter
+        (fun c -> Pmc.Api.exit_ro api c)
+        (List.rev (Array.to_list scene));
+      p := !p + n
+    done;
+    Pmc.Api.with_x api result (fun () -> Pmc.Api.set api result core !acc)
+  in
+  (* core 0 initializes the scene, then traces its own pixels *)
+  Machine.spawn m ~core:0 (fun () ->
+      Array.iteri
+        (fun i chunk ->
+          Pmc.Api.with_x api chunk (fun () ->
+              for w = 0 to chunk_words - 1 do
+                Pmc.Api.set api chunk w (scene_value ~chunk:i ~word:w)
+              done))
+        scene;
+      Pmc.Api.fence api;
+      Pmc.Api.with_x api ready (fun () ->
+          Pmc.Api.set api ready 0 1l;
+          Pmc.Api.flush api ready);
+      trace_pixels 0);
+  for core = 1 to cores - 1 do
+    Machine.spawn m ~core (fun () -> trace_pixels core)
+  done;
+  fun () ->
+    let sum = ref 0L in
+    for core = 0 to cores - 1 do
+      sum := Int64.add !sum (Int64.of_int32 (Pmc.Api.peek api result core))
+    done;
+    !sum
+
+let reference ~cores ~scale =
+  let sum = ref 0L in
+  for core = 0 to cores - 1 do
+    let acc = ref 0l in
+    for p = 0 to scale - 1 do
+      let pixel = (core * scale) + p in
+      let chunks = ray_plan ~pixel in
+      Array.iter
+        (fun c ->
+          for w = 0 to 5 do
+            acc :=
+              Int32.add !acc (scene_value ~chunk:c ~word:((w * 3) mod chunk_words))
+          done)
+        chunks
+    done;
+    sum := Int64.add !sum (Int64.of_int32 !acc)
+  done;
+  !sum
+
+let app : Runner.app =
+  {
+    name = "raytrace";
+    code_footprint = 12 * 1024;
+    jump_prob = 0.05;
+    setup;
+    reference;
+  }

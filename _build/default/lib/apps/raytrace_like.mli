@@ -1,0 +1,8 @@
+(** RAYTRACE-like kernel (Fig. 8): read-dominated sharing of a scene
+    built by core 0 and published with the Fig. 6 flag pattern; private
+    framebuffer writes.  Under SWCC the scene stays cached across ray
+    batches, collapsing the shared-read stall. *)
+
+val scene_chunks : int
+val chunk_words : int
+val app : Runner.app

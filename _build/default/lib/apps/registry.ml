@@ -1,0 +1,18 @@
+(* All applications by name, for the CLI and the benches. *)
+
+let all : Runner.app list =
+  [
+    Radiosity_like.app;
+    Raytrace_like.app;
+    Volrend_like.app;
+    Motion_est.app;
+    Streaming.app;
+    Stencil.app;
+    Kernels.Histogram.app;
+    Kernels.Reduce.app;
+  ]
+
+let find name =
+  List.find_opt (fun (a : Runner.app) -> a.Runner.name = name) all
+
+let names = List.map (fun (a : Runner.app) -> a.Runner.name) all

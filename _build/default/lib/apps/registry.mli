@@ -1,0 +1,5 @@
+(** All applications by name, for the CLI and the benches. *)
+
+val all : Runner.app list
+val find : string -> Runner.app option
+val names : string list

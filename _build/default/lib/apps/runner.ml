@@ -1,0 +1,71 @@
+(* Application harness: run an annotated application on a chosen back-end
+   and collect the Fig. 8-style statistics plus a determinism checksum.
+
+   Every app is written once against [Pmc.Api]; the harness swaps the
+   back-end underneath — the PMC portability claim, exercised end to end.
+   The checksum must match the app's sequential reference on every
+   back-end and core count; the integration tests enforce this. *)
+
+open Pmc_sim
+
+type app = {
+  name : string;
+  (* synthetic instruction-stream profile (Fig. 8 I-cache bars) *)
+  code_footprint : int;
+  jump_prob : float;
+  (* Allocate shared state and spawn one task per core; returns a closure
+     that collects the checksum after the run. *)
+  setup : Pmc.Api.t -> scale:int -> (unit -> int64);
+  (* Sequential reference checksum. *)
+  reference : cores:int -> scale:int -> int64;
+}
+
+type result = {
+  app : string;
+  backend : Pmc.Backends.kind;
+  cores : int;
+  scale : int;
+  wall : int;                (* wall-clock cycles of the whole run *)
+  summary : Stats.summary;
+  checksum : int64;
+  reference : int64;
+}
+
+let ok r = r.checksum = r.reference
+
+let run ?(cfg = Config.default) (a : app) ~backend ~scale : result =
+  let m = Machine.create cfg in
+  for core = 0 to cfg.Config.cores - 1 do
+    Machine.set_code m ~core ~footprint:a.code_footprint
+      ~jump_prob:a.jump_prob
+  done;
+  let api = Pmc.Backends.create backend m in
+  let collect = a.setup api ~scale in
+  Machine.run m;
+  {
+    app = a.name;
+    backend;
+    cores = cfg.Config.cores;
+    scale;
+    wall = Engine.wall_time (Machine.engine m);
+    summary = Stats.summarize (Machine.stats m);
+    checksum = collect ();
+    reference = a.reference ~cores:cfg.Config.cores ~scale;
+  }
+
+let pp_result ppf (r : result) =
+  Fmt.pf ppf "%-12s %-7s cores=%-3d scale=%-5d wall=%-10d util=%5.1f%% %s@."
+    r.app
+    (Pmc.Backends.to_string r.backend)
+    r.cores r.scale r.wall
+    (100.0 *. Stats.utilization r.summary)
+    (if ok r then "OK" else
+       Printf.sprintf "CHECKSUM MISMATCH (%Ld vs %Ld)" r.checksum r.reference)
+
+(* Mix for checksums (order-independent accumulation uses addition). *)
+let mix64 (x : int64) =
+  let x = Int64.logxor x (Int64.shift_right_logical x 33) in
+  let x = Int64.mul x 0xFF51AFD7ED558CCDL in
+  let x = Int64.logxor x (Int64.shift_right_logical x 33) in
+  let x = Int64.mul x 0xC4CEB9FE1A85EC53L in
+  Int64.logxor x (Int64.shift_right_logical x 33)

@@ -1,0 +1,36 @@
+(** Application harness: run an annotated workload on a chosen back-end,
+    collect Fig. 8-style statistics and a determinism checksum that must
+    match the app's sequential reference on every back-end. *)
+
+type app = {
+  name : string;
+  code_footprint : int;   (** synthetic I-stream: code size in bytes *)
+  jump_prob : float;      (** per-line taken-jump probability *)
+  setup : Pmc.Api.t -> scale:int -> (unit -> int64);
+      (** allocate shared state and spawn one task per core; the returned
+          closure collects the checksum after the run *)
+  reference : cores:int -> scale:int -> int64;
+}
+
+type result = {
+  app : string;
+  backend : Pmc.Backends.kind;
+  cores : int;
+  scale : int;
+  wall : int;
+  summary : Pmc_sim.Stats.summary;
+  checksum : int64;
+  reference : int64;
+}
+
+val ok : result -> bool
+(** Checksum matches the sequential reference. *)
+
+val run :
+  ?cfg:Pmc_sim.Config.t -> app -> backend:Pmc.Backends.kind -> scale:int ->
+  result
+
+val pp_result : Format.formatter -> result -> unit
+
+val mix64 : int64 -> int64
+(** Checksum mixer (splitmix64 finalizer). *)

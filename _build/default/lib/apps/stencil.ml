@@ -1,0 +1,137 @@
+(* Jacobi stencil with halo exchange — the classic distributed-memory
+   workload, written with PMC annotations: each core owns a strip of the
+   grid (double-buffered in two shared objects), reads its neighbours'
+   strips through read-only scopes, writes its own next strip under an
+   exclusive scope, and all cores synchronize with the barrier (itself
+   built from the annotations).
+
+   On the DSM back-end this becomes the textbook halo pattern: the
+   read-only entry pulls the neighbour's newest version over the NoC once
+   per iteration, all inner reads stay in local memory.  One writer per
+   strip and a barrier between iterations make the result bit-identical
+   to the sequential reference on every back-end and core count. *)
+
+open Pmc_sim
+
+let width = 16
+let rows_per_core = 4
+
+let init_cell ~row ~col = Int32.of_int (((row * 31) + (col * 17)) land 0xFF)
+
+let step_cell ~up ~down ~left ~right ~center =
+  let ( + ) = Int32.add in
+  Int32.div (up + down + left + right + center) 5l
+
+(* Sequential reference on the full grid. *)
+let reference ~cores ~scale =
+  let rows = cores * rows_per_core in
+  let g =
+    Array.init rows (fun r -> Array.init width (fun c -> init_cell ~row:r ~col:c))
+  in
+  let nxt = Array.make_matrix rows width 0l in
+  for _ = 1 to scale do
+    for r = 0 to rows - 1 do
+      for c = 0 to width - 1 do
+        let at r' c' =
+          if r' < 0 || r' >= rows || c' < 0 || c' >= width then 0l
+          else g.(r').(c')
+        in
+        nxt.(r).(c) <-
+          step_cell ~up:(at (r - 1) c) ~down:(at (r + 1) c)
+            ~left:(at r (c - 1)) ~right:(at r (c + 1)) ~center:g.(r).(c)
+      done
+    done;
+    for r = 0 to rows - 1 do
+      Array.blit nxt.(r) 0 g.(r) 0 width
+    done
+  done;
+  let sum = ref 0L in
+  Array.iter
+    (Array.iter (fun v -> sum := Int64.add !sum (Int64.of_int32 v)))
+    g;
+  !sum
+
+let setup (api : Pmc.Api.t) ~scale =
+  let m = Pmc.Api.machine api in
+  let cfg = Machine.config m in
+  let cores = cfg.Config.cores in
+  let strip_words = rows_per_core * width in
+  (* double-buffered strips: buf.(phase).(core) *)
+  let buf =
+    Array.init 2 (fun ph ->
+        Array.init cores (fun c ->
+            Pmc.Api.alloc_words api
+              ~name:(Printf.sprintf "strip%d.%d" ph c)
+              ~words:strip_words))
+  in
+  let barrier = Pmc.Barrier.create api ~name:"stencil" ~parties:cores in
+  (* initial grid into phase-0 strips *)
+  for c = 0 to cores - 1 do
+    for r = 0 to rows_per_core - 1 do
+      for col = 0 to width - 1 do
+        Pmc.Api.poke api
+          buf.(0).(c)
+          ((r * width) + col)
+          (init_cell ~row:((c * rows_per_core) + r) ~col)
+      done
+    done
+  done;
+  for core = 0 to cores - 1 do
+    Machine.spawn m ~core (fun () ->
+        for iter = 0 to scale - 1 do
+          let cur = buf.(iter mod 2) and nxt = buf.((iter + 1) mod 2) in
+          (* open the halo scopes: own strip plus existing neighbours *)
+          Pmc.Api.entry_ro api cur.(core);
+          if core > 0 then Pmc.Api.entry_ro api cur.(core - 1);
+          if core < cores - 1 then Pmc.Api.entry_ro api cur.(core + 1);
+          Pmc.Api.with_x api nxt.(core) (fun () ->
+              for r = 0 to rows_per_core - 1 do
+                for col = 0 to width - 1 do
+                  let cell dr dc =
+                    let gr = r + dr and gc = col + dc in
+                    if gc < 0 || gc >= width then 0l
+                    else if gr >= 0 && gr < rows_per_core then
+                      Pmc.Api.get api cur.(core) ((gr * width) + gc)
+                    else if gr < 0 then
+                      if core = 0 then 0l
+                      else
+                        Pmc.Api.get api
+                          cur.(core - 1)
+                          (((rows_per_core - 1) * width) + gc)
+                    else if core = cores - 1 then 0l
+                    else Pmc.Api.get api cur.(core + 1) gc
+                  in
+                  Pmc.Api.set api nxt.(core)
+                    ((r * width) + col)
+                    (step_cell ~up:(cell (-1) 0) ~down:(cell 1 0)
+                       ~left:(cell 0 (-1)) ~right:(cell 0 1)
+                       ~center:(cell 0 0));
+                  Machine.instr m 8
+                done
+              done);
+          (* close halo scopes in LIFO order *)
+          if core < cores - 1 then Pmc.Api.exit_ro api cur.(core + 1);
+          if core > 0 then Pmc.Api.exit_ro api cur.(core - 1);
+          Pmc.Api.exit_ro api cur.(core);
+          Pmc.Barrier.wait barrier
+        done)
+  done;
+  fun () ->
+    let final = buf.(scale mod 2) in
+    let sum = ref 0L in
+    Array.iter
+      (fun strip ->
+        for w = 0 to strip_words - 1 do
+          sum := Int64.add !sum (Int64.of_int32 (Pmc.Api.peek api strip w))
+        done)
+      final;
+    !sum
+
+let app : Runner.app =
+  {
+    name = "stencil";
+    code_footprint = 6 * 1024;
+    jump_prob = 0.02;
+    setup;
+    reference;
+  }

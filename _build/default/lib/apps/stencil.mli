@@ -1,0 +1,8 @@
+(** Jacobi stencil with halo exchange: per-core grid strips
+    (double-buffered shared objects), neighbours read through read-only
+    scopes, iterations separated by the annotation-built barrier.
+    Bit-identical to the sequential reference on every back-end. *)
+
+val width : int
+val rows_per_core : int
+val app : Runner.app

@@ -1,0 +1,7 @@
+(** Three-stage streaming pipeline over the Fig. 9 broadcast FIFO — the
+    distributed-memory use case of Section VI-B.  On the DSM back-end all
+    pointer polling stays in local memories. *)
+
+val elem_words : int
+val fifo_depth : int
+val app : Runner.app

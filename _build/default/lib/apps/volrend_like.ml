@@ -1,0 +1,145 @@
+(* VOLREND-like kernel.
+
+   SPLASH-2 VOLREND casts rays through a shared, read-only voxel volume
+   with an octree acceleration structure.  Memory signature: read-only
+   sharing like RAYTRACE, but with more computation per shared read
+   (transfer-function and compositing math) and a working set slightly
+   larger than the L1 D-cache, so software cache coherency removes most —
+   not quite all — shared read stalls.
+
+   Structure: one core voxelizes the volume under exclusive scopes and
+   publishes a ready flag; then every core renders its own rays, walking
+   an octree path (repeated reads of the small octree objects — high
+   reuse) and sampling voxel bricks along the ray (moderate reuse). *)
+
+open Pmc_sim
+
+let octree_nodes = 8
+let node_words = 16   (* 64 B each: hot, high reuse *)
+let bricks = 44
+let brick_words = 64  (* 256 B each: 11 KiB volume — just fits the L1 *)
+let samples_per_ray = 6
+let compute_per_sample = 70
+
+let voxel ~brick ~word = Int32.of_int (((brick * 257) + (word * 31)) land 0xFFFF)
+let node_value ~node ~word = Int32.of_int (((node * 61) + word) land 0xFF)
+
+(* The bricks a ray samples: a coherent front-to-back walk. *)
+let ray_plan ~ray =
+  let g = Prng.create (0xB0DE + ray) in
+  let start = Prng.int g bricks in
+  Array.init samples_per_ray (fun i -> (start + (i * 3)) mod bricks)
+
+let setup (api : Pmc.Api.t) ~scale =
+  let m = Pmc.Api.machine api in
+  let cfg = Machine.config m in
+  let cores = cfg.Config.cores in
+  let rays_per_core = scale in
+  let octree =
+    Array.init octree_nodes (fun i ->
+        Pmc.Api.alloc_words api ~name:(Printf.sprintf "node%d" i)
+          ~words:node_words)
+  in
+  let volume =
+    Array.init bricks (fun i ->
+        Pmc.Api.alloc_words api ~name:(Printf.sprintf "brick%d" i)
+          ~words:brick_words)
+  in
+  let ready = Pmc.Api.alloc_words api ~name:"volume_ready" ~words:1 in
+  let result = Pmc.Api.alloc_words api ~name:"image_sums" ~words:cores in
+  let render core =
+    ignore (Pmc.Api.poll_until api ready 0 (fun v -> v = 1l));
+    Pmc.Api.fence api;
+    let acc = ref 0l in
+    (* hold the octree read-only for the whole rendering phase (it is hot
+       and tiny); bricks are entered per batch of rays *)
+    Array.iter (fun n -> Pmc.Api.entry_ro api n) octree;
+    (* the volume is read-only for the whole rendering phase; holding the
+       scopes across all rays lets SWCC keep it cached (it barely fits) *)
+    Array.iter (fun b -> Pmc.Api.entry_ro api b) volume;
+    let batch = 16 in
+    let r = ref 0 in
+    while !r < rays_per_core do
+      let n = min batch (rays_per_core - !r) in
+      for i = 0 to n - 1 do
+        let ray = (core * rays_per_core) + !r + i in
+        (* octree descent: repeated hot reads *)
+        for level = 0 to octree_nodes - 1 do
+          ignore (Pmc.Api.get api octree.(level) (ray mod node_words))
+        done;
+        Array.iter
+          (fun b ->
+            for s = 0 to 3 do
+              acc :=
+                Int32.add !acc
+                  (Pmc.Api.get api volume.(b) ((ray + (s * 7)) mod brick_words))
+            done;
+            Machine.instr m compute_per_sample)
+          (ray_plan ~ray)
+      done;
+      r := !r + n
+    done;
+    List.iter
+      (fun b -> Pmc.Api.exit_ro api b)
+      (List.rev (Array.to_list volume));
+    List.iter
+      (fun n -> Pmc.Api.exit_ro api n)
+      (List.rev (Array.to_list octree));
+    Pmc.Api.with_x api result (fun () -> Pmc.Api.set api result core !acc)
+  in
+  Machine.spawn m ~core:0 (fun () ->
+      Array.iteri
+        (fun i node ->
+          Pmc.Api.with_x api node (fun () ->
+              for w = 0 to node_words - 1 do
+                Pmc.Api.set api node w (node_value ~node:i ~word:w)
+              done))
+        octree;
+      Array.iteri
+        (fun i brick ->
+          Pmc.Api.with_x api brick (fun () ->
+              for w = 0 to brick_words - 1 do
+                Pmc.Api.set api brick w (voxel ~brick:i ~word:w)
+              done))
+        volume;
+      Pmc.Api.fence api;
+      Pmc.Api.with_x api ready (fun () ->
+          Pmc.Api.set api ready 0 1l;
+          Pmc.Api.flush api ready);
+      render 0);
+  for core = 1 to cores - 1 do
+    Machine.spawn m ~core (fun () -> render core)
+  done;
+  fun () ->
+    let sum = ref 0L in
+    for core = 0 to cores - 1 do
+      sum := Int64.add !sum (Int64.of_int32 (Pmc.Api.peek api result core))
+    done;
+    !sum
+
+let reference ~cores ~scale =
+  let sum = ref 0L in
+  for core = 0 to cores - 1 do
+    let acc = ref 0l in
+    for r = 0 to scale - 1 do
+      let ray = (core * scale) + r in
+      Array.iter
+        (fun b ->
+          for s = 0 to 3 do
+            acc :=
+              Int32.add !acc (voxel ~brick:b ~word:((ray + (s * 7)) mod brick_words))
+          done)
+        (ray_plan ~ray)
+    done;
+    sum := Int64.add !sum (Int64.of_int32 !acc)
+  done;
+  !sum
+
+let app : Runner.app =
+  {
+    name = "volrend";
+    code_footprint = 12 * 1024;
+    jump_prob = 0.03;
+    setup;
+    reference;
+  }

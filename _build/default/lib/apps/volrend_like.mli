@@ -1,0 +1,8 @@
+(** VOLREND-like kernel (Fig. 8): read-only voxel volume plus a hot
+    octree, more compute per shared read than RAYTRACE, working set near
+    the L1 capacity. *)
+
+val octree_nodes : int
+val bricks : int
+val brick_words : int
+val app : Runner.app

@@ -1,0 +1,1 @@
+lib/compile/check.ml: Ir List Printf

@@ -1,0 +1,1 @@
+lib/compile/ir.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/compile/lower.ml: Hashtbl Ir List Option Pmc_sim Printf

@@ -1,0 +1,1 @@
+lib/compile/lower.mli: Ir Pmc_sim

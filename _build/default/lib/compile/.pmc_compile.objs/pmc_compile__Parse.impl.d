@@ -1,0 +1,1 @@
+lib/compile/parse.ml: Buffer Fmt Hashtbl Ir List Printf Result String

@@ -1,0 +1,1 @@
+lib/compile/parse.mli: Format Ir Result

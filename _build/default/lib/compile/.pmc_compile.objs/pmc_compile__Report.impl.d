@@ -1,0 +1,1 @@
+lib/compile/report.ml: Check Fmt Ir List Lower Pmc_sim String

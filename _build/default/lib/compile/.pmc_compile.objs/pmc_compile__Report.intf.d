@@ -1,0 +1,1 @@
+lib/compile/report.mli: Check Format Ir Lower Pmc_sim

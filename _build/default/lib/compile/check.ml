@@ -1,0 +1,144 @@
+(* Static discipline checking over the IR: the same rules the run-time
+   [Pmc.Api] enforces, verified at "compile time", plus heuristic warnings
+   for the ordering mistakes the memory model cannot catch mechanically
+   (a publish pattern without the ≺F fence between the two scopes). *)
+
+type error =
+  | Unmatched_exit of { thread : int; stmt : Ir.stmt }
+  | Non_nested_exit of { thread : int; stmt : Ir.stmt; innermost : string }
+  | Write_outside_x of { thread : int; obj : Ir.obj }
+  | Read_outside_scope of { thread : int; obj : Ir.obj }
+  | Flush_outside_x of { thread : int; obj : Ir.obj }
+  | Reentrant_entry of { thread : int; obj : Ir.obj }
+  | Write_in_ro of { thread : int; obj : Ir.obj }
+  | Unclosed_scope of { thread : int; obj : Ir.obj }
+
+type warning =
+  | Publish_without_fence of { thread : int; first : string; second : string }
+  | Empty_scope of { thread : int; obj : Ir.obj }
+
+let error_to_string = function
+  | Unmatched_exit { thread; stmt } ->
+      Printf.sprintf "thread %d: %s without matching entry" thread
+        (Ir.stmt_to_string stmt)
+  | Non_nested_exit { thread; stmt; innermost } ->
+      Printf.sprintf "thread %d: %s while %s is the innermost scope" thread
+        (Ir.stmt_to_string stmt) innermost
+  | Write_outside_x { thread; obj } ->
+      Printf.sprintf "thread %d: write of %s outside entry_x/exit_x" thread
+        obj.Ir.oname
+  | Read_outside_scope { thread; obj } ->
+      Printf.sprintf "thread %d: read of %s outside any entry/exit pair"
+        thread obj.Ir.oname
+  | Flush_outside_x { thread; obj } ->
+      Printf.sprintf "thread %d: flush(%s) outside entry_x/exit_x" thread
+        obj.Ir.oname
+  | Reentrant_entry { thread; obj } ->
+      Printf.sprintf "thread %d: re-entrant entry of %s" thread obj.Ir.oname
+  | Write_in_ro { thread; obj } ->
+      Printf.sprintf "thread %d: write of %s inside read-only scope" thread
+        obj.Ir.oname
+  | Unclosed_scope { thread; obj } ->
+      Printf.sprintf "thread %d: scope of %s never exited" thread
+        obj.Ir.oname
+
+let warning_to_string = function
+  | Publish_without_fence { thread; first; second } ->
+      Printf.sprintf
+        "thread %d: writes to %s and then %s without a fence between the \
+         scopes — observers may see them in either order (add fence() for \
+         %s-before-%s ordering)"
+        thread first second first second
+  | Empty_scope { thread; obj } ->
+      Printf.sprintf "thread %d: scope of %s performs no accesses" thread
+        obj.Ir.oname
+
+type report = { errors : error list; warnings : warning list }
+
+let ok r = r.errors = []
+
+type mode = M_x | M_ro
+
+let check (p : Ir.program) : report =
+  let errors = ref [] and warnings = ref [] in
+  let err e = errors := e :: !errors in
+  let warn w = warnings := w :: !warnings in
+  List.iteri
+    (fun tid th ->
+      (* scope stack: (obj, mode, had_access) *)
+      let stack = ref [] in
+      (* publish heuristic: the most recent exclusively written object with
+         no fence after the write.  A later exclusive write to a *different*
+         object is a flag-publish pattern whose ordering is not guaranteed
+         without a fence (Fig. 1/Fig. 6). *)
+      let last_unfenced_write = ref None in
+      let in_scope o = List.exists (fun (o', _, _) -> o'.Ir.oname = o.Ir.oname) !stack in
+      let mode_of o =
+        List.find_map
+          (fun (o', m, _) -> if o'.Ir.oname = o.Ir.oname then Some m else None)
+          !stack
+      in
+      let mark_access o =
+        stack :=
+          List.map
+            (fun (o', m, a) ->
+              if o'.Ir.oname = o.Ir.oname then (o', m, true) else (o', m, a))
+            !stack
+      in
+      let rec walk stmts =
+        List.iter
+          (fun s ->
+            match s with
+            | Ir.Entry_x o ->
+                if in_scope o then err (Reentrant_entry { thread = tid; obj = o })
+                else stack := (o, M_x, false) :: !stack
+            | Ir.Entry_ro o ->
+                if in_scope o then err (Reentrant_entry { thread = tid; obj = o })
+                else stack := (o, M_ro, false) :: !stack
+            | Ir.Exit_x o | Ir.Exit_ro o -> (
+                let want = match s with Ir.Exit_x _ -> M_x | _ -> M_ro in
+                match !stack with
+                | (o', m, accessed) :: rest
+                  when o'.Ir.oname = o.Ir.oname && m = want ->
+                    stack := rest;
+                    if not accessed then
+                      warn (Empty_scope { thread = tid; obj = o })
+                | (o', _, _) :: _ ->
+                    if in_scope o then
+                      err
+                        (Non_nested_exit
+                           { thread = tid; stmt = s; innermost = o'.Ir.oname })
+                    else err (Unmatched_exit { thread = tid; stmt = s })
+                | [] -> err (Unmatched_exit { thread = tid; stmt = s }))
+            | Ir.Fence -> last_unfenced_write := None
+            | Ir.Flush o ->
+                if mode_of o <> Some M_x then
+                  err (Flush_outside_x { thread = tid; obj = o })
+                else mark_access o
+            | Ir.Read o ->
+                if not (in_scope o) then
+                  err (Read_outside_scope { thread = tid; obj = o })
+                else mark_access o
+            | Ir.Write o -> (
+                match mode_of o with
+                | Some M_x ->
+                    mark_access o;
+                    (match !last_unfenced_write with
+                    | Some prev when prev <> o.Ir.oname ->
+                        warn
+                          (Publish_without_fence
+                             { thread = tid; first = prev; second = o.Ir.oname })
+                    | _ -> ());
+                    last_unfenced_write := Some o.Ir.oname
+                | Some M_ro -> err (Write_in_ro { thread = tid; obj = o })
+                | None -> err (Write_outside_x { thread = tid; obj = o }))
+            | Ir.Compute _ -> ()
+            | Ir.Loop (_, body) -> walk body)
+          stmts
+      in
+      walk th;
+      List.iter
+        (fun (o, _, _) -> err (Unclosed_scope { thread = tid; obj = o }))
+        !stack)
+    p.Ir.threads;
+  { errors = List.rev !errors; warnings = List.rev !warnings }

@@ -1,0 +1,27 @@
+(** Static discipline checking over the IR: the rules {!Pmc.Api} enforces
+    at run time, verified at "compile time", plus heuristic warnings for
+    ordering mistakes the model cannot catch mechanically. *)
+
+type error =
+  | Unmatched_exit of { thread : int; stmt : Ir.stmt }
+  | Non_nested_exit of { thread : int; stmt : Ir.stmt; innermost : string }
+  | Write_outside_x of { thread : int; obj : Ir.obj }
+  | Read_outside_scope of { thread : int; obj : Ir.obj }
+  | Flush_outside_x of { thread : int; obj : Ir.obj }
+  | Reentrant_entry of { thread : int; obj : Ir.obj }
+  | Write_in_ro of { thread : int; obj : Ir.obj }
+  | Unclosed_scope of { thread : int; obj : Ir.obj }
+
+type warning =
+  | Publish_without_fence of { thread : int; first : string; second : string }
+      (** Exclusive writes to two different objects with no fence between
+          them — the Fig. 1 flag pattern without its ≺F ordering. *)
+  | Empty_scope of { thread : int; obj : Ir.obj }
+
+val error_to_string : error -> string
+val warning_to_string : warning -> string
+
+type report = { errors : error list; warnings : warning list }
+
+val ok : report -> bool
+val check : Ir.program -> report

@@ -1,0 +1,34 @@
+(** A small IR for annotated programs — the "tooling" side of the PMC
+    approach: with annotations in place, a compiler has "all information
+    about the essential ordering of the application" ({!Check} verifies
+    the discipline, {!Lower} maps annotations to the platform). *)
+
+type obj = { oname : string; obytes : int }
+
+val obj : name:string -> bytes:int -> obj
+
+type stmt =
+  | Entry_x of obj
+  | Exit_x of obj
+  | Entry_ro of obj
+  | Exit_ro of obj
+  | Fence
+  | Flush of obj
+  | Read of obj
+  | Write of obj
+  | Compute of int            (** local work, in instructions *)
+  | Loop of int * stmt list   (** fixed trip count *)
+
+type thread = stmt list
+type program = { pname : string; threads : thread list }
+
+val iter_stmts : (stmt -> unit) -> stmt list -> unit
+val objects : program -> obj list
+val stmt_to_string : stmt -> string
+
+val fig6 : program
+(** The annotated message-passing program of Fig. 6. *)
+
+val fig6_missing_fence : program
+(** Fig. 6 with the fence dropped — the checker warns about the publish
+    pattern. *)

@@ -1,0 +1,198 @@
+(* Annotation lowering: Table II of the paper, encoded as data.
+
+   For each target architecture, every PMC annotation expands into a
+   sequence of platform primitives (lock operations, cache maintenance,
+   copies, NoC posts — or nothing at all).  [lower] produces the expansion
+   for one annotation and object size; [estimate] attaches the approximate
+   cycle cost from the platform configuration, so the trade-offs between
+   the architectures can be tabulated before running anything. *)
+
+type arch = Seqcst | Nocc | Swcc | Dsm | Spm | C11
+
+let archs = [ Seqcst; Nocc; Swcc; Dsm; Spm; C11 ]
+
+let arch_name = function
+  | Seqcst -> "seqcst"
+  | Nocc -> "no-CC"
+  | Swcc -> "SWCC"
+  | Dsm -> "DSM"
+  | Spm -> "SPM"
+  | C11 -> "C11"
+
+type annotation =
+  | A_entry_x
+  | A_exit_x
+  | A_entry_ro
+  | A_exit_ro
+  | A_fence
+  | A_flush
+
+let annotations =
+  [ A_entry_x; A_exit_x; A_entry_ro; A_exit_ro; A_fence; A_flush ]
+
+let annotation_name = function
+  | A_entry_x -> "entry_x"
+  | A_exit_x -> "exit_x"
+  | A_entry_ro -> "entry_ro"
+  | A_exit_ro -> "exit_ro"
+  | A_fence -> "fence"
+  | A_flush -> "flush"
+
+type prim =
+  | P_lock_acquire
+  | P_lock_release
+  | P_cache_inval of int          (* lines probed *)
+  | P_cache_wb_inval of int       (* lines probed, worst case written back *)
+  | P_copy_in of int              (* words, background memory -> local *)
+  | P_copy_out of int             (* words, local -> background memory *)
+  | P_noc_post of { words : int; dests : int }
+  | P_compiler_barrier
+  | P_nop
+  | P_c11 of string  (* a C11 construct on a cache-coherent target *)
+
+let prim_name = function
+  | P_lock_acquire -> "lock-acquire"
+  | P_lock_release -> "lock-release"
+  | P_cache_inval n -> Printf.sprintf "cache-inval(%d lines)" n
+  | P_cache_wb_inval n -> Printf.sprintf "cache-wb+inval(%d lines)" n
+  | P_copy_in n -> Printf.sprintf "copy-in(%d words)" n
+  | P_copy_out n -> Printf.sprintf "copy-out(%d words)" n
+  | P_noc_post { words; dests } ->
+      Printf.sprintf "noc-post(%d words x %d dests)" words dests
+  | P_compiler_barrier -> "compiler-barrier"
+  | P_nop -> "nop"
+  | P_c11 s -> s
+
+let lines_of (cfg : Pmc_sim.Config.t) bytes =
+  (bytes + cfg.line_bytes - 1) / cfg.line_bytes
+
+let words_of bytes = (bytes + 3) / 4
+
+let atomic_sized bytes = bytes <= 4
+
+(* Table II, cell by cell.  [cores] matters only for the DSM flush, which
+   replicates to every other tile. *)
+let lower arch (cfg : Pmc_sim.Config.t) ann ~bytes : prim list =
+  let lines = lines_of cfg bytes and words = words_of bytes in
+  match arch, ann with
+  (* --- sequentially consistent hardware: only exclusion remains --- *)
+  | Seqcst, (A_entry_x) -> [ P_lock_acquire ]
+  | Seqcst, A_exit_x -> [ P_lock_release ]
+  | Seqcst, A_entry_ro ->
+      if atomic_sized bytes then [ P_nop ] else [ P_lock_acquire ]
+  | Seqcst, A_exit_ro ->
+      if atomic_sized bytes then [ P_nop ] else [ P_lock_release ]
+  | Seqcst, A_fence -> [ P_compiler_barrier ]
+  | Seqcst, A_flush -> [ P_nop ]
+  (* --- uncached shared data: exclusion only, flushes nullified --- *)
+  | Nocc, A_entry_x -> [ P_lock_acquire ]
+  | Nocc, A_exit_x -> [ P_lock_release ]
+  | Nocc, A_entry_ro ->
+      if atomic_sized bytes then [ P_nop ] else [ P_lock_acquire ]
+  | Nocc, A_exit_ro ->
+      if atomic_sized bytes then [ P_nop ] else [ P_lock_release ]
+  | Nocc, A_fence -> [ P_compiler_barrier ]
+  | Nocc, A_flush -> [ P_nop ]
+  (* --- software cache coherency (Table II column 1) --- *)
+  | Swcc, A_entry_x -> [ P_lock_acquire; P_cache_inval lines ]
+  | Swcc, A_exit_x -> [ P_cache_wb_inval lines; P_lock_release ]
+  | Swcc, A_entry_ro ->
+      if atomic_sized bytes then [ P_nop ] else [ P_lock_acquire ]
+  | Swcc, A_exit_ro ->
+      if atomic_sized bytes then [ P_cache_wb_inval lines ]
+      else [ P_cache_wb_inval lines; P_lock_release ]
+  | Swcc, A_fence -> [ P_compiler_barrier ]
+  | Swcc, A_flush -> [ P_cache_wb_inval lines ]
+  (* --- distributed shared memory (column 2) --- *)
+  | Dsm, A_entry_x -> [ P_lock_acquire; P_copy_in words ]
+  | Dsm, A_exit_x -> [ P_lock_release ]  (* lazy release *)
+  | Dsm, A_entry_ro ->
+      if atomic_sized bytes then [ P_nop ]
+      else [ P_lock_acquire; P_copy_in words ]
+  | Dsm, A_exit_ro ->
+      if atomic_sized bytes then [ P_nop ] else [ P_lock_release ]
+  | Dsm, A_fence -> [ P_compiler_barrier ]
+  | Dsm, A_flush -> [ P_noc_post { words; dests = cfg.cores - 1 } ]
+  (* --- C11 on cache-coherent hardware: PMC annotations map onto the
+     language-level model, showing the approach is not tied to the
+     paper's three architectures (the model is "an intersection of all
+     common memory models").  Hardware coherence makes flush a no-op;
+     the mutex carries acquire/release visibility; the fence becomes the
+     language fence. --- *)
+  | C11, A_entry_x -> [ P_c11 "mtx_lock" ]
+  | C11, A_exit_x -> [ P_c11 "mtx_unlock" ]
+  | C11, A_entry_ro ->
+      if atomic_sized bytes then [ P_c11 "atomic_load_explicit(acquire)" ]
+      else [ P_c11 "mtx_lock" ]
+  | C11, A_exit_ro ->
+      if atomic_sized bytes then [ P_nop ] else [ P_c11 "mtx_unlock" ]
+  | C11, A_fence -> [ P_c11 "atomic_thread_fence(seq_cst)" ]
+  | C11, A_flush -> [ P_nop ]  (* hardware coherence propagates writes *)
+  (* --- scratch-pad memory (column 3) --- *)
+  | Spm, A_entry_x -> [ P_lock_acquire; P_copy_in words ]
+  | Spm, A_exit_x -> [ P_copy_out words; P_lock_release ]
+  | Spm, A_entry_ro ->
+      if atomic_sized bytes then [ P_copy_in words ]
+      else [ P_lock_acquire; P_copy_in words; P_lock_release ]
+  | Spm, A_exit_ro -> [ P_nop ]  (* discard the local copy *)
+  | Spm, A_fence -> [ P_compiler_barrier ]
+  | Spm, A_flush -> [ P_copy_out words ]
+
+(* Approximate cycle cost of a primitive on the configured platform
+   (uncontended; the simulator provides the contended truth). *)
+let estimate (cfg : Pmc_sim.Config.t) = function
+  | P_lock_acquire -> cfg.lock_local_poll_cycles + cfg.lock_transfer_cycles
+  | P_lock_release -> cfg.lock_local_poll_cycles
+  | P_cache_inval n -> n
+  | P_cache_wb_inval n -> n + (n * cfg.sdram_line_cycles)
+  | P_copy_in n | P_copy_out n -> cfg.sdram_word_cycles + (2 * n)
+  | P_noc_post { words; dests } -> dests * words * cfg.noc_word_cycles
+  | P_compiler_barrier | P_nop -> 0
+  | P_c11 _ -> 0  (* host-dependent; not this platform's cycle model *)
+
+let cost arch cfg ann ~bytes =
+  List.fold_left (fun acc p -> acc + estimate cfg p) 0
+    (lower arch cfg ann ~bytes)
+
+(* Expand a whole program: per architecture, count the primitives inserted
+   and the total estimated annotation overhead per full execution. *)
+type expansion = {
+  arch : arch;
+  prims : (string * int) list;     (* primitive name -> count *)
+  est_cycles : int;
+}
+
+let expand arch cfg (p : Ir.program) : expansion =
+  let counts = Hashtbl.create 16 in
+  let total = ref 0 in
+  let note ann ~bytes ~times =
+    List.iter
+      (fun prim ->
+        let name = prim_name prim in
+        Hashtbl.replace counts name
+          (times + Option.value ~default:0 (Hashtbl.find_opt counts name));
+        total := !total + (times * estimate cfg prim))
+      (lower arch cfg ann ~bytes)
+  in
+  let rec walk mult stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | Ir.Entry_x o -> note A_entry_x ~bytes:o.Ir.obytes ~times:mult
+        | Ir.Exit_x o -> note A_exit_x ~bytes:o.Ir.obytes ~times:mult
+        | Ir.Entry_ro o -> note A_entry_ro ~bytes:o.Ir.obytes ~times:mult
+        | Ir.Exit_ro o -> note A_exit_ro ~bytes:o.Ir.obytes ~times:mult
+        | Ir.Fence -> note A_fence ~bytes:0 ~times:mult
+        | Ir.Flush o -> note A_flush ~bytes:o.Ir.obytes ~times:mult
+        | Ir.Read _ | Ir.Write _ | Ir.Compute _ -> ()
+        | Ir.Loop (n, body) -> walk (mult * n) body)
+      stmts
+  in
+  List.iter (walk 1) p.Ir.threads;
+  {
+    arch;
+    prims =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []);
+    est_cycles = !total;
+  }

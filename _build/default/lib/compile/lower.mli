@@ -1,0 +1,63 @@
+(** Annotation lowering: Table II of the paper encoded as data — for each
+    architecture, what every annotation expands into, with estimated
+    cycle costs. *)
+
+type arch =
+  | Seqcst
+  | Nocc
+  | Swcc
+  | Dsm
+  | Spm
+  | C11
+      (** language-level target on cache-coherent hardware — the
+          annotations also lower onto the C11 memory model, per the
+          "intersection of all common memory models" claim *)
+
+val archs : arch list
+val arch_name : arch -> string
+
+type annotation =
+  | A_entry_x
+  | A_exit_x
+  | A_entry_ro
+  | A_exit_ro
+  | A_fence
+  | A_flush
+
+val annotations : annotation list
+val annotation_name : annotation -> string
+
+(** Platform primitives annotations expand into. *)
+type prim =
+  | P_lock_acquire
+  | P_lock_release
+  | P_cache_inval of int        (** lines probed *)
+  | P_cache_wb_inval of int
+  | P_copy_in of int            (** words, background memory → local *)
+  | P_copy_out of int
+  | P_noc_post of { words : int; dests : int }
+  | P_compiler_barrier
+  | P_nop
+  | P_c11 of string  (** a C11 construct (costs are host-dependent) *)
+
+val prim_name : prim -> string
+
+val lower : arch -> Pmc_sim.Config.t -> annotation -> bytes:int -> prim list
+(** One Table II cell: the expansion of [annotation] on [arch] for an
+    object of [bytes] bytes. *)
+
+val estimate : Pmc_sim.Config.t -> prim -> int
+(** Approximate uncontended cycles (the simulator provides the contended
+    truth). *)
+
+val cost : arch -> Pmc_sim.Config.t -> annotation -> bytes:int -> int
+
+type expansion = {
+  arch : arch;
+  prims : (string * int) list;  (** primitive name → count *)
+  est_cycles : int;
+}
+
+val expand : arch -> Pmc_sim.Config.t -> Ir.program -> expansion
+(** Whole-program expansion: primitive counts and total estimated
+    annotation overhead (loops multiplied out). *)

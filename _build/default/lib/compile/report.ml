@@ -1,0 +1,51 @@
+(* Human-readable reports from the checker and the lowering pass. *)
+
+let pp_check ppf (p : Ir.program) (r : Check.report) =
+  Fmt.pf ppf "== check %s ==@." p.Ir.pname;
+  if Check.ok r then Fmt.pf ppf "  no errors@."
+  else
+    List.iter
+      (fun e -> Fmt.pf ppf "  error: %s@." (Check.error_to_string e))
+      r.Check.errors;
+  List.iter
+    (fun w -> Fmt.pf ppf "  warning: %s@." (Check.warning_to_string w))
+    r.Check.warnings
+
+(* The Table II view: how each annotation lowers per architecture for an
+   object of [bytes] bytes. *)
+let pp_lowering_table ppf (cfg : Pmc_sim.Config.t) ~bytes =
+  Fmt.pf ppf
+    "== annotation lowering (object of %d bytes, est. cycles in parens) ==@."
+    bytes;
+  Fmt.pf ppf "%-10s" "";
+  List.iter
+    (fun a -> Fmt.pf ppf " %-28s" (Lower.arch_name a))
+    Lower.archs;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun ann ->
+      Fmt.pf ppf "%-10s" (Lower.annotation_name ann);
+      List.iter
+        (fun arch ->
+          let prims = Lower.lower arch cfg ann ~bytes in
+          let cost = Lower.cost arch cfg ann ~bytes in
+          let s =
+            String.concat "+" (List.map Lower.prim_name prims)
+          in
+          let s = if String.length s > 22 then String.sub s 0 22 ^ ".." else s in
+          Fmt.pf ppf " %-22s(%4d)" s cost)
+        Lower.archs;
+      Fmt.pf ppf "@.")
+    Lower.annotations
+
+let pp_expansion ppf (e : Lower.expansion) =
+  Fmt.pf ppf "  %-8s est. annotation overhead %8d cycles;"
+    (Lower.arch_name e.Lower.arch) e.Lower.est_cycles;
+  List.iter (fun (n, c) -> Fmt.pf ppf " %s x%d;" n c) e.Lower.prims;
+  Fmt.pf ppf "@."
+
+let pp_program_expansion ppf cfg (p : Ir.program) =
+  Fmt.pf ppf "== lowering %s ==@." p.Ir.pname;
+  List.iter
+    (fun arch -> pp_expansion ppf (Lower.expand arch cfg p))
+    Lower.archs

@@ -1,0 +1,10 @@
+(** Human-readable reports from the checker and the lowering pass. *)
+
+val pp_check : Format.formatter -> Ir.program -> Check.report -> unit
+
+val pp_lowering_table : Format.formatter -> Pmc_sim.Config.t -> bytes:int -> unit
+(** The Table II view for an object of the given size, with estimated
+    cycles per cell. *)
+
+val pp_expansion : Format.formatter -> Lower.expansion -> unit
+val pp_program_expansion : Format.formatter -> Pmc_sim.Config.t -> Ir.program -> unit

@@ -1,0 +1,1 @@
+lib/core/api.ml: Array Backend_sig Config Engine Fmt Fun Int32 List Machine Pmc_sim Shared

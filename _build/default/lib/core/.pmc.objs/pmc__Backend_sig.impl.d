@@ -1,0 +1,1 @@
+lib/core/backend_sig.ml: Pmc_sim Shared

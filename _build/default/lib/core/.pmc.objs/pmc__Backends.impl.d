@@ -1,0 +1,1 @@
+lib/core/backends.ml: Api Backend_sig Dsm Nocc Pmc_sim Seqcst Spm Swcc

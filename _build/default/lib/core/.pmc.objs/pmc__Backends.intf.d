@@ -1,0 +1,1 @@
+lib/core/backends.mli: Api Backend_sig Pmc_sim

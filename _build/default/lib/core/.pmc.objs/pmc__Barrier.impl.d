@@ -1,0 +1,1 @@
+lib/core/barrier.ml: Api Hashtbl Int32 Option Pmc_sim Shared

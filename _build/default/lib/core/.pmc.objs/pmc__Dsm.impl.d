@@ -1,0 +1,1 @@
+lib/core/dsm.ml: Config Engine Machine Pmc_lock Pmc_sim Shared Stats

@@ -1,0 +1,1 @@
+lib/core/fifo.ml: Api Array Int32 Printf Shared

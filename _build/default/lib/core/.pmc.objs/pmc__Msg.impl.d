@@ -1,0 +1,1 @@
+lib/core/msg.ml: Api Array Engine Machine Pmc_sim Shared

@@ -1,0 +1,1 @@
+lib/core/nocc.ml: Machine Pmc_lock Pmc_sim Shared

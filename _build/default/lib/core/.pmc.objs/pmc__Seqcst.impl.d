@@ -1,0 +1,1 @@
+lib/core/seqcst.ml: Engine Int32 Machine Pmc_lock Pmc_sim Shared Stats

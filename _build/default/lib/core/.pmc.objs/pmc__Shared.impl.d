@@ -1,0 +1,1 @@
+lib/core/shared.ml: Fmt Pmc_lock

@@ -1,0 +1,1 @@
+lib/core/shared.mli: Format Pmc_lock

@@ -1,0 +1,1 @@
+lib/core/spm.ml: Array Config Engine Hashtbl Machine Pmc_lock Pmc_sim Shared Stats

@@ -1,0 +1,1 @@
+lib/core/swcc.ml: Machine Pmc_lock Pmc_sim Shared

@@ -1,0 +1,109 @@
+(** The PMC annotation API (Section V-A), independent of the memory
+    architecture underneath.
+
+    Applications are written once against this module; the back-end
+    chosen at creation re-targets them — "porting applications to
+    hardware with another memory model becomes just a compiler setting".
+
+    The API enforces the paper's source discipline at run time: reads and
+    writes of shared objects happen inside entry/exit pairs, writes need
+    exclusive access, flush is only legal inside an exclusive scope, and
+    scopes nest.  Violations raise {!Discipline_error}; [~check:false]
+    instances skip the checks (for broken-by-design demonstrations).
+
+    An optional trace hook receives every annotation and access so that
+    observed runs can be validated against the formal model
+    ({!Pmc_model.History} — see the integration tests). *)
+
+exception Discipline_error of string
+
+type mode = X | Ro
+
+type event =
+  | Ev_entry of mode * Shared.t
+  | Ev_exit of mode * Shared.t
+  | Ev_fence
+  | Ev_flush of Shared.t
+  | Ev_read of Shared.t * int * int32
+  | Ev_write of Shared.t * int * int32
+
+type t
+
+val create : ?check:bool -> Backend_sig.backend -> t
+
+val of_backend :
+  (module Backend_sig.S with type t = 'a) -> 'a -> t
+
+val machine : t -> Pmc_sim.Machine.t
+val backend_name : t -> string
+
+val set_trace : t -> (core:int -> event -> unit) option -> unit
+
+(** {1 Allocation} *)
+
+val alloc : t -> name:string -> bytes:int -> Shared.t
+val alloc_words : t -> name:string -> words:int -> Shared.t
+
+(** {1 The six annotations of Section V-A} *)
+
+val entry_x : t -> Shared.t -> unit
+(** Acquire exclusive access (issues the model's acquire). *)
+
+val exit_x : t -> Shared.t -> unit
+(** Give up exclusive access (release); may be lazy, see Table II. *)
+
+val entry_ro : t -> Shared.t -> unit
+(** Begin non-exclusive read-only access. *)
+
+val exit_ro : t -> Shared.t -> unit
+
+val fence : t -> unit
+(** ≺F: order this core's operations across locations. *)
+
+val fence_scoped : t -> Shared.t list -> unit
+(** Location-scoped fence (the Section IV-D optimization): order only this
+    core's operations on the given objects.  On the in-order back-ends it
+    costs the same as [fence] (a compiler barrier); the scope matters to
+    analysis tooling ({!Pmc_model.Execution.fence_scoped}). *)
+
+val flush : t -> Shared.t -> unit
+(** Best-effort: push modifications towards other processes soon.  Only
+    legal inside an exclusive scope. *)
+
+(** {1 Accesses} *)
+
+val get : t -> Shared.t -> int -> int32
+(** Word read, inside any scope of the object. *)
+
+val set : t -> Shared.t -> int -> int32 -> unit
+(** Word write, inside an exclusive scope. *)
+
+val get8 : t -> Shared.t -> int -> int
+(** Byte read — the truly indivisible access of Section IV-A. *)
+
+val set8 : t -> Shared.t -> int -> int -> unit
+
+val get_int : t -> Shared.t -> int -> int
+val set_int : t -> Shared.t -> int -> int -> unit
+
+val peek : t -> Shared.t -> int -> int32
+(** Untimed read of the canonical version — for result collection after
+    the simulation finished. *)
+
+val peek_int : t -> Shared.t -> int -> int
+
+val poke : t -> Shared.t -> int -> int32 -> unit
+(** Untimed initialization write, visible on every core. *)
+
+val poke_int : t -> Shared.t -> int -> int -> unit
+
+(** {1 Scoped helpers — the ScopeX / ScopeRO of Fig. 10} *)
+
+val with_x : t -> Shared.t -> (unit -> 'a) -> 'a
+val with_ro : t -> Shared.t -> (unit -> 'a) -> 'a
+
+val poll_until :
+  ?max_backoff:int -> t -> Shared.t -> int -> (int32 -> bool) -> int32
+(** Spin on a word through read-only scopes until the predicate holds —
+    the flag-waiting loop of Fig. 6, with exponential backoff (the
+    paper's [sleep()]). *)

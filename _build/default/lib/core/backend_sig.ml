@@ -1,0 +1,51 @@
+(* The contract every memory-architecture back-end implements: the six
+   annotations of Section V-A plus timed word accesses.  The application is
+   written once against [Api]; swapping the back-end re-targets it to a
+   different memory architecture, exactly as Table II prescribes.
+
+   Back-end obligations (the orderings of Table I):
+     - [read_u32]/[write_u32] must satisfy ≺ℓ and ≺P (same process, same
+       location) — automatic on the in-order simulated cores.
+     - [entry_x]/[exit_x] must provide ≺S via the object's lock and make
+       the newest version visible to the new holder.
+     - [fence] must provide ≺F — a compiler barrier on the in-order
+       MicroBlaze, so it usually costs nothing.
+     - [flush] is best effort: push the current version towards other
+       processes; no ordering guarantee (Section IV-D). *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : Pmc_sim.Machine.t -> t
+  val machine : t -> Pmc_sim.Machine.t
+
+  (* Allocate a shared object and place it for this architecture. *)
+  val alloc : t -> name:string -> bytes:int -> Shared.t
+
+  val entry_x : t -> Shared.t -> unit
+  val exit_x : t -> Shared.t -> unit
+  val entry_ro : t -> Shared.t -> unit
+  val exit_ro : t -> Shared.t -> unit
+  val fence : t -> unit
+  val flush : t -> Shared.t -> unit
+
+  (* Word access within the object; [word] is a word index. *)
+  val read_u32 : t -> Shared.t -> int -> int32
+  val write_u32 : t -> Shared.t -> int -> int32 -> unit
+
+  (* Byte access — "in general, only bytes are indivisible" (Sec. IV-A). *)
+  val read_u8 : t -> Shared.t -> int -> int
+  val write_u8 : t -> Shared.t -> int -> int -> unit
+
+  (* Untimed read of the object's canonical (most recent) version, for
+     result collection and tests after the simulation has finished. *)
+  val peek_u32 : t -> Shared.t -> int -> int32
+
+  (* Untimed write visible to every core — input-data initialization
+     before the simulation starts. *)
+  val poke_u32 : t -> Shared.t -> int -> int32 -> unit
+end
+
+type backend = B : (module S with type t = 'a) * 'a -> backend

@@ -1,0 +1,36 @@
+(* Back-end selection: the "compiler setting" that re-targets an annotated
+   application to a different memory architecture. *)
+
+type kind =
+  | Seqcst  (* idealized sequentially consistent memory *)
+  | Nocc    (* shared data uncached (the Fig. 8 baseline) *)
+  | Swcc    (* software cache coherency (Table II, column 1) *)
+  | Dsm     (* distributed shared memory over the write-only NoC (col 2) *)
+  | Spm     (* scratch-pad staging (column 3) *)
+
+let all = [ Seqcst; Nocc; Swcc; Dsm; Spm ]
+
+let to_string = function
+  | Seqcst -> "seqcst"
+  | Nocc -> "nocc"
+  | Swcc -> "swcc"
+  | Dsm -> "dsm"
+  | Spm -> "spm"
+
+let of_string = function
+  | "seqcst" -> Some Seqcst
+  | "nocc" -> Some Nocc
+  | "swcc" -> Some Swcc
+  | "dsm" -> Some Dsm
+  | "spm" -> Some Spm
+  | _ -> None
+
+let make_backend kind (m : Pmc_sim.Machine.t) : Backend_sig.backend =
+  match kind with
+  | Seqcst -> Backend_sig.B ((module Seqcst), Seqcst.create m)
+  | Nocc -> Backend_sig.B ((module Nocc), Nocc.create m)
+  | Swcc -> Backend_sig.B ((module Swcc), Swcc.create m)
+  | Dsm -> Backend_sig.B ((module Dsm), Dsm.create m)
+  | Spm -> Backend_sig.B ((module Spm), Spm.create m)
+
+let create ?check kind m : Api.t = Api.create ?check (make_backend kind m)

@@ -1,0 +1,16 @@
+(** Back-end selection — the "compiler setting" that re-targets an
+    annotated application to a different memory architecture. *)
+
+type kind =
+  | Seqcst  (** idealized sequentially consistent memory (reference) *)
+  | Nocc    (** shared data uncached — the Fig. 8 baseline *)
+  | Swcc    (** software cache coherency (Table II, column 1) *)
+  | Dsm     (** distributed shared memory over the write-only NoC (col. 2) *)
+  | Spm     (** scratch-pad staging (column 3) *)
+
+val all : kind list
+val to_string : kind -> string
+val of_string : string -> kind option
+
+val make_backend : kind -> Pmc_sim.Machine.t -> Backend_sig.backend
+val create : ?check:bool -> kind -> Pmc_sim.Machine.t -> Api.t

@@ -1,0 +1,55 @@
+(* Sense-reversing barrier built purely from the PMC annotations: the
+   arrival counter is an exclusive-scope counter, the release is the
+   flag-publish pattern of Fig. 6 (fence + flush), and waiters poll the
+   sense word read-only.  Because it uses only the portable API it works
+   on every back-end — a convenience the paper's platform layer would
+   ship alongside the FIFO. *)
+
+type t = {
+  api : Api.t;
+  parties : int;
+  count : Shared.t;      (* arrivals in the current phase *)
+  sense : Shared.t;      (* phase parity, flipped by the last arriver *)
+  local_sense : (int, int) Hashtbl.t;  (* per-core expected parity *)
+}
+
+let create api ~name ~parties : t =
+  if parties <= 0 then invalid_arg "Barrier.create";
+  {
+    api;
+    parties;
+    count = Api.alloc_words api ~name:(name ^ ".count") ~words:1;
+    sense = Api.alloc_words api ~name:(name ^ ".sense") ~words:1;
+    local_sense = Hashtbl.create 32;
+  }
+
+let wait (t : t) =
+  let api = t.api in
+  let core = Pmc_sim.Machine.core_id (Api.machine api) in
+  let my_sense =
+    1 - Option.value ~default:0 (Hashtbl.find_opt t.local_sense core)
+  in
+  Hashtbl.replace t.local_sense core my_sense;
+  let last =
+    Api.with_x api t.count (fun () ->
+        let c = Api.get_int api t.count 0 + 1 in
+        if c = t.parties then begin
+          Api.set_int api t.count 0 0;
+          true
+        end
+        else begin
+          Api.set_int api t.count 0 c;
+          false
+        end)
+  in
+  if last then begin
+    (* everyone has arrived: publish the new phase *)
+    Api.fence api;
+    Api.with_x api t.sense (fun () ->
+        Api.set_int api t.sense 0 my_sense;
+        Api.flush api t.sense)
+  end
+  else
+    ignore
+      (Api.poll_until api t.sense 0 (fun v -> Int32.to_int v = my_sense));
+  Api.fence api

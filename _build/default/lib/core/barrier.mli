@@ -1,0 +1,11 @@
+(** Sense-reversing barrier built purely from the PMC annotations
+    (exclusive arrival counter + the Fig. 6 publish pattern for the
+    release), so it is portable across all back-ends.
+
+    One caveat of the centralized design: each participating {e core}
+    tracks its phase parity, so use one waiter per core. *)
+
+type t
+
+val create : Api.t -> name:string -> parties:int -> t
+val wait : t -> unit

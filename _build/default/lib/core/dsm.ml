@@ -1,0 +1,118 @@
+(* Distributed-shared-memory back-end (Table II, third column).
+
+   Every shared object is replicated at a common offset in each tile's
+   local memory; cores only ever read and write their own replica, which is
+   fast and does not disturb other tiles.  Coherence is managed in
+   software over the *write-only* NoC:
+
+     entry_x   acquire the lock; if another tile produced the newest
+               version, that version is written into the acquirer's local
+               memory (the handover of the lazy release) — the acquirer
+               stalls for the NoC transfer;
+     exit_x    lazy: just record this tile as the owner of the newest
+               version and release;
+     entry_ro  atomic-sized objects: nothing (the replica is kept fresh by
+               flushes); larger objects take the lock and pull the newest
+               version to avoid torn reads;
+     exit_ro   unlock if entry_ro locked;
+     flush     push the local replica to every other tile's local memory
+               (posted writes — best effort, arrival is asynchronous);
+     fence     compiler barrier; inter-tile ordering is preserved by the
+               per-link FIFO of the NoC. *)
+
+open Pmc_sim
+
+type t = { m : Machine.t }
+
+let name = "dsm"
+
+let create m = { m }
+let machine t = t.m
+
+let alloc t ~name ~bytes =
+  let lock = Pmc_lock.Dlock.create t.m in
+  let o = Shared.make ~name ~size:bytes ~lock in
+  o.Shared.dsm_off <- Machine.alloc_dsm t.m ~bytes;
+  o
+
+let replica_addr t (o : Shared.t) ~tile =
+  Machine.local_addr t.m ~tile ~off:o.Shared.dsm_off
+
+(* Bring the newest version (owned by [o.last_writer]) into [core]'s
+   replica, charging the NoC transfer to the acquirer. *)
+let pull_version t (o : Shared.t) =
+  let core = Machine.core_id t.m in
+  match o.Shared.last_writer with
+  | -1 -> ()
+  | w when w = core -> ()
+  | w ->
+      let words = Shared.words o in
+      let cfg = Machine.config t.m in
+      for i = 0 to words - 1 do
+        let v = Machine.peek_u32 t.m (replica_addr t o ~tile:w + (4 * i)) in
+        Machine.poke_u32 t.m (replica_addr t o ~tile:core + (4 * i)) v
+      done;
+      Engine.consume (Machine.engine t.m) Stats.Shared_read_stall
+        (Config.noc_latency cfg ~src:w ~dst:core ~words)
+
+let entry_x t (o : Shared.t) =
+  Pmc_lock.Dlock.acquire o.Shared.lock;
+  pull_version t o
+
+let exit_x t (o : Shared.t) =
+  (* lazy release: the data stays local until the next acquirer pulls it *)
+  o.Shared.last_writer <- Machine.core_id t.m;
+  Pmc_lock.Dlock.release o.Shared.lock
+
+let entry_ro t (o : Shared.t) =
+  if not (Shared.is_atomic_sized o) then begin
+    Pmc_lock.Dlock.acquire_ro o.Shared.lock;
+    pull_version t o
+  end
+
+let exit_ro _t (o : Shared.t) =
+  if not (Shared.is_atomic_sized o) then
+    Pmc_lock.Dlock.release_ro o.Shared.lock
+
+let fence _t = ()
+
+let flush t (o : Shared.t) =
+  let core = Machine.core_id t.m in
+  let cfg = Machine.config t.m in
+  for tile = 0 to cfg.Config.cores - 1 do
+    if tile <> core then
+      Machine.noc_push t.m ~dst:tile ~src_off:o.Shared.dsm_off
+        ~dst_off:o.Shared.dsm_off ~len:o.Shared.size
+  done;
+  o.Shared.last_writer <- core
+
+let read_u32 t (o : Shared.t) word =
+  let core = Machine.core_id t.m in
+  Machine.load_u32 t.m ~shared:true (replica_addr t o ~tile:core + (4 * word))
+
+let write_u32 t (o : Shared.t) word v =
+  let core = Machine.core_id t.m in
+  Machine.store_u32 t.m ~shared:true
+    (replica_addr t o ~tile:core + (4 * word))
+    v
+
+let read_u8 t (o : Shared.t) i =
+  let core = Machine.core_id t.m in
+  Machine.load_u8 t.m ~shared:true (replica_addr t o ~tile:core + i)
+
+let write_u8 t (o : Shared.t) i v =
+  let core = Machine.core_id t.m in
+  Machine.store_u8 t.m ~shared:true (replica_addr t o ~tile:core + i) v
+
+(* The canonical version lives in the last writer's replica (tile 0 before
+   any write). *)
+let peek_u32 t (o : Shared.t) word =
+  let tile = if o.Shared.last_writer >= 0 then o.Shared.last_writer else 0 in
+  Machine.peek_u32 t.m (replica_addr t o ~tile + (4 * word))
+
+(* Initialization must reach every replica: there is no backing store. *)
+let poke_u32 t (o : Shared.t) word v =
+  let cfg = Machine.config t.m in
+  for tile = 0 to cfg.Config.cores - 1 do
+    Machine.poke_u32 t.m (replica_addr t o ~tile + (4 * word)) v
+  done

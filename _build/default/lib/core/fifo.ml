@@ -1,0 +1,94 @@
+(* Multiple-reader, multiple-writer FIFO — the direct OCaml port of the
+   C++ outline in Fig. 9 of the paper, including its essential orderings:
+
+     push:  entry_x(write_ptr); wait until every reader consumed the slot;
+            fence (≺F);  entry_x(buf[wp]); write; exit_x (≺P);
+            fence (≺F);  write_ptr++; flush(write_ptr); exit_x (≺S)
+
+     pop:   read own read_ptr (entry_ro);  wait for write_ptr > rp;
+            fence;  entry_x(buf[rp]); read; exit_x;
+            fence;  read_ptr++; flush(read_ptr)
+
+   Every reader observes every element, in order (the writer waits for
+   *all* readers before reusing a slot — it is a broadcast FIFO).  The
+   pointers are word-sized, so polling them through entry_ro never locks;
+   on the DSM back-end the polls hit only the local replica, "which is
+   fast and does not influence the execution of other processors".
+
+   Unlike the paper's outline, pointer overflow is handled: pointers are
+   absolute counts compared with [>], which is exact in OCaml's 63-bit
+   ints for any simulation length. *)
+
+type t = {
+  api : Api.t;
+  depth : int;                 (* N: number of slots *)
+  elem_words : int;
+  readers : int;               (* R *)
+  write_ptr : Shared.t;        (* one word: total elements pushed *)
+  read_ptr : Shared.t array;   (* per reader: total elements popped *)
+  buf : Shared.t array;        (* depth slots *)
+}
+
+let create api ~name ~depth ~elem_words ~readers : t =
+  if depth <= 0 || readers <= 0 || elem_words <= 0 then
+    invalid_arg "Fifo.create";
+  {
+    api;
+    depth;
+    elem_words;
+    readers;
+    write_ptr = Api.alloc_words api ~name:(name ^ ".wp") ~words:1;
+    read_ptr =
+      Array.init readers (fun r ->
+          Api.alloc_words api ~name:(Printf.sprintf "%s.rp%d" name r) ~words:1);
+    buf =
+      Array.init depth (fun i ->
+          Api.alloc_words api
+            ~name:(Printf.sprintf "%s.buf%d" name i)
+            ~words:elem_words);
+  }
+
+let push (t : t) (data : int32 array) =
+  if Array.length data <> t.elem_words then invalid_arg "Fifo.push: size";
+  let api = t.api in
+  Api.entry_x api t.write_ptr;
+  let wp = Api.get_int api t.write_ptr 0 in
+  (* wait until all readers got buf[wp mod depth] *)
+  for r = 0 to t.readers - 1 do
+    let need = wp - t.depth + 1 in
+    if need > 0 then
+      ignore
+        (Api.poll_until api t.read_ptr.(r) 0 (fun v ->
+             Int32.to_int v >= need))
+  done;
+  Api.fence api;
+  let slot = t.buf.(wp mod t.depth) in
+  Api.entry_x api slot;
+  Array.iteri (fun i v -> Api.set api slot i v) data;
+  Api.exit_x api slot;
+  Api.fence api;
+  Api.set_int api t.write_ptr 0 (wp + 1);
+  Api.flush api t.write_ptr;
+  Api.exit_x api t.write_ptr
+
+let pop (t : t) ~reader : int32 array =
+  if reader < 0 || reader >= t.readers then invalid_arg "Fifo.pop: reader";
+  let api = t.api in
+  let rp =
+    Api.with_ro api t.read_ptr.(reader) (fun () ->
+        Api.get_int api t.read_ptr.(reader) 0)
+  in
+  (* wait until data is written *)
+  ignore (Api.poll_until api t.write_ptr 0 (fun v -> Int32.to_int v > rp));
+  Api.fence api;
+  let slot = t.buf.(rp mod t.depth) in
+  let data =
+    Api.with_x api slot (fun () ->
+        Array.init t.elem_words (fun i -> Api.get api slot i))
+  in
+  Api.fence api;
+  Api.entry_x api t.read_ptr.(reader);
+  Api.set_int api t.read_ptr.(reader) 0 (rp + 1);
+  Api.flush api t.read_ptr.(reader);
+  Api.exit_x api t.read_ptr.(reader);
+  data

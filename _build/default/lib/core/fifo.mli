@@ -1,0 +1,23 @@
+(** Multiple-reader, multiple-writer FIFO — the OCaml port of Fig. 9,
+    including its essential orderings (the fences and flushes of the
+    figure).
+
+    It is a broadcast FIFO: the writer waits until {e every} reader has
+    taken a slot before reusing it, so each reader observes each element
+    exactly once, in order.  Pointers are word-sized, so polling them
+    through entry_ro never locks; on the DSM back-end polls hit only the
+    local replica.  Unlike the paper's outline, pointer overflow is
+    handled (absolute 63-bit counts). *)
+
+type t
+
+val create :
+  Api.t -> name:string -> depth:int -> elem_words:int -> readers:int -> t
+
+val push : t -> int32 array -> unit
+(** Blocks (spinning in simulated time) while the slot is still unread by
+    some reader.  Multiple writers serialize on the write pointer's
+    lock. *)
+
+val pop : t -> reader:int -> int32 array
+(** Blocks while the FIFO is empty for this reader. *)

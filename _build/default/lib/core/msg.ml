@@ -1,0 +1,65 @@
+(* The flag/data communication pattern of Figs. 1, 5 and 6.
+
+   [send]/[recv] are the properly annotated version (Fig. 6): the payload
+   is published under entry_x with a fence, the flag is flushed so the
+   polling reader eventually observes it.
+
+   [Broken] reproduces Fig. 1 literally: two raw remote writes over paths
+   of different latency, no annotations.  On the asymmetric machine the
+   flag overtakes the payload and the reader sees stale data — the bug the
+   whole paper is about.  [Broken.run ~fixed:true] adds the drain that a
+   PMC-aware compiler would insert (the paper suggests "a read of X
+   between the writes"; waiting for the posted write to land has the same
+   effect) and the bug disappears. *)
+
+open Pmc_sim
+
+let send api ~(data : Shared.t) ~(flag : Shared.t) (values : int32 array) =
+  Api.entry_x api data;
+  Array.iteri (fun i v -> Api.set api data i v) values;
+  Api.fence api;
+  Api.exit_x api data;
+  Api.entry_x api flag;
+  Api.set api flag 0 1l;
+  Api.flush api flag;
+  Api.exit_x api flag
+
+let recv api ~(data : Shared.t) ~(flag : Shared.t) : int32 array =
+  ignore (Api.poll_until api flag 0 (fun v -> v = 1l));
+  Api.fence api;
+  Api.with_x api data (fun () ->
+      Array.init (Shared.words data) (fun i -> Api.get api data i))
+
+module Broken = struct
+  (* Offsets of X and flag within the receiving tile's local memory. *)
+  let x_off = 0
+  let flag_off = 64
+
+  type outcome = { observed : int32; expected : int32 }
+
+  let ok o = o.observed = o.expected
+
+  (* Run the Fig. 1 program on machine [m]: core [src] publishes 42 and a
+     flag into core [dst]'s local memory over links with the given
+     latencies.  [fixed] inserts the PMC-mandated drain between the two
+     writes. *)
+  let run (m : Machine.t) ~src ~dst ~latency_x ~latency_flag ~fixed :
+      outcome =
+    let result = ref 0l in
+    Machine.poke_u32 m (Machine.local_addr m ~tile:dst ~off:x_off) 0l;
+    Machine.poke_u32 m (Machine.local_addr m ~tile:dst ~off:flag_off) 0l;
+    Machine.spawn m ~core:src (fun () ->
+        Machine.store_u32_remote_raw m ~dst ~off:x_off ~latency:latency_x 42l;
+        if fixed then Machine.noc_drain m;
+        Machine.store_u32_remote_raw m ~dst ~off:flag_off
+          ~latency:latency_flag 1l);
+    Machine.spawn m ~core:dst (fun () ->
+        let flag_addr = Machine.local_addr m ~tile:dst ~off:flag_off in
+        let x_addr = Machine.local_addr m ~tile:dst ~off:x_off in
+        while Machine.load_u32 m ~shared:true flag_addr <> 1l do
+          Engine.idle (Machine.engine m) 1
+        done;
+        result := Machine.load_u32 m ~shared:true x_addr);
+    Machine.run m;
+    { observed = !result; expected = 42l }
+end

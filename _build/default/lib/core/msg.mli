@@ -1,0 +1,28 @@
+(** The flag/data communication pattern of Figs. 1, 5 and 6. *)
+
+val send : Api.t -> data:Shared.t -> flag:Shared.t -> int32 array -> unit
+(** The annotated publish of Fig. 6: exclusive write of the payload,
+    fence, then flag raise + flush. *)
+
+val recv : Api.t -> data:Shared.t -> flag:Shared.t -> int32 array
+(** Poll the flag read-only, fence, acquire and read the payload. *)
+
+(** The Fig. 1 demonstration: raw remote writes over paths of different
+    latency, no annotations — the flag overtakes the payload and the
+    reader sees stale data. *)
+module Broken : sig
+  val x_off : int
+  val flag_off : int
+
+  type outcome = { observed : int32; expected : int32 }
+
+  val ok : outcome -> bool
+
+  val run :
+    Pmc_sim.Machine.t ->
+    src:int -> dst:int -> latency_x:int -> latency_flag:int -> fixed:bool ->
+    outcome
+  (** Run the Fig. 1 program; [fixed] inserts the drain a PMC-aware
+      compiler would (equivalent to the paper's "read of X between the
+      writes"). *)
+end

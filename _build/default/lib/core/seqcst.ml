@@ -1,0 +1,69 @@
+(* Idealized sequentially consistent back-end.
+
+   "For a sequential consistent system, the implementation of the
+   annotations is trivial; mutual exclusion is still required for the
+   entry/exit pairs, but all other annotations can be ignored safely"
+   (Section V-B).  Accesses hit a magic single-cycle shared memory; the
+   entry/exit pairs keep their locks (exclusion is a correctness
+   requirement, not a memory-model one).  This back-end is the correctness
+   reference the others are tested against. *)
+
+open Pmc_sim
+
+type t = { m : Machine.t }
+
+let name = "seqcst"
+
+let create m = { m }
+let machine t = t.m
+
+let alloc t ~name ~bytes =
+  let lock = Pmc_lock.Dlock.create t.m in
+  let o = Shared.make ~name ~size:bytes ~lock in
+  o.Shared.sdram_addr <- Machine.alloc_uncached t.m ~bytes;
+  o
+
+let entry_x _t (o : Shared.t) = Pmc_lock.Dlock.acquire o.Shared.lock
+let exit_x _t (o : Shared.t) = Pmc_lock.Dlock.release o.Shared.lock
+
+let entry_ro _t (o : Shared.t) =
+  if not (Shared.is_atomic_sized o) then
+    Pmc_lock.Dlock.acquire_ro o.Shared.lock
+
+let exit_ro _t (o : Shared.t) =
+  if not (Shared.is_atomic_sized o) then
+    Pmc_lock.Dlock.release_ro o.Shared.lock
+
+let fence _t = ()
+let flush _t _o = ()
+
+let read_u32 t (o : Shared.t) word =
+  Engine.consume (Machine.engine t.m) Stats.Shared_read_stall 1;
+  Machine.peek_u32 t.m (o.Shared.sdram_addr + (4 * word))
+
+let write_u32 t (o : Shared.t) word v =
+  Engine.consume (Machine.engine t.m) Stats.Write_stall 1;
+  Machine.poke_u32 t.m (o.Shared.sdram_addr + (4 * word)) v
+
+let read_u8 t (o : Shared.t) i =
+  Engine.consume (Machine.engine t.m) Stats.Shared_read_stall 1;
+  let w = Machine.peek_u32 t.m (o.Shared.sdram_addr + (i / 4 * 4)) in
+  Int32.to_int (Int32.shift_right_logical w (8 * (i mod 4))) land 0xff
+
+let write_u8 t (o : Shared.t) i v =
+  Engine.consume (Machine.engine t.m) Stats.Write_stall 1;
+  let a = o.Shared.sdram_addr + (i / 4 * 4) in
+  let w = Machine.peek_u32 t.m a in
+  let shift = 8 * (i mod 4) in
+  let w =
+    Int32.logor
+      (Int32.logand w (Int32.lognot (Int32.shift_left 0xffl shift)))
+      (Int32.shift_left (Int32.of_int (v land 0xff)) shift)
+  in
+  Machine.poke_u32 t.m a w
+
+let peek_u32 t (o : Shared.t) word =
+  Machine.peek_u32 t.m (o.Shared.sdram_addr + (4 * word))
+
+let poke_u32 t (o : Shared.t) word v =
+  Machine.poke_u32 t.m (o.Shared.sdram_addr + (4 * word)) v

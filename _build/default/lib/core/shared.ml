@@ -1,0 +1,43 @@
+(* Handles for shared objects.
+
+   The PMC annotations operate on whole shared objects of any size
+   (Section V-A).  A handle carries the object's identity, its size, the
+   lock that implements ≺S for it, and the placement fields each back-end
+   fills in at allocation time.
+
+   Objects of at most one machine word (4 bytes on the 32-bit platform)
+   are "atomic-sized": reads and writes of them are indivisible, so
+   entry_ro does not need to lock them.  The paper states the rule for one
+   byte — the only size that is indivisible on every machine — but its own
+   FIFO (Fig. 9) polls word-sized pointers without locking, which is sound
+   exactly because the platform's bus transfers words atomically.  We
+   follow the platform rule and document the substitution in DESIGN.md. *)
+
+type t = {
+  id : int;
+  name : string;
+  size : int;                       (* bytes *)
+  lock : Pmc_lock.Dlock.t;
+  mutable sdram_addr : int;         (* cached or uncached SDRAM; -1 = none *)
+  mutable dsm_off : int;            (* common local-memory offset; -1 = none *)
+  mutable last_writer : int;        (* tile owning the newest version; -1 = none *)
+}
+
+(* Objects of at most [!atomic_threshold] bytes are treated as atomic for
+   entry_ro (no locking).  4 = platform word (the default); 1 = the
+   paper's conservative byte rule; 0 = lock on every read-only entry.
+   Exposed as a knob for the ablation bench. *)
+let atomic_threshold = ref 4
+
+let is_atomic_sized o = o.size <= !atomic_threshold
+
+let words o = (o.size + 3) / 4
+
+let next_id = ref 0
+
+let make ~name ~size ~lock =
+  let id = !next_id in
+  incr next_id;
+  { id; name; size; lock; sdram_addr = -1; dsm_off = -1; last_writer = -1 }
+
+let pp ppf o = Fmt.pf ppf "%s#%d[%dB]" o.name o.id o.size

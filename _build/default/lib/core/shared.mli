@@ -1,0 +1,27 @@
+(** Handles for shared objects.
+
+    The PMC annotations operate on whole shared objects of any size
+    (Section V-A).  A handle carries identity, size, the lock that
+    implements ≺S for the object, and the placement fields each back-end
+    fills at allocation time. *)
+
+type t = {
+  id : int;
+  name : string;
+  size : int;                  (** bytes *)
+  lock : Pmc_lock.Dlock.t;
+  mutable sdram_addr : int;    (** SDRAM placement; -1 = none *)
+  mutable dsm_off : int;       (** common local-memory offset; -1 = none *)
+  mutable last_writer : int;   (** tile owning the newest version; -1 = none *)
+}
+
+val atomic_threshold : int ref
+(** Objects of at most this many bytes are atomic for entry_ro (no
+    locking).  4 = the platform word (default); 1 = the paper's
+    conservative byte rule; 0 = always lock.  See DESIGN.md and the
+    [ablate] bench. *)
+
+val is_atomic_sized : t -> bool
+val words : t -> int
+val make : name:string -> size:int -> lock:Pmc_lock.Dlock.t -> t
+val pp : Format.formatter -> t -> unit

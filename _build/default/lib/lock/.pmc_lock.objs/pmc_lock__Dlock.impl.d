@@ -1,0 +1,1 @@
+lib/lock/dlock.ml: Config Engine Fun Machine Pmc_sim Queue Stats

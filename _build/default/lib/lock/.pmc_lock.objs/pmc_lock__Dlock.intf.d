@@ -1,0 +1,1 @@
+lib/lock/dlock.mli: Pmc_sim

@@ -1,0 +1,1 @@
+lib/lock/spinlock.ml: Engine Fun Machine Pmc_sim Stats

@@ -1,0 +1,1 @@
+lib/lock/spinlock.mli: Pmc_sim

@@ -1,0 +1,153 @@
+(* Asymmetric distributed lock, modelled after the one the paper's platform
+   uses [15]: a waiting core spins only on a flag in its *own* local memory
+   (cheap, no interconnect traffic); the handover from the previous holder
+   travels over the NoC and costs a transfer latency that depends on the
+   hop distance.  Re-acquiring a lock the core released last is almost
+   free ("asymmetric": the common uncontended case stays local).
+
+   The lock supports a shared (read-only) mode besides the exclusive one:
+   PMC explicitly allows "exclusive access ... alongside read-only access"
+   (Section IV-E), and the entry_ro annotation of multi-word objects maps
+   to the shared mode.  Readers are admitted when no exclusive holder or
+   waiter is present (writers do not starve).
+
+   The lock's bookkeeping lives in host structures; its *timing* — local
+   polls, handover latency — is modelled explicitly.  Mutual exclusion is
+   exact in simulated time because state changes happen between consume
+   points. *)
+
+open Pmc_sim
+
+type t = {
+  id : int;
+  m : Machine.t;
+  mutable owner : int option;           (* exclusive holder *)
+  mutable readers : int;                (* shared holders *)
+  mutable last_holder : int;
+  (* an exclusive grant in flight: (core it is for, arrival time) *)
+  mutable pending : (int * int) option;
+  queue : int Queue.t;                  (* exclusive waiters *)
+}
+
+let next_id = ref 0
+
+let create (m : Machine.t) : t =
+  let id = !next_id in
+  incr next_id;
+  {
+    id;
+    m;
+    owner = None;
+    readers = 0;
+    last_holder = -1;
+    pending = None;
+    queue = Queue.create ();
+  }
+
+let transfer_cycles t ~from ~to_ =
+  let cfg = Machine.config t.m in
+  if from = -1 || from = to_ then 0
+  else
+    cfg.Config.lock_transfer_cycles
+    + (cfg.Config.noc_hop_cycles * Config.hops cfg ~src:from ~dst:to_)
+
+let count_acquire t ~transferred =
+  let s = Stats.core (Machine.stats t.m) (Machine.core_id t.m) in
+  s.Stats.lock_acquires <- s.Stats.lock_acquires + 1;
+  if transferred then s.Stats.lock_transfers <- s.Stats.lock_transfers + 1
+
+(* Hand the lock to the next exclusive waiter, if the lock is idle. *)
+let try_grant t =
+  if
+    t.owner = None && t.readers = 0 && t.pending = None
+    && not (Queue.is_empty t.queue)
+  then begin
+    let next = Queue.pop t.queue in
+    let now = Engine.now (Machine.engine t.m) in
+    let arrival = now + transfer_cycles t ~from:t.last_holder ~to_:next in
+    t.pending <- Some (next, max arrival (now + 1))
+  end
+
+let acquire t =
+  let core = Machine.core_id t.m in
+  let e = Machine.engine t.m in
+  let cfg = Machine.config t.m in
+  let poll = cfg.Config.lock_local_poll_cycles in
+  Engine.consume e Stats.Lock_stall poll;
+  (match t.owner with
+  | Some c when c = core -> failwith "Dlock.acquire: already held"
+  | _ -> ());
+  if
+    t.owner = None && t.readers = 0 && Queue.is_empty t.queue
+    && t.pending = None
+  then begin
+    (* free and uncontended: claim immediately (state changes are atomic
+       between consume points), then pay the handover if the lock last
+       lived on another tile *)
+    t.owner <- Some core;
+    let transferred = t.last_holder <> -1 && t.last_holder <> core in
+    let cost = transfer_cycles t ~from:t.last_holder ~to_:core in
+    t.last_holder <- core;
+    count_acquire t ~transferred;
+    if cost > 0 then Engine.consume e Stats.Lock_stall cost
+  end
+  else begin
+    Queue.push core t.queue;
+    let granted () =
+      match t.pending with
+      | Some (c, arrival) when c = core && Engine.now e >= arrival -> true
+      | _ -> false
+    in
+    while not (granted ()) do
+      Engine.consume e Stats.Lock_stall poll
+    done;
+    t.pending <- None;
+    t.owner <- Some core;
+    let transferred = t.last_holder <> core in
+    t.last_holder <- core;
+    count_acquire t ~transferred
+  end
+
+let release t =
+  let core = Machine.core_id t.m in
+  let e = Machine.engine t.m in
+  let cfg = Machine.config t.m in
+  (match t.owner with
+  | Some c when c = core -> ()
+  | _ -> failwith "Dlock.release: not the holder");
+  Engine.consume e Stats.Lock_stall cfg.Config.lock_local_poll_cycles;
+  t.owner <- None;
+  try_grant t
+
+(* Shared (read-only) admission: wait until no exclusive holder, in-flight
+   grant or exclusive waiter remains, then join the reader group. *)
+let acquire_ro t =
+  let e = Machine.engine t.m in
+  let cfg = Machine.config t.m in
+  let poll = cfg.Config.lock_local_poll_cycles in
+  Engine.consume e Stats.Lock_stall poll;
+  while
+    t.owner <> None || t.pending <> None || not (Queue.is_empty t.queue)
+  do
+    Engine.consume e Stats.Lock_stall poll
+  done;
+  t.readers <- t.readers + 1
+
+let release_ro t =
+  let e = Machine.engine t.m in
+  let cfg = Machine.config t.m in
+  if t.readers <= 0 then failwith "Dlock.release_ro: no readers";
+  Engine.consume e Stats.Lock_stall cfg.Config.lock_local_poll_cycles;
+  t.readers <- t.readers - 1;
+  try_grant t
+
+let holder t = t.owner
+let reader_count t = t.readers
+
+let with_lock t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f
+
+let with_lock_ro t f =
+  acquire_ro t;
+  Fun.protect ~finally:(fun () -> release_ro t) f

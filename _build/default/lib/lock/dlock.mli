@@ -1,0 +1,32 @@
+(** Asymmetric distributed lock, modelled after the paper's platform lock
+    [Rutgers et al., IC-SAMOS 2012]: waiting cores spin only on their own
+    local memory; the handover between tiles costs an explicit NoC
+    transfer; re-acquiring a lock the core released last is nearly free.
+
+    Besides the exclusive mode (implementing ≺S for entry_x/exit_x), the
+    lock has a shared read-only mode: PMC explicitly allows "exclusive
+    access ... alongside read-only access" (Section IV-E), and entry_ro
+    of multi-word objects maps onto it.  Readers are admitted only while
+    no exclusive holder or waiter is present, so writers do not starve. *)
+
+type t
+
+val create : Pmc_sim.Machine.t -> t
+
+val acquire : t -> unit
+(** Take the lock exclusively; FIFO among exclusive waiters.
+    @raise Failure on re-entrant acquisition. *)
+
+val release : t -> unit
+(** @raise Failure when the caller does not hold the lock. *)
+
+val acquire_ro : t -> unit
+(** Join the reader group (shared mode). *)
+
+val release_ro : t -> unit
+
+val holder : t -> int option
+val reader_count : t -> int
+
+val with_lock : t -> (unit -> 'a) -> 'a
+val with_lock_ro : t -> (unit -> 'a) -> 'a

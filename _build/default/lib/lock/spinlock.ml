@@ -1,0 +1,30 @@
+(* Centralized test-and-set spinlock on an uncached SDRAM word.  Every poll
+   crosses the interconnect and occupies the SDRAM port — the behaviour the
+   asymmetric distributed lock of [Rutgers et al., IC-SAMOS 2012] was
+   designed to avoid.  Kept as the ablation baseline. *)
+
+open Pmc_sim
+
+type t = { m : Machine.t; addr : int; backoff : int }
+
+let create ?(backoff = 16) (m : Machine.t) : t =
+  let addr = Machine.alloc_uncached m ~bytes:4 in
+  Machine.poke_u32 m addr 0l;
+  { m; addr; backoff }
+
+let rec acquire t =
+  let old = Machine.uncached_tas t.m t.addr in
+  if old = 0l then begin
+    let s = Stats.core (Machine.stats t.m) (Machine.core_id t.m) in
+    s.Stats.lock_acquires <- s.Stats.lock_acquires + 1
+  end
+  else begin
+    Engine.consume (Machine.engine t.m) Stats.Lock_stall t.backoff;
+    acquire t
+  end
+
+let release t = Machine.store_u32 t.m ~shared:true t.addr 0l
+
+let with_lock t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f

@@ -1,0 +1,10 @@
+(** Centralized test-and-set spinlock on an uncached SDRAM word — every
+    poll crosses the interconnect and occupies the memory port.  The
+    ablation baseline against {!Dlock}. *)
+
+type t
+
+val create : ?backoff:int -> Pmc_sim.Machine.t -> t
+val acquire : t -> unit
+val release : t -> unit
+val with_lock : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,1 @@
+lib/model/dot.ml: Buffer Execution List Op Order Printf

@@ -1,0 +1,1 @@
+lib/model/dot.mli: Execution Order

@@ -1,0 +1,1 @@
+lib/model/drf.ml: Array Execution Fmt History List Litmus Lprog Models Op Order

@@ -1,0 +1,1 @@
+lib/model/drf.mli: Format Lprog

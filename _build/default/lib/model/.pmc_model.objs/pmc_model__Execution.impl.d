@@ -1,0 +1,1 @@
+lib/model/execution.ml: Array Fmt Hashtbl List Op Printf

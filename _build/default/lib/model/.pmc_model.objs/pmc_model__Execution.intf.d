@@ -1,0 +1,1 @@
+lib/model/execution.mli: Format Hashtbl Op

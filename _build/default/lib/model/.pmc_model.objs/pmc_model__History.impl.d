@@ -1,0 +1,1 @@
+lib/model/history.ml: Array Execution Fmt Hashtbl List Observe Op Order

@@ -1,0 +1,1 @@
+lib/model/litmus.ml: Fmt Hashtbl List Lprog Models Printf Queue

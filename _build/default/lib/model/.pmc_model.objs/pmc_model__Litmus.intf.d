@@ -1,0 +1,1 @@
+lib/model/litmus.mli: Format Lprog Models

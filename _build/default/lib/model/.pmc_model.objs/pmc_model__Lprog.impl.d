@@ -1,0 +1,1 @@
+lib/model/lprog.ml: Array List Set String

@@ -1,0 +1,1 @@
+lib/model/lprog.mli: Set

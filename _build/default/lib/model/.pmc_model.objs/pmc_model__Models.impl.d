@@ -1,0 +1,1 @@
+lib/model/models.ml: Array Fun List Lprog Marshal

@@ -1,0 +1,1 @@
+lib/model/models.mli: Lprog

@@ -1,0 +1,1 @@
+lib/model/observe.ml: Execution Fmt List Op Order

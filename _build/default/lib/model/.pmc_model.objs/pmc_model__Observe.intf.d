@@ -1,0 +1,1 @@
+lib/model/observe.mli: Execution Format Op

@@ -1,0 +1,1 @@
+lib/model/order.ml: Array Execution Fun Hashtbl List Op

@@ -1,0 +1,1 @@
+lib/model/order.mli: Execution Op

@@ -1,0 +1,5 @@
+(** Graphviz export of executions — the dependency graphs of Figs. 2-5,
+    transitively reduced by default like the paper's figures. *)
+
+val of_execution :
+  ?reduced:bool -> ?relation:Order.relation -> Execution.t -> string

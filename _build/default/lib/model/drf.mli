@@ -1,0 +1,19 @@
+(** Data-race-freedom analysis and the observable SC-simulation property
+    of Section IV-E ("able to simulate SC for data-race free
+    programs"). *)
+
+type access = { proc : int; loc : int; is_write : bool; op_id : int }
+type race = { loc : int; a : access; b : access }
+
+val pp_race : Format.formatter -> race -> unit
+
+val find_race : ?limit:int -> Lprog.t -> race option
+(** Enumerate every SC trace (up to [limit] traces) and look for two
+    conflicting accesses left unordered by the PMC execution order built
+    from that trace. *)
+
+val is_drf : ?limit:int -> Lprog.t -> bool
+
+val sc_equivalent : ?limit:int -> Lprog.t -> bool
+(** The outcome set under the PMC operational semantics equals the outcome
+    set under SC — the paper's claim, checkable for DRF programs. *)

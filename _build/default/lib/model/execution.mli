@@ -1,0 +1,62 @@
+(** Executions E = (P, V, O, ≺) and the Table I state-transition rules
+    (Definitions 1, 3 and 4).
+
+    An execution is a growing DAG over issued operations.  Every new
+    operation adds ordering edges from all previously issued operations
+    that match the corresponding Table I row; edges are never removed. *)
+
+(** The four ordering relations of the model, attached to each edge:
+    local order p≺ℓ (Def. 6, visible only to one process), program order
+    ≺P (Def. 5), synchronization order ≺S (Def. 7) and fence order ≺F
+    (Def. 8). *)
+type edge_kind = Local of int | Program | Sync | Fence
+
+val edge_kind_to_string : edge_kind -> string
+
+type edge = { src : int; kind : edge_kind; dst : int }
+
+type t = {
+  procs : int;
+  locs : int;
+  mutable ops : Op.t array;
+  mutable n_ops : int;
+  mutable succs : (edge_kind * int) list array;
+      (** outgoing edges, indexed by operation id *)
+  mutable preds : (edge_kind * int) list array;
+  fence_scopes : (int, int list) Hashtbl.t;
+      (** fence op id → ordered locations; absent = all (plain fence) *)
+}
+
+val create : procs:int -> locs:int -> t
+(** Initialization (Def. 3): every location receives one [Init] operation;
+    the order ≺ starts empty. *)
+
+val op : t -> int -> Op.t
+(** [op exec id] — the operation with issue index [id]. *)
+
+val n_ops : t -> int
+val iter_ops : t -> (Op.t -> unit) -> unit
+val ops_list : t -> Op.t list
+val edges : t -> edge list
+
+val execute :
+  t -> Op.kind -> proc:int -> ?loc:int -> ?value:int -> unit -> Op.t
+(** State transition (Def. 4): issue an operation and add the Table-I
+    edges from every matching earlier operation.  Raises [Invalid_argument]
+    on bad process/location ids or an attempt to issue [Init]. *)
+
+val read : t -> proc:int -> loc:int -> value:int -> Op.t
+val write : t -> proc:int -> loc:int -> value:int -> Op.t
+val acquire : t -> proc:int -> loc:int -> Op.t
+val release : t -> proc:int -> loc:int -> Op.t
+val fence : t -> proc:int -> Op.t
+
+val fence_scoped : t -> proc:int -> locs:int list -> Op.t
+(** Location-scoped fence — the optimization Section IV-D leaves open:
+    orders only this process's operations on the given locations.  A
+    scope covering all locations is exactly the plain fence. *)
+
+val fence_scope : t -> Op.t -> int list option
+(** The scope of a fence operation; [None] means unscoped. *)
+
+val pp : Format.formatter -> t -> unit

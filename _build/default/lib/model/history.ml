@@ -1,0 +1,125 @@
+(* Validation of observed runs against the PMC model.
+
+   A history is the sequence of operations one run of a program actually
+   issued, in issue order, with the value each read returned.  [check]
+   replays it through the Table-I state transition and verifies:
+
+     - well-formed locking: an acquire takes a free lock; a release is
+       issued by the current holder; mutual exclusion holds (Sec. IV-B);
+     - every read returned a value readable at its issue point (Def. 12);
+     - reads are monotonic: two ordered reads of one process never observe
+       writes in opposite order (Def. 12, second clause);
+     - the resulting execution stays acyclic (≺ is a partial order).
+
+   The simulator back-ends are tested by feeding their traces through this
+   checker: whatever timing a back-end produces, the observable values must
+   be explainable by the model. *)
+
+type event =
+  | E_read of { proc : int; loc : int; value : int }
+  | E_write of { proc : int; loc : int; value : int }
+  | E_acquire of { proc : int; loc : int }
+  | E_release of { proc : int; loc : int }
+  | E_fence of { proc : int }
+
+type violation =
+  | Double_acquire of { loc : int; holder : int; proc : int }
+  | Release_not_held of { loc : int; proc : int }
+  | Unreadable_value of { op : Op.t; readable : int list }
+  | Non_monotonic_reads of { first : Op.t; second : Op.t }
+  | Cyclic_order
+  | Write_outside_lock of { op : Op.t }
+
+let pp_violation ppf = function
+  | Double_acquire { loc; holder; proc } ->
+      Fmt.pf ppf "p%d acquired v%d while p%d holds it" proc loc holder
+  | Release_not_held { loc; proc } ->
+      Fmt.pf ppf "p%d released v%d without holding it" proc loc
+  | Unreadable_value { op; readable } ->
+      Fmt.pf ppf "%a returned a value outside readable set {%a}" Op.pp op
+        Fmt.(list ~sep:comma int)
+        readable
+  | Non_monotonic_reads { first; second } ->
+      Fmt.pf ppf "reads went back in time: %a then %a" Op.pp first Op.pp
+        second
+  | Cyclic_order -> Fmt.pf ppf "execution order contains a cycle"
+  | Write_outside_lock { op } ->
+      Fmt.pf ppf "%a issued outside an acquire/release pair" Op.pp op
+
+type report = {
+  exec : Execution.t;
+  violations : violation list;
+}
+
+let ok report = report.violations = []
+
+(* [writes_seen] remembers, per (proc, loc), the id of the write the last
+   read of that proc/loc observed, for the monotonicity check. *)
+let check ?(require_locked_writes = false) ~procs ~locs
+    (events : event list) : report =
+  let exec = Execution.create ~procs ~locs in
+  let holder = Array.make locs None in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let writes_seen = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | E_fence { proc } -> ignore (Execution.fence exec ~proc)
+      | E_acquire { proc; loc } ->
+          (match holder.(loc) with
+          | Some h -> add (Double_acquire { loc; holder = h; proc })
+          | None -> ());
+          holder.(loc) <- Some proc;
+          ignore (Execution.acquire exec ~proc ~loc)
+      | E_release { proc; loc } ->
+          (match holder.(loc) with
+          | Some h when h = proc -> holder.(loc) <- None
+          | _ -> add (Release_not_held { loc; proc }));
+          ignore (Execution.release exec ~proc ~loc)
+      | E_write { proc; loc; value } ->
+          if require_locked_writes && holder.(loc) <> Some proc then
+            add
+              (Write_outside_lock
+                 { op = { id = -1; kind = Op.Write; proc; loc; value } });
+          ignore (Execution.write exec ~proc ~loc ~value)
+      | E_read { proc; loc; value } ->
+          let o = Execution.read exec ~proc ~loc ~value in
+          let readable = Observe.readable_writes exec o in
+          (match
+             List.filter (fun (w : Op.t) -> w.Op.value = value) readable
+           with
+          | [] ->
+              add
+                (Unreadable_value
+                   {
+                     op = o;
+                     readable =
+                       List.sort_uniq compare
+                         (List.map (fun (w : Op.t) -> w.Op.value) readable);
+                   })
+          | ws ->
+              (* Monotonicity: the newly observed write must not be ordered
+                 strictly before the one the previous read observed. *)
+              let key = (proc, loc) in
+              (match Hashtbl.find_opt writes_seen key with
+              | Some prev_write_id
+                when List.for_all
+                       (fun (w : Op.t) ->
+                         Order.reaches (Order.View proc) exec w.Op.id
+                           prev_write_id)
+                       ws ->
+                  add
+                    (Non_monotonic_reads
+                       {
+                         first = Execution.op exec prev_write_id;
+                         second = o;
+                       })
+              | _ -> ());
+              (* Remember the oldest candidate conservatively. *)
+              (match ws with
+              | w :: _ -> Hashtbl.replace writes_seen key w.Op.id
+              | [] -> ())))
+    events;
+  if not (Order.is_acyclic exec) then add Cyclic_order;
+  { exec; violations = List.rev !violations }

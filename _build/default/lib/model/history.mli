@@ -1,0 +1,37 @@
+(** Validation of observed runs against the PMC model.
+
+    A history is the operation sequence one run actually issued, with the
+    value each read returned.  [check] replays it through the Table-I
+    transition and reports everything the model forbids.  The simulator
+    back-ends are validated by feeding their traces through this
+    checker. *)
+
+type event =
+  | E_read of { proc : int; loc : int; value : int }
+  | E_write of { proc : int; loc : int; value : int }
+  | E_acquire of { proc : int; loc : int }
+  | E_release of { proc : int; loc : int }
+  | E_fence of { proc : int }
+
+type violation =
+  | Double_acquire of { loc : int; holder : int; proc : int }
+  | Release_not_held of { loc : int; proc : int }
+  | Unreadable_value of { op : Op.t; readable : int list }
+  | Non_monotonic_reads of { first : Op.t; second : Op.t }
+  | Cyclic_order
+  | Write_outside_lock of { op : Op.t }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type report = { exec : Execution.t; violations : violation list }
+
+val ok : report -> bool
+
+val check :
+  ?require_locked_writes:bool -> procs:int -> locs:int -> event list ->
+  report
+(** Replay [events] (in observed issue order) and verify: lock
+    well-formedness and mutual exclusion, every read value readable at its
+    issue point (Def. 12), read monotonicity, and acyclicity of ≺.  With
+    [require_locked_writes], also the discipline that every write happens
+    under the location's lock. *)

@@ -1,0 +1,88 @@
+(* Exhaustive outcome enumeration of litmus programs under a model's
+   operational semantics, plus the model-comparison machinery used to check
+   the claims of Section IV-E mechanically. *)
+
+type result = {
+  program : Lprog.t;
+  model : string;
+  outcomes : Lprog.Outcome_set.t;
+  states_explored : int;
+  stuck_states : int;
+      (* non-final states with no successor: deadlocks or livelocks, e.g.
+         a hoisted acquire starving the lock holder's waiter *)
+}
+
+exception State_space_too_large of int
+
+(* Breadth-first exploration with memoization on marshalled states.  The
+   litmus programs are tiny, but [limit] guards against writing one whose
+   stream interleavings explode. *)
+let enumerate ?(limit = 2_000_000) (module M : Models.SEM) (p : Lprog.t) :
+    result =
+  let seen = Hashtbl.create 4096 in
+  let outcomes = ref Lprog.Outcome_set.empty in
+  let queue = Queue.create () in
+  let push st =
+    let k = M.key st in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      if Hashtbl.length seen > limit then
+        raise (State_space_too_large (Hashtbl.length seen));
+      Queue.add st queue
+    end
+  in
+  push (M.init p);
+  let stuck = ref 0 in
+  while not (Queue.is_empty queue) do
+    let st = Queue.pop queue in
+    let final = M.is_final p st in
+    if final then
+      outcomes :=
+        Lprog.Outcome_set.add
+          (Lprog.outcome_to_string (M.outcome p st))
+          !outcomes;
+    let succs = M.successors p st in
+    if succs = [] && not final then incr stuck;
+    List.iter push succs
+  done;
+  {
+    program = p;
+    model = M.name;
+    outcomes = !outcomes;
+    states_explored = Hashtbl.length seen;
+    stuck_states = !stuck;
+  }
+
+let outcomes_list r = Lprog.Outcome_set.elements r.outcomes
+
+let allows r outcome_str = Lprog.Outcome_set.mem outcome_str r.outcomes
+
+(* [subset_of r1 r2]: every outcome observable under r1's model is also
+   observable under r2's — i.e. model 1 is at least as strong. *)
+let subset_of r1 r2 = Lprog.Outcome_set.subset r1.outcomes r2.outcomes
+
+let pp_result ppf r =
+  Fmt.pf ppf "%-28s %-24s {%a} (%d states%s)" r.program.Lprog.name r.model
+    Fmt.(list ~sep:(any "; ") string)
+    (outcomes_list r) r.states_explored
+    (if r.stuck_states > 0 then
+       Printf.sprintf ", %d STUCK" r.stuck_states
+     else "")
+
+(* Run one program under every model. *)
+let compare_models ?limit (p : Lprog.t) : result list =
+  List.map (fun m -> enumerate ?limit m p) Models.all
+
+(* The ordering-strength claims of Section IV-E, as checkable predicates
+   over a set of *uniform* (read/write-only) programs:
+   SC ⊆ PC ⊆ CC ⊆ Slow (each weaker model allows at least the stronger
+   model's outcomes). *)
+let strength_chain_holds ?limit (programs : Lprog.t list) : bool =
+  List.for_all
+    (fun p ->
+      let sc = enumerate ?limit (module Models.Sc) p in
+      let pc = enumerate ?limit (module Models.Pc) p in
+      let cc = enumerate ?limit (module Models.Cc) p in
+      let slow = enumerate ?limit (module Models.Slow) p in
+      subset_of sc pc && subset_of pc cc && subset_of cc slow)
+    programs

@@ -1,0 +1,35 @@
+(** Exhaustive outcome enumeration of litmus programs under a model's
+    operational semantics, and the model-comparison predicates of
+    Section IV-E. *)
+
+type result = {
+  program : Lprog.t;
+  model : string;
+  outcomes : Lprog.Outcome_set.t;
+  states_explored : int;
+  stuck_states : int;
+      (** non-final states with no successor — deadlocks/livelocks, e.g.
+          a hoisted acquire starving the lock holder's waiter *)
+}
+
+exception State_space_too_large of int
+
+val enumerate : ?limit:int -> (module Models.SEM) -> Lprog.t -> result
+(** Breadth-first exploration with memoization; raises
+    {!State_space_too_large} past [limit] distinct states (default 2M). *)
+
+val outcomes_list : result -> string list
+val allows : result -> string -> bool
+
+val subset_of : result -> result -> bool
+(** [subset_of r1 r2] — model 1 is at least as strong as model 2 on this
+    program: every outcome of r1 is an outcome of r2. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val compare_models : ?limit:int -> Lprog.t -> result list
+(** One result per model in {!Models.all}. *)
+
+val strength_chain_holds : ?limit:int -> Lprog.t list -> bool
+(** outcomes(SC) ⊆ outcomes(PC) ⊆ outcomes(CC) ⊆ outcomes(Slow) on every
+    given program. *)

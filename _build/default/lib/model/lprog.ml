@@ -1,0 +1,193 @@
+(* Litmus programs: tiny multi-threaded programs whose *complete* outcome
+   sets are enumerated under the operational semantics of each memory model
+   (Models).  This is how the paper's claims of Section IV-E are checked
+   mechanically: SC ⊆ PC ⊆ CC ⊆ Slow on plain read/write programs, fences
+   restore message passing under PMC, etc. *)
+
+type expr = Const of int | Reg of int
+
+type instr =
+  | Ld of { loc : int; reg : int }          (* reg := [loc] *)
+  | St of { loc : int; v : expr }           (* [loc] := v *)
+  | Wait_eq of { loc : int; v : int }       (* spin until [loc] = v *)
+  | Acq of int                              (* acquire(loc) *)
+  | Rel of int                              (* release(loc) *)
+  | Fence
+  | Flush of int                            (* PMC flush annotation *)
+
+type thread = instr array
+
+type t = {
+  name : string;
+  locs : int;
+  regs : int;  (* registers per thread *)
+  threads : thread array;
+}
+
+let make ~name ~locs ~regs threads =
+  { name; locs; regs; threads = Array.of_list (List.map Array.of_list threads) }
+
+let n_threads p = Array.length p.threads
+
+(* An outcome is the tuple of every thread's registers at termination. *)
+type outcome = int array array
+
+let outcome_to_string (oc : outcome) =
+  String.concat " | "
+    (Array.to_list
+       (Array.map
+          (fun regs ->
+            String.concat ","
+              (Array.to_list (Array.map string_of_int regs)))
+          oc))
+
+module Outcome_set = Set.Make (struct
+  type t = string
+
+  let compare = String.compare
+end)
+
+let eval regs = function Const n -> n | Reg r -> regs.(r)
+
+(* ------------------------------------------------------------------ *)
+(* Standard litmus programs                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Message passing, Fig. 1 of the paper: t0 publishes data then sets a
+   flag; t1 spins on the flag and reads the data.  loc 0 = X, loc 1 = flag.
+   Correct iff the only outcome is r0 = 42. *)
+let mp_plain =
+  make ~name:"MP (unannotated, Fig. 1)" ~locs:2 ~regs:1
+    [
+      [ St { loc = 0; v = Const 42 }; St { loc = 1; v = Const 1 } ];
+      [ Wait_eq { loc = 1; v = 1 }; Ld { loc = 0; reg = 0 } ];
+    ]
+
+(* Message passing with a fence between the two publishes (GPO). *)
+let mp_fence =
+  make ~name:"MP + fences" ~locs:2 ~regs:1
+    [
+      [ St { loc = 0; v = Const 42 }; Fence; St { loc = 1; v = Const 1 } ];
+      [ Wait_eq { loc = 1; v = 1 }; Fence; Ld { loc = 0; reg = 0 } ];
+    ]
+
+(* Fully annotated message passing, Fig. 6 of the paper. *)
+let mp_annotated =
+  make ~name:"MP annotated (Fig. 6)" ~locs:2 ~regs:1
+    [
+      [
+        Acq 0; St { loc = 0; v = Const 42 }; Fence; Rel 0;
+        Acq 1; St { loc = 1; v = Const 1 }; Flush 1; Rel 1;
+      ];
+      [
+        Wait_eq { loc = 1; v = 1 }; Fence;
+        Acq 0; Ld { loc = 0; reg = 0 }; Rel 0;
+      ];
+    ]
+
+(* Fig. 6 with the receiver's fence removed: under EC it still works
+   (sync operations stay in program order), but under full PMC the
+   acquire of X may be hoisted above the polling loop — the receiver
+   then holds X's lock while spinning on the flag the sender can no
+   longer publish... the exact hazard the fence at line 11 of Fig. 6
+   prevents. *)
+let mp_annotated_nofence =
+  make ~name:"MP annotated, no recv fence" ~locs:2 ~regs:1
+    [
+      [
+        Acq 0; St { loc = 0; v = Const 42 }; Rel 0;
+        Acq 1; St { loc = 1; v = Const 1 }; Flush 1; Rel 1;
+      ];
+      [
+        Wait_eq { loc = 1; v = 1 };
+        Acq 0; Ld { loc = 0; reg = 0 }; Rel 0;
+      ];
+    ]
+
+(* Store buffering: both threads write then read the other's location.
+   SC forbids r0 = r1 = 0; every weaker model allows it. *)
+let sb =
+  make ~name:"SB (store buffering)" ~locs:2 ~regs:1
+    [
+      [ St { loc = 0; v = Const 1 }; Ld { loc = 1; reg = 0 } ];
+      [ St { loc = 1; v = Const 1 }; Ld { loc = 0; reg = 0 } ];
+    ]
+
+(* Coherence (single writer): a reader may never observe values of one
+   location going backwards (≺P is globally visible).  Forbidden outcomes:
+   r0 newer than r1. *)
+let coherence_1w =
+  make ~name:"CoRR (coherence, one writer)" ~locs:1 ~regs:2
+    [
+      [ St { loc = 0; v = Const 1 }; St { loc = 0; v = Const 2 } ];
+      [ Ld { loc = 0; reg = 0 }; Ld { loc = 0; reg = 1 } ];
+    ]
+
+(* Write serialization with two writers and two observers: CC (and
+   stronger) force both observers to agree on the order of the two writes;
+   Slow lets them disagree ((1,2),(2,1)). *)
+let coherence_2w =
+  make ~name:"2+2W observers (write serialization)" ~locs:1 ~regs:2
+    [
+      [ St { loc = 0; v = Const 1 } ];
+      [ St { loc = 0; v = Const 2 } ];
+      [ Ld { loc = 0; reg = 0 }; Ld { loc = 0; reg = 1 } ];
+      [ Ld { loc = 0; reg = 0 }; Ld { loc = 0; reg = 1 } ];
+    ]
+
+(* Exclusive access, Fig. 4 of the paper: both processes acquire the same
+   location; the reader sees either the initial value or the writer's final
+   value, never the intermediate one outside the lock. *)
+let exclusive_fig4 =
+  make ~name:"exclusive access (Fig. 4)" ~locs:1 ~regs:1
+    [
+      [ Acq 0; Ld { loc = 0; reg = 0 }; Rel 0 ];
+      [ Acq 0; St { loc = 0; v = Const 1 }; St { loc = 0; v = Const 2 };
+        Rel 0 ];
+    ]
+
+(* Lock-protected increment-style exchange used by the DRF checker. *)
+let locked_exchange =
+  make ~name:"locked exchange" ~locs:1 ~regs:1
+    [
+      [ Acq 0; Ld { loc = 0; reg = 0 }; St { loc = 0; v = Const 7 }; Rel 0 ];
+      [ Acq 0; Ld { loc = 0; reg = 0 }; St { loc = 0; v = Const 9 }; Rel 0 ];
+    ]
+
+(* Independent reads of independent writes: may two observers disagree on
+   the order of writes to *different* locations by different writers?
+   SC and TSO forbid the mixed outcome; CC and weaker allow it. *)
+let iriw =
+  make ~name:"IRIW" ~locs:2 ~regs:2
+    [
+      [ St { loc = 0; v = Const 1 } ];
+      [ St { loc = 1; v = Const 1 } ];
+      [ Ld { loc = 0; reg = 0 }; Ld { loc = 1; reg = 1 } ];
+      [ Ld { loc = 1; reg = 0 }; Ld { loc = 0; reg = 1 } ];
+    ]
+
+(* Write-to-read causality: t1 sees t0's write and then writes a second
+   location; must t2, seeing t1's write, also see t0's? *)
+let wrc =
+  make ~name:"WRC (write-to-read causality)" ~locs:2 ~regs:2
+    [
+      [ St { loc = 0; v = Const 1 } ];
+      [ Wait_eq { loc = 0; v = 1 }; St { loc = 1; v = Const 1 } ];
+      [ Wait_eq { loc = 1; v = 1 }; Ld { loc = 0; reg = 0 } ];
+    ]
+
+(* Load buffering: reads followed by writes to the other location.  The
+   (1,1) outcome needs speculation; none of the operational models here
+   produce it. *)
+let lb =
+  make ~name:"LB (load buffering)" ~locs:2 ~regs:1
+    [
+      [ Ld { loc = 1; reg = 0 }; St { loc = 0; v = Const 1 } ];
+      [ Ld { loc = 0; reg = 0 }; St { loc = 1; v = Const 1 } ];
+    ]
+
+let all_standard =
+  [
+    mp_plain; mp_fence; mp_annotated; sb; coherence_1w; coherence_2w;
+    exclusive_fig4; locked_exchange; iriw; wrc; lb; mp_annotated_nofence;
+  ]

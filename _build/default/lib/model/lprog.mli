@@ -1,0 +1,79 @@
+(** Litmus programs: tiny multi-threaded programs whose complete outcome
+    sets are enumerated under each model's operational semantics
+    ({!Models}, {!Litmus}) to check the comparisons of Section IV-E. *)
+
+type expr = Const of int | Reg of int
+
+type instr =
+  | Ld of { loc : int; reg : int }      (** reg := [loc] *)
+  | St of { loc : int; v : expr }       (** [loc] := v *)
+  | Wait_eq of { loc : int; v : int }   (** spin until [loc] = v *)
+  | Acq of int
+  | Rel of int
+  | Fence
+  | Flush of int                        (** the PMC flush annotation *)
+
+type thread = instr array
+
+type t = {
+  name : string;
+  locs : int;
+  regs : int;  (** registers per thread *)
+  threads : thread array;
+}
+
+val make : name:string -> locs:int -> regs:int -> instr list list -> t
+val n_threads : t -> int
+
+(** An outcome: every thread's registers at termination. *)
+type outcome = int array array
+
+val outcome_to_string : outcome -> string
+
+module Outcome_set : Set.S with type elt = string
+
+val eval : int array -> expr -> int
+
+(** {1 Standard programs} *)
+
+val mp_plain : t
+(** Message passing, unannotated — the Fig. 1 program. *)
+
+val mp_fence : t
+(** Message passing with fences between the publishes (GPO only). *)
+
+val mp_annotated : t
+(** The fully annotated Fig. 6 program. *)
+
+val mp_annotated_nofence : t
+(** Fig. 6 without the receiver's fence: fine under EC, hazardous under
+    PMC's acquire hoisting — why the paper's line-11 fence exists. *)
+
+val sb : t
+(** Store buffering: SC forbids (0,0), every weaker model allows it. *)
+
+val coherence_1w : t
+(** Per-location order with one writer: reads never go backwards. *)
+
+val coherence_2w : t
+(** Two writers, two observers: CC forces agreement on the write order,
+    Slow lets the observers disagree. *)
+
+val exclusive_fig4 : t
+(** The Fig. 4 exclusive-access program. *)
+
+val locked_exchange : t
+(** A data-race-free lock-protected exchange, used by {!Drf}. *)
+
+val iriw : t
+(** Independent reads of independent writes: separates SC/TSO (forbid the
+    mixed outcome) from CC and weaker (allow it). *)
+
+val wrc : t
+(** Write-to-read causality. *)
+
+val lb : t
+(** Load buffering — (1,1) needs speculation, which no operational model
+    here performs. *)
+
+val all_standard : t list

@@ -1,0 +1,577 @@
+(* Operational semantics of the memory models compared in Section IV-E,
+   used to enumerate complete outcome sets of litmus programs (Lprog).
+
+   - [Sc]   Sequential Consistency [Lamport 79]: one memory, atomic steps.
+   - [Pc]   Processor Consistency, implemented as its best-known
+            operational instance: TSO-style per-processor FIFO store
+            buffers draining into a single memory.  This realizes both GDO
+            (single memory serializes each location) and GPO (the FIFO
+            preserves each processor's write order).
+   - [Cc]   Cache Consistency: per-location write logs; every observer
+            applies each location's log in order, at its own pace.
+   - [Slow] Slow Consistency [Hutto & Ahamad 90]: per-process copies;
+            updates propagate per (writer, location) in order, with no
+            cross-location or cross-writer guarantees.
+   - [Pmc]  The paper's model: Slow reads/writes + acquire/release
+            transferring the protected value (GDO) + fences inserting
+            cross-location markers into the update streams (GPO) + the
+            best-effort flush.  Writes issued while holding the location's
+            lock stay local until release ("lazy release", Section V-A).
+
+   Each model is a small labelled transition system; [Litmus.enumerate]
+   explores it exhaustively. *)
+
+module type SEM = sig
+  val name : string
+
+  type state
+
+  val init : Lprog.t -> state
+  val successors : Lprog.t -> state -> state list
+  val is_final : Lprog.t -> state -> bool
+  val outcome : Lprog.t -> state -> Lprog.outcome
+  val key : state -> string
+end
+
+let clone2 (a : int array array) = Array.map Array.copy a
+
+let marshal_key (st : 'a) = Marshal.to_string st []
+
+let instr_at (p : Lprog.t) st_pc t =
+  let th = p.Lprog.threads.(t) in
+  if st_pc.(t) < Array.length th then Some th.(st_pc.(t)) else None
+
+let all_done (p : Lprog.t) pc =
+  let ok = ref true in
+  Array.iteri
+    (fun t th -> if pc.(t) < Array.length th then ok := false)
+    p.Lprog.threads;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+
+module Sc : SEM = struct
+  let name = "SC"
+
+  type state = {
+    pc : int array;
+    regs : int array array;
+    mem : int array;
+    locks : int array;  (* -1 = free, otherwise holder *)
+  }
+
+  let init (p : Lprog.t) =
+    {
+      pc = Array.make (Lprog.n_threads p) 0;
+      regs = Array.make_matrix (Lprog.n_threads p) p.regs 0;
+      mem = Array.make p.locs 0;
+      locks = Array.make p.locs (-1);
+    }
+
+  let step p st t : state option =
+    match instr_at p st.pc t with
+    | None -> None
+    | Some i ->
+        let adv st' = Some { st' with pc = (let a = Array.copy st'.pc in a.(t) <- a.(t) + 1; a) } in
+        (match i with
+        | Lprog.Ld { loc; reg } ->
+            let regs = clone2 st.regs in
+            regs.(t).(reg) <- st.mem.(loc);
+            adv { st with regs }
+        | Lprog.St { loc; v } ->
+            let mem = Array.copy st.mem in
+            mem.(loc) <- Lprog.eval st.regs.(t) v;
+            adv { st with mem }
+        | Lprog.Wait_eq { loc; v } ->
+            if st.mem.(loc) = v then adv st else None
+        | Lprog.Acq l ->
+            if st.locks.(l) = -1 then begin
+              let locks = Array.copy st.locks in
+              locks.(l) <- t;
+              adv { st with locks }
+            end
+            else None
+        | Lprog.Rel l ->
+            if st.locks.(l) = t then begin
+              let locks = Array.copy st.locks in
+              locks.(l) <- -1;
+              adv { st with locks }
+            end
+            else failwith "SC: release without acquire"
+        | Lprog.Fence | Lprog.Flush _ -> adv st)
+
+  let successors p st =
+    List.filter_map (step p st) (List.init (Lprog.n_threads p) Fun.id)
+
+  let is_final p st = all_done p st.pc
+  let outcome _p st = clone2 st.regs
+  let key = marshal_key
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Pc : SEM = struct
+  let name = "PC (TSO store buffers)"
+
+  type state = {
+    pc : int array;
+    regs : int array array;
+    mem : int array;
+    locks : int array;
+    buf : (int * int) list array;  (* per thread, oldest first *)
+  }
+
+  let init (p : Lprog.t) =
+    {
+      pc = Array.make (Lprog.n_threads p) 0;
+      regs = Array.make_matrix (Lprog.n_threads p) p.regs 0;
+      mem = Array.make p.locs 0;
+      locks = Array.make p.locs (-1);
+      buf = Array.make (Lprog.n_threads p) [];
+    }
+
+  (* Value of [loc] as seen by thread [t]: newest buffered store wins. *)
+  let visible st t loc =
+    let rec newest acc = function
+      | [] -> acc
+      | (l, v) :: rest -> newest (if l = loc then Some v else acc) rest
+    in
+    match newest None st.buf.(t) with
+    | Some v -> v
+    | None -> st.mem.(loc)
+
+  let drain st t : state option =
+    match st.buf.(t) with
+    | [] -> None
+    | (loc, v) :: rest ->
+        let mem = Array.copy st.mem in
+        mem.(loc) <- v;
+        let buf = Array.copy st.buf in
+        buf.(t) <- rest;
+        Some { st with mem; buf }
+
+  let step p st t : state option =
+    match instr_at p st.pc t with
+    | None -> None
+    | Some i ->
+        let adv st' = Some { st' with pc = (let a = Array.copy st'.pc in a.(t) <- a.(t) + 1; a) } in
+        (match i with
+        | Lprog.Ld { loc; reg } ->
+            let regs = clone2 st.regs in
+            regs.(t).(reg) <- visible st t loc;
+            adv { st with regs }
+        | Lprog.St { loc; v } ->
+            let buf = Array.copy st.buf in
+            buf.(t) <- st.buf.(t) @ [ (loc, Lprog.eval st.regs.(t) v) ];
+            adv { st with buf }
+        | Lprog.Wait_eq { loc; v } ->
+            if visible st t loc = v then adv st else None
+        | Lprog.Acq l ->
+            (* an atomic RMW drains the store buffer first *)
+            if st.buf.(t) = [] && st.locks.(l) = -1 then begin
+              let locks = Array.copy st.locks in
+              locks.(l) <- t;
+              adv { st with locks }
+            end
+            else None
+        | Lprog.Rel l ->
+            if st.buf.(t) = [] then
+              if st.locks.(l) = t then begin
+                let locks = Array.copy st.locks in
+                locks.(l) <- -1;
+                adv { st with locks }
+              end
+              else failwith "PC: release without acquire"
+            else None
+        | Lprog.Fence -> if st.buf.(t) = [] then adv st else None
+        | Lprog.Flush _ -> adv st)
+
+  let successors p st =
+    let n = Lprog.n_threads p in
+    let instr_steps = List.filter_map (step p st) (List.init n Fun.id) in
+    let drains = List.filter_map (drain st) (List.init n Fun.id) in
+    instr_steps @ drains
+
+  let is_final p st =
+    all_done p st.pc && Array.for_all (fun b -> b = []) st.buf
+
+  let outcome _p st = clone2 st.regs
+  let key = marshal_key
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Cc : SEM = struct
+  let name = "CC (per-location logs)"
+
+  type state = {
+    pc : int array;
+    regs : int array array;
+    locks : int array;
+    logs : int list array;  (* per location, oldest first, starts [0] *)
+    idx : int array array;  (* thread x location: applied prefix - 1 *)
+  }
+
+  let init (p : Lprog.t) =
+    {
+      pc = Array.make (Lprog.n_threads p) 0;
+      regs = Array.make_matrix (Lprog.n_threads p) p.regs 0;
+      locks = Array.make p.locs (-1);
+      logs = Array.make p.locs [ 0 ];
+      idx = Array.make_matrix (Lprog.n_threads p) p.locs 0;
+    }
+
+  let current st t loc = List.nth st.logs.(loc) st.idx.(t).(loc)
+
+  let apply st t loc : state option =
+    if st.idx.(t).(loc) < List.length st.logs.(loc) - 1 then begin
+      let idx = clone2 st.idx in
+      idx.(t).(loc) <- idx.(t).(loc) + 1;
+      Some { st with idx }
+    end
+    else None
+
+  let step p st t : state option =
+    match instr_at p st.pc t with
+    | None -> None
+    | Some i ->
+        let adv st' = Some { st' with pc = (let a = Array.copy st'.pc in a.(t) <- a.(t) + 1; a) } in
+        (match i with
+        | Lprog.Ld { loc; reg } ->
+            let regs = clone2 st.regs in
+            regs.(t).(reg) <- current st t loc;
+            adv { st with regs }
+        | Lprog.St { loc; v } ->
+            let logs = Array.copy st.logs in
+            logs.(loc) <- st.logs.(loc) @ [ Lprog.eval st.regs.(t) v ];
+            let idx = clone2 st.idx in
+            idx.(t).(loc) <- List.length logs.(loc) - 1;
+            adv { st with logs; idx }
+        | Lprog.Wait_eq { loc; v } ->
+            if current st t loc = v then adv st else None
+        | Lprog.Acq l ->
+            if st.locks.(l) = -1 then begin
+              let locks = Array.copy st.locks in
+              locks.(l) <- t;
+              (* synchronizing on l brings the acquirer up to date on l *)
+              let idx = clone2 st.idx in
+              idx.(t).(l) <- List.length st.logs.(l) - 1;
+              adv { st with locks; idx }
+            end
+            else None
+        | Lprog.Rel l ->
+            if st.locks.(l) = t then begin
+              let locks = Array.copy st.locks in
+              locks.(l) <- -1;
+              adv { st with locks }
+            end
+            else failwith "CC: release without acquire"
+        | Lprog.Fence | Lprog.Flush _ -> adv st)
+
+  let successors p st =
+    let n = Lprog.n_threads p in
+    let instr_steps = List.filter_map (step p st) (List.init n Fun.id) in
+    let applies =
+      List.concat_map
+        (fun t ->
+          List.filter_map (apply st t) (List.init p.Lprog.locs Fun.id))
+        (List.init n Fun.id)
+    in
+    instr_steps @ applies
+
+  let is_final p st = all_done p st.pc
+  let outcome _p st = clone2 st.regs
+  let key = marshal_key
+end
+
+(* ------------------------------------------------------------------ *)
+
+(* Update streams shared by Slow and PMC: one FIFO per (writer, observer)
+   pair holding value updates and (for PMC) fence markers.  An update may
+   be taken out of the middle of the stream as long as no earlier update to
+   the same location and no earlier marker is still pending; a marker can
+   only be consumed from the head.  This realizes exactly ≺P (per-location
+   order preserved) and ≺F (markers). *)
+module Streams = struct
+  type item = Upd of int * int | Mark
+
+  type t = item list array array  (* writer x observer, oldest first *)
+
+  let create n = Array.init n (fun _ -> Array.make n [])
+
+  let clone (s : t) = Array.map Array.copy s
+
+  (* positions of items ready to be applied at observer [q] from writer
+     [w]: a mark blocks everything behind it and is itself ready only at
+     the head; an update is ready if no earlier same-location update is
+     pending. *)
+  let ready (s : t) ~w ~q : (int * item) list =
+    match s.(w).(q) with
+    | [] -> []
+    | Mark :: _ -> [ (0, Mark) ]
+    | items ->
+        let rec go i blocked = function
+          | [] -> []
+          | Mark :: _ -> []
+          | Upd (l, v) :: rest ->
+              let here =
+                if List.mem l blocked then [] else [ (i, Upd (l, v)) ]
+              in
+              here @ go (i + 1) (l :: blocked) rest
+        in
+        go 0 [] items
+
+  let remove_nth (s : t) ~w ~q n =
+    let s = clone s in
+    s.(w).(q) <- List.filteri (fun i _ -> i <> n) s.(w).(q);
+    s
+
+  let push_all (s : t) ~w item =
+    let s = clone s in
+    Array.iteri
+      (fun q items -> if q <> w then s.(w).(q) <- items @ [ item ])
+      s.(w);
+    s
+end
+
+type slow_state = {
+  s_pc : int array;
+  s_regs : int array array;
+  s_locks : int array;
+  s_copies : int array array;  (* thread x location *)
+  s_master : int array;        (* lock-protected value (PMC/EC) *)
+  s_streams : Streams.t;
+  s_hoisted : int list array;  (* per thread: acquires executed early *)
+}
+
+let slow_init (p : Lprog.t) =
+  {
+    s_pc = Array.make (Lprog.n_threads p) 0;
+    s_regs = Array.make_matrix (Lprog.n_threads p) p.regs 0;
+    s_locks = Array.make p.locs (-1);
+    s_copies = Array.make_matrix (Lprog.n_threads p) p.locs 0;
+    s_master = Array.make p.locs 0;
+    s_streams = Streams.create (Lprog.n_threads p);
+    s_hoisted = Array.make (Lprog.n_threads p) [];
+  }
+
+let slow_applies (p : Lprog.t) (st : slow_state) : slow_state list =
+  let n = Lprog.n_threads p in
+  let acc = ref [] in
+  for w = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if w <> q then
+        List.iter
+          (fun (i, item) ->
+            let streams = Streams.remove_nth st.s_streams ~w ~q i in
+            match item with
+            | Streams.Mark -> acc := { st with s_streams = streams } :: !acc
+            | Streams.Upd (l, v) ->
+                let copies = clone2 st.s_copies in
+                copies.(q).(l) <- v;
+                acc :=
+                  { st with s_streams = streams; s_copies = copies } :: !acc)
+          (Streams.ready st.s_streams ~w ~q)
+    done
+  done;
+  !acc
+
+(* [lazy_release]: when true (PMC), writes made while holding the
+   location's lock stay local until release; fences emit markers and
+   acquire/release transfer the master value. *)
+let slow_like_step ~fences ~sync_locks (p : Lprog.t) (st : slow_state) t :
+    slow_state option =
+  match instr_at p st.s_pc t with
+  | None -> None
+  | Some _ when List.mem st.s_pc.(t) st.s_hoisted.(t) ->
+      (* this instruction was already executed early: consume it *)
+      let pc = Array.copy st.s_pc in
+      let hoisted = Array.copy st.s_hoisted in
+      hoisted.(t) <- List.filter (fun j -> j <> st.s_pc.(t)) hoisted.(t);
+      pc.(t) <- pc.(t) + 1;
+      Some { st with s_pc = pc; s_hoisted = hoisted }
+  | Some i ->
+      let adv st' =
+        let pc = Array.copy st'.s_pc in
+        pc.(t) <- pc.(t) + 1;
+        Some { st' with s_pc = pc }
+      in
+      (match i with
+      | Lprog.Ld { loc; reg } ->
+          let regs = clone2 st.s_regs in
+          regs.(t).(reg) <- st.s_copies.(t).(loc);
+          adv { st with s_regs = regs }
+      | Lprog.St { loc; v } ->
+          let value = Lprog.eval st.s_regs.(t) v in
+          let copies = clone2 st.s_copies in
+          copies.(t).(loc) <- value;
+          let holds_lock = sync_locks && st.s_locks.(loc) = t in
+          let streams =
+            if holds_lock then st.s_streams  (* lazy release: stays local *)
+            else Streams.push_all st.s_streams ~w:t (Streams.Upd (loc, value))
+          in
+          adv { st with s_copies = copies; s_streams = streams }
+      | Lprog.Wait_eq { loc; v } ->
+          if st.s_copies.(t).(loc) = v then adv st else None
+      | Lprog.Acq l ->
+          if st.s_locks.(l) = -1 then begin
+            let locks = Array.copy st.s_locks in
+            locks.(l) <- t;
+            let copies = clone2 st.s_copies in
+            if sync_locks then copies.(t).(l) <- st.s_master.(l);
+            adv { st with s_locks = locks; s_copies = copies }
+          end
+          else None
+      | Lprog.Rel l ->
+          if st.s_locks.(l) = t then begin
+            let locks = Array.copy st.s_locks in
+            locks.(l) <- -1;
+            let master = Array.copy st.s_master in
+            if sync_locks then master.(l) <- st.s_copies.(t).(l);
+            adv { st with s_locks = locks; s_master = master }
+          end
+          else failwith "Slow/PMC: release without acquire"
+      | Lprog.Fence ->
+          if fences then
+            adv { st with s_streams = Streams.push_all st.s_streams ~w:t Streams.Mark }
+          else adv st
+      | Lprog.Flush l ->
+          adv
+            {
+              st with
+              s_streams =
+                Streams.push_all st.s_streams ~w:t
+                  (Streams.Upd (l, st.s_copies.(t).(l)));
+            })
+
+module Slow : SEM = struct
+  let name = "Slow"
+
+  type state = slow_state
+
+  let init = slow_init
+
+  let successors p st =
+    let n = Lprog.n_threads p in
+    List.filter_map
+      (slow_like_step ~fences:false ~sync_locks:false p st)
+      (List.init n Fun.id)
+    @ slow_applies p st
+
+  let is_final p st = all_done p st.s_pc
+  let outcome _p st = clone2 st.s_regs
+  let key = marshal_key
+end
+
+(* Entry-Consistency-like semantics: PMC's value-transferring locks and
+   fences, but synchronization operations of one process stay in program
+   order — the strengthening the paper relaxes ("our model is weaker
+   [than EC] because acquire/releases of different locations by the same
+   process are not ordered, unless a fence is applied"). *)
+module Ec : SEM = struct
+  let name = "EC"
+
+  type state = slow_state
+
+  let init = slow_init
+
+  let successors p st =
+    let n = Lprog.n_threads p in
+    List.filter_map
+      (slow_like_step ~fences:true ~sync_locks:true p st)
+      (List.init n Fun.id)
+    @ slow_applies p st
+
+  let is_final p st = all_done p st.s_pc
+  let outcome _p st = clone2 st.s_regs
+  let key = marshal_key
+end
+
+(* Full PMC: EC's transitions plus acquire hoisting.  Because
+   acquire/releases of different locations are unordered unless fenced,
+   an implementation (compiler or out-of-order core) may perform a later
+   acquire early.  A pending [Acq l] may execute ahead of program order
+   when every instruction between the program counter and it is a plain
+   read, write or wait on a *different* location — a fence, another
+   synchronization operation, a flush or any operation on [l] blocks the
+   hoist.  This is exactly the transformation Fig. 6's fence at line 11
+   exists to forbid ("prevents the compiler from moving the acquire at
+   line 13 to before the while loop"). *)
+module Pmc : SEM = struct
+  let name = "PMC"
+
+  type state = slow_state
+
+  let init = slow_init
+
+  let hoist_candidates (p : Lprog.t) (st : slow_state) t :
+      slow_state list =
+    let th = p.Lprog.threads.(t) in
+    let rec scan j acc =
+      if j >= Array.length th then acc
+      else if List.mem j st.s_hoisted.(t) then scan (j + 1) acc
+      else
+        match th.(j) with
+        | Lprog.Acq l when j > st.s_pc.(t) ->
+            (* hoist if the lock is free; scanning stops here either way
+               (moving past another sync operation is not allowed) *)
+            if st.s_locks.(l) = -1 then
+              let locks = Array.copy st.s_locks in
+              locks.(l) <- t;
+              let copies = clone2 st.s_copies in
+              copies.(t).(l) <- st.s_master.(l);
+              let hoisted = Array.copy st.s_hoisted in
+              hoisted.(t) <- List.sort compare (j :: hoisted.(t));
+              { st with s_locks = locks; s_copies = copies;
+                        s_hoisted = hoisted }
+              :: acc
+            else acc
+        | Lprog.Acq _ | Lprog.Rel _ | Lprog.Fence | Lprog.Flush _ -> acc
+        | Lprog.Ld _ | Lprog.St _ | Lprog.Wait_eq _ ->
+            (* transparent unless a later candidate touches this location;
+               checked at the candidate below *)
+            scan (j + 1) acc
+    in
+    (* re-scan with the same-location restriction: an op on l between pc
+       and the acquire blocks the hoist *)
+    let blocked_locs upto =
+      let locs = ref [] in
+      for k = st.s_pc.(t) to upto - 1 do
+        if not (List.mem k st.s_hoisted.(t)) then
+          match th.(k) with
+          | Lprog.Ld { loc; _ } | Lprog.St { loc; _ }
+          | Lprog.Wait_eq { loc; _ } ->
+              locs := loc :: !locs
+          | _ -> ()
+      done;
+      !locs
+    in
+    List.filter_map
+      (fun st' ->
+        (* find which acquire was hoisted (the new index) *)
+        let j =
+          List.find
+            (fun j -> not (List.mem j st.s_hoisted.(t)))
+            st'.s_hoisted.(t)
+        in
+        match th.(j) with
+        | Lprog.Acq l when not (List.mem l (blocked_locs j)) -> Some st'
+        | _ -> None)
+      (scan st.s_pc.(t) [])
+
+  let successors p st =
+    let n = Lprog.n_threads p in
+    List.filter_map
+      (slow_like_step ~fences:true ~sync_locks:true p st)
+      (List.init n Fun.id)
+    @ slow_applies p st
+    @ List.concat_map (fun t -> hoist_candidates p st t) (List.init n Fun.id)
+
+  let is_final p st = all_done p st.s_pc
+  let outcome _p st = clone2 st.s_regs
+  let key = marshal_key
+end
+
+let all : (module SEM) list =
+  [ (module Sc); (module Pc); (module Cc); (module Ec); (module Slow);
+    (module Pmc) ]

@@ -1,0 +1,94 @@
+(* Observation semantics: last writes, readable values and data races
+   (Section IV-D, Definitions 11 and 12).
+
+   Reads return values "slowly": a read is guaranteed to see at least the
+   last write ordered before it, but may also return any write that is not
+   itself ordered before that last write (a newer value that has already
+   propagated).  Two ordered reads must observe writes in a consistent
+   direction (monotonicity). *)
+
+(* Last writes before op [o] as seen by process [p] (Def. 11): the writes a
+   to o's location with a p≺ o and no other write between.  Under a race
+   the set has more than one element.  The default view is the issuing
+   process's own (its local edges from the initial write guarantee the set
+   is never empty, as Def. 11 requires). *)
+let last_writes ?(view : int option) (exec : Execution.t) (o : Op.t) :
+    Op.t list =
+  let rel =
+    match view with
+    | Some p -> Order.View p
+    | None -> if o.Op.proc >= 0 then Order.View o.Op.proc else Order.Global
+  in
+  let v = o.Op.loc in
+  let ws =
+    List.filter
+      (fun (a : Op.t) ->
+        Op.is_write a && a.loc = v && Order.reaches rel exec a.id o.Op.id)
+      (Execution.ops_list exec)
+  in
+  List.filter
+    (fun (a : Op.t) ->
+      not
+        (List.exists
+           (fun (b : Op.t) ->
+             b.id <> a.id
+             && Order.reaches rel exec a.id b.id
+             && Order.reaches rel exec b.id o.Op.id)
+           ws))
+    ws
+
+(* Readable values for a read [o] by its process (Def. 12): the values of
+   writes b such that some last write a satisfies a p⪯ b — i.e. b is not
+   older than a last write.  Writes ordered strictly after o are excluded:
+   they have not been issued from o's point of view. *)
+let readable_writes (exec : Execution.t) (o : Op.t) : Op.t list =
+  let p = o.Op.proc in
+  let rel = Order.View p in
+  let lw = last_writes ~view:p exec o in
+  let v = o.Op.loc in
+  List.filter
+    (fun (b : Op.t) ->
+      Op.is_write b && b.loc = v
+      && (not (Order.reaches rel exec o.Op.id b.id))
+      && List.exists
+           (fun (a : Op.t) -> a.id = b.id || Order.reaches rel exec a.id b.id)
+           lw)
+    (Execution.ops_list exec)
+
+let readable_values exec o =
+  List.sort_uniq compare
+    (List.map (fun (w : Op.t) -> w.Op.value) (readable_writes exec o))
+
+(* A data race on location v: two writes to v not ordered by ≺ (Def. 11's
+   discussion: "If W contains multiple writes, reading the location is
+   nondeterministic; a data-race occurred").  We flag write-write pairs; a
+   read racing with a write manifests as |last_writes| > 1 or as a readable
+   set with several values. *)
+type race = { loc : int; a : Op.t; b : Op.t }
+
+let pp_race ppf { loc; a; b } =
+  Fmt.pf ppf "race on v%d between %a and %a" loc Op.pp a Op.pp b
+
+let write_write_races (exec : Execution.t) : race list =
+  let races = ref [] in
+  for v = 0 to exec.Execution.locs - 1 do
+    let ws = Order.writes_of exec v in
+    let rec pairs = function
+      | [] -> ()
+      | (a : Op.t) :: rest ->
+          List.iter
+            (fun (b : Op.t) ->
+              if Order.concurrent Order.Full exec a.id b.id then
+                races := { loc = v; a; b } :: !races)
+            rest;
+          pairs rest
+    in
+    pairs ws
+  done;
+  List.rev !races
+
+let race_free exec = write_write_races exec = []
+
+(* Deterministic read: exactly one readable value. *)
+let deterministic_read exec o =
+  match readable_values exec o with [ _ ] -> true | _ -> false

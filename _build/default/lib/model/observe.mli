@@ -1,0 +1,26 @@
+(** Observation semantics: last writes, readable values and data races
+    (Section IV-D, Definitions 11 and 12). *)
+
+val last_writes : ?view:int -> Execution.t -> Op.t -> Op.t list
+(** The last writes W before an operation (Def. 11): maximal writes to its
+    location ordered before it.  Defaults to the issuing process's view,
+    under which the set is never empty (the initial write is a
+    predecessor).  More than one element means a race. *)
+
+val readable_writes : Execution.t -> Op.t -> Op.t list
+(** The writes a read may legally return (Def. 12): not older than a last
+    write (values propagate slowly, so already-overwritten values remain
+    readable) and not ordered after the read. *)
+
+val readable_values : Execution.t -> Op.t -> int list
+(** [readable_writes] projected to sorted distinct values. *)
+
+(** A write-write data race: two writes to one location unordered by ≺. *)
+type race = { loc : int; a : Op.t; b : Op.t }
+
+val pp_race : Format.formatter -> race -> unit
+val write_write_races : Execution.t -> race list
+val race_free : Execution.t -> bool
+
+val deterministic_read : Execution.t -> Op.t -> bool
+(** Exactly one readable value. *)

@@ -1,0 +1,159 @@
+(* Queries over the ordering relations of an execution (Definitions 5-10).
+
+   [global] is ≺G = ≺P ∪ ≺S ∪ ≺F — what every process agrees on.
+   [view p] is p≺ = ≺G ∪ p≺ℓ — the execution order as seen by process p.
+   [full] is ≺ = ≺G ∪ all local orders (Def. 10). *)
+
+type relation = Global | View of int | Full
+
+let edge_visible (rel : relation) (k : Execution.edge_kind) =
+  match rel, k with
+  | _, (Execution.Program | Execution.Sync | Execution.Fence) -> true
+  | Global, Execution.Local _ -> false
+  | View p, Execution.Local q -> p = q
+  | Full, Execution.Local _ -> true
+
+(* [reaches rel exec a b] — is there a path a ≺ ... ≺ b using only edges
+   visible under [rel]?  DFS; executions in this library are small (tests,
+   litmus programs, history checking), so no closure is cached. *)
+let reaches (rel : relation) (exec : Execution.t) (a : int) (b : int) : bool =
+  if a = b then false
+  else begin
+    let n = Execution.n_ops exec in
+    let seen = Array.make n false in
+    let rec go u =
+      u = b
+      || (not seen.(u))
+         && begin
+              seen.(u) <- true;
+              List.exists
+                (fun (k, v) -> edge_visible rel k && go v)
+                exec.Execution.succs.(u)
+            end
+    in
+    (* mark a as seen up-front so cycles through a terminate *)
+    seen.(a) <- true;
+    List.exists
+      (fun (k, v) -> edge_visible rel k && go v)
+      exec.Execution.succs.(a)
+  end
+
+let before rel exec a b = reaches rel exec a b
+let concurrent rel exec a b =
+  a <> b && (not (reaches rel exec a b)) && not (reaches rel exec b a)
+
+(* ≺ must remain a partial order: the DAG may not contain a cycle.  A cycle
+   would mean the program's ordering requirements are contradictory. *)
+let is_acyclic (exec : Execution.t) : bool =
+  let n = Execution.n_ops exec in
+  let state = Array.make n 0 in
+  (* 0 = unvisited, 1 = on stack, 2 = done *)
+  let rec go u =
+    match state.(u) with
+    | 1 -> false
+    | 2 -> true
+    | _ ->
+        state.(u) <- 1;
+        let ok =
+          List.for_all (fun (_, v) -> go v) exec.Execution.succs.(u)
+        in
+        state.(u) <- 2;
+        ok
+  in
+  let rec all u = u >= n || (go u && all (u + 1)) in
+  all 0
+
+(* Topological order of the full relation (ids are already issue-ordered and
+   edges only ever point from earlier to later ids, so this is the
+   identity — asserted here rather than assumed by callers). *)
+let topological (exec : Execution.t) : int list =
+  Execution.iter_ops exec (fun o ->
+      List.iter
+        (fun (_, dst) -> assert (dst > o.Op.id))
+        exec.Execution.succs.(o.Op.id));
+  List.init (Execution.n_ops exec) Fun.id
+
+(* Transitive reduction under [rel]: keep edge (a, b) only if there is no
+   other path from a to b.  Used to render the paper's figures (which are
+   "transitively reduced; all redundant orderings are left out"). *)
+let transitive_reduction (rel : relation) (exec : Execution.t) :
+    Execution.edge list =
+  (* An edge (src, dst) is redundant if a path of length >= 2 from src to
+     dst exists under [rel].  Parallel edges of different kinds between the
+     same pair are collapsed to one, matching the figures. *)
+  let keep ({ src; dst; kind } : Execution.edge) =
+    edge_visible rel kind
+    &&
+    let n = Execution.n_ops exec in
+    let seen = Array.make n false in
+    let rec go u =
+      u = dst
+      || (not seen.(u))
+         && begin
+              seen.(u) <- true;
+              List.exists
+                (fun (k, v) -> edge_visible rel k && go v)
+                exec.Execution.succs.(u)
+            end
+    in
+    seen.(src) <- true;
+    let long_path =
+      List.exists
+        (fun (k, v) -> edge_visible rel k && v <> dst && go v)
+        exec.Execution.succs.(src)
+    in
+    not long_path
+  in
+  let seen_pair = Hashtbl.create 64 in
+  List.filter
+    (fun (e : Execution.edge) ->
+      keep e
+      &&
+      let key = (e.src, e.dst) in
+      if Hashtbl.mem seen_pair key then false
+      else begin
+        Hashtbl.add seen_pair key ();
+        true
+      end)
+    (Execution.edges exec)
+
+(* The two properties of Section IV-E:
+
+   GDO (Global Data Order): per location, all globally visible orderings of
+   operations on that location form a total order across processes once the
+   program is data-race free.  [gdo_total exec v] checks the writes of v.
+
+   GPO (Global Process Order): per process, fences give a cross-location
+   order.  [gpo_pairs exec p] lists the fence-ordered pairs of p. *)
+let writes_of exec v =
+  List.filter (fun (o : Op.t) -> Op.is_write o && o.loc = v)
+    (Execution.ops_list exec)
+
+let gdo_total (exec : Execution.t) (v : int) : bool =
+  let ws = writes_of exec v in
+  List.for_all
+    (fun (a : Op.t) ->
+      List.for_all
+        (fun (b : Op.t) ->
+          a.id = b.id
+          || reaches Global exec a.id b.id
+          || reaches Global exec b.id a.id)
+        ws)
+    ws
+
+let gpo_pairs (exec : Execution.t) (p : int) : (int * int) list =
+  let ops =
+    List.filter
+      (fun (o : Op.t) -> o.proc = p && not (Op.is_fence o))
+      (Execution.ops_list exec)
+  in
+  List.concat_map
+    (fun (a : Op.t) ->
+      List.filter_map
+        (fun (b : Op.t) ->
+          if a.id <> b.id && a.loc <> b.loc
+             && reaches Global exec a.id b.id
+          then Some (a.id, b.id)
+          else None)
+        ops)
+    ops

@@ -1,0 +1,36 @@
+(** Queries over the ordering relations of an execution (Defs. 5-10). *)
+
+(** Which edges are visible: [Global] is ≺G = ≺P ∪ ≺S ∪ ≺F (Def. 9) —
+    what every process agrees on; [View p] is p≺ = ≺G ∪ p≺ℓ; [Full] is
+    ≺ including every process's local edges (Def. 10). *)
+type relation = Global | View of int | Full
+
+val edge_visible : relation -> Execution.edge_kind -> bool
+
+val reaches : relation -> Execution.t -> int -> int -> bool
+(** [reaches rel exec a b] — is there a path from operation [a] to [b]
+    using only edges visible under [rel]?  Irreflexive. *)
+
+val before : relation -> Execution.t -> int -> int -> bool
+val concurrent : relation -> Execution.t -> int -> int -> bool
+
+val is_acyclic : Execution.t -> bool
+(** ≺ must remain a partial order. *)
+
+val topological : Execution.t -> int list
+(** Issue order is a topological order of the DAG (asserted). *)
+
+val transitive_reduction : relation -> Execution.t -> Execution.edge list
+(** The minimal edge set with the same reachability — the paper's figures
+    are drawn transitively reduced.  Parallel edges between one pair are
+    collapsed. *)
+
+val writes_of : Execution.t -> int -> Op.t list
+
+val gdo_total : Execution.t -> int -> bool
+(** Global Data Order (Sec. IV-E): are all writes to the location totally
+    ordered under ≺G?  Holds when writes are wrapped in acquire/release. *)
+
+val gpo_pairs : Execution.t -> int -> (int * int) list
+(** Global Process Order pairs of one process: cross-location operation
+    pairs ordered under ≺G — produced by fences. *)

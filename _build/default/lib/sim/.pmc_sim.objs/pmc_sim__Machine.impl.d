@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Bytes Cache Char Config Engine Icache Noc Prng Sdram Stats

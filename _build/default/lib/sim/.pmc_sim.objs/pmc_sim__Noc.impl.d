@@ -1,0 +1,1 @@
+lib/sim/noc.ml: Array Bytes Config Engine

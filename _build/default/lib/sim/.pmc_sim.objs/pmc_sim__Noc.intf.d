@@ -1,0 +1,1 @@
+lib/sim/noc.mli: Bytes Config Engine

@@ -1,0 +1,187 @@
+(* Set-associative write-back, write-allocate data cache with true line
+   storage.
+
+   The cache holds its own copy of line data, so a dirty or stale line is
+   really stale: another core reading the backing SDRAM does *not* see this
+   core's cached writes until software writes the line back.  This is the
+   non-coherence the paper's software cache coherency protocol must manage.
+
+   Like the MicroBlaze cache described in Section V-B, the only maintenance
+   operations are invalidate (discard, even if dirty) and write-back +
+   invalidate; there is no way to reconcile a dirty line while keeping it. *)
+
+type line = {
+  mutable tag : int;      (* -1 = invalid *)
+  mutable dirty : bool;
+  mutable lru : int;
+  data : Bytes.t;
+}
+
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  lines : line array array;      (* set -> way -> line *)
+  mutable tick : int;
+  (* Backing store callbacks: read/write a whole aligned line. *)
+  backing_read : int -> Bytes.t -> unit;
+  backing_write : int -> Bytes.t -> unit;
+}
+
+type outcome = {
+  hit : bool;
+  refilled : bool;          (* line fetched from backing store *)
+  wrote_back : bool;        (* a dirty victim was written back *)
+}
+
+let create ~sets ~ways ~line_bytes ~backing_read ~backing_write =
+  if sets <= 0 || ways <= 0 then invalid_arg "Cache.create";
+  {
+    sets;
+    ways;
+    line_bytes;
+    lines =
+      Array.init sets (fun _ ->
+          Array.init ways (fun _ ->
+              { tag = -1; dirty = false; lru = 0;
+                data = Bytes.create line_bytes }));
+    tick = 0;
+    backing_read;
+    backing_write;
+  }
+
+let line_addr t addr = addr - (addr mod t.line_bytes)
+let set_of t addr = addr / t.line_bytes mod t.sets
+let tag_of t addr = addr / t.line_bytes / t.sets
+
+let touch t line =
+  t.tick <- t.tick + 1;
+  line.lru <- t.tick
+
+let find t addr : line option =
+  let set = t.lines.(set_of t addr) in
+  let tag = tag_of t addr in
+  let rec go i =
+    if i >= t.ways then None
+    else if set.(i).tag = tag then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let victim t addr : line =
+  let set = t.lines.(set_of t addr) in
+  let v = ref set.(0) in
+  (* prefer an invalid way, otherwise least recently used *)
+  (try
+     Array.iter
+       (fun l ->
+         if l.tag = -1 then begin
+           v := l;
+           raise Exit
+         end)
+       set
+   with Exit -> ());
+  if !v.tag <> -1 then
+    Array.iter (fun l -> if l.lru < !v.lru then v := l) set;
+  !v
+
+(* Ensure the line containing [addr] is resident; returns the line and the
+   outcome for cycle accounting. *)
+let ensure t addr : line * outcome =
+  match find t addr with
+  | Some l ->
+      touch t l;
+      (l, { hit = true; refilled = false; wrote_back = false })
+  | None ->
+      let l = victim t addr in
+      let wrote_back =
+        if l.tag <> -1 && l.dirty then begin
+          let old_addr = (l.tag * t.sets + set_of t addr) * t.line_bytes in
+          t.backing_write old_addr l.data;
+          true
+        end
+        else false
+      in
+      t.backing_read (line_addr t addr) l.data;
+      l.tag <- tag_of t addr;
+      l.dirty <- false;
+      touch t l;
+      (l, { hit = false; refilled = true; wrote_back })
+
+let load_u32 t addr : int32 * outcome =
+  let l, oc = ensure t addr in
+  (Bytes.get_int32_le l.data (addr mod t.line_bytes), oc)
+
+let store_u32 t addr v : outcome =
+  let l, oc = ensure t addr in
+  Bytes.set_int32_le l.data (addr mod t.line_bytes) v;
+  l.dirty <- true;
+  oc
+
+let load_u8 t addr : int * outcome =
+  let l, oc = ensure t addr in
+  (Char.code (Bytes.get l.data (addr mod t.line_bytes)), oc)
+
+let store_u8 t addr v : outcome =
+  let l, oc = ensure t addr in
+  Bytes.set l.data (addr mod t.line_bytes) (Char.chr (v land 0xff));
+  l.dirty <- true;
+  oc
+
+type maint = { lines_touched : int; lines_written_back : int }
+
+(* Iterate over the resident lines overlapping [addr, addr+len). *)
+let iter_range t ~addr ~len f =
+  let first = line_addr t addr in
+  let last = line_addr t (addr + len - 1) in
+  let a = ref first in
+  while !a <= last do
+    (match find t !a with Some l -> f !a l | None -> ());
+    a := !a + t.line_bytes
+  done
+
+(* Write-back + invalidate (the MicroBlaze "flush"): dirty lines go to the
+   backing store, then all lines in range are discarded. *)
+let wb_inval_range t ~addr ~len : maint =
+  let touched = ref 0 and wrote = ref 0 in
+  iter_range t ~addr ~len (fun line_a l ->
+      incr touched;
+      if l.dirty then begin
+        t.backing_write line_a l.data;
+        incr wrote
+      end;
+      l.tag <- -1;
+      l.dirty <- false);
+  { lines_touched = !touched; lines_written_back = !wrote }
+
+(* Invalidate without write-back: cached modifications are lost. *)
+let inval_range t ~addr ~len : maint =
+  let touched = ref 0 in
+  iter_range t ~addr ~len (fun _ l ->
+      incr touched;
+      l.tag <- -1;
+      l.dirty <- false);
+  { lines_touched = !touched; lines_written_back = 0 }
+
+let flush_all t : maint =
+  let touched = ref 0 and wrote = ref 0 in
+  Array.iteri
+    (fun set_idx set ->
+      Array.iter
+        (fun l ->
+          if l.tag <> -1 then begin
+            incr touched;
+            if l.dirty then begin
+              let a = (l.tag * t.sets + set_idx) * t.line_bytes in
+              t.backing_write a l.data;
+              incr wrote
+            end;
+            l.tag <- -1;
+            l.dirty <- false
+          end)
+        set)
+    t.lines;
+  { lines_touched = !touched; lines_written_back = !wrote }
+
+let resident t addr = find t addr <> None
+let dirty t addr = match find t addr with Some l -> l.dirty | None -> false

@@ -1,0 +1,48 @@
+(** Set-associative write-back, write-allocate data cache with true line
+    storage: a dirty or stale line is really invisible to the backing
+    store until software writes it back — the non-coherence that the
+    paper's protocols manage.
+
+    Maintenance matches the MicroBlaze of Section V-B: invalidate
+    (discarding dirty data) or write-back + invalidate; a dirty line
+    cannot be reconciled while staying resident. *)
+
+type t
+
+(** What one access did, for cycle accounting. *)
+type outcome = {
+  hit : bool;
+  refilled : bool;     (** a line was fetched from the backing store *)
+  wrote_back : bool;   (** a dirty victim was evicted to the backing store *)
+}
+
+val create :
+  sets:int ->
+  ways:int ->
+  line_bytes:int ->
+  backing_read:(int -> Bytes.t -> unit) ->
+  backing_write:(int -> Bytes.t -> unit) ->
+  t
+(** The backing callbacks transfer whole aligned lines. *)
+
+val line_addr : t -> int -> int
+
+val load_u32 : t -> int -> int32 * outcome
+val store_u32 : t -> int -> int32 -> outcome
+val load_u8 : t -> int -> int * outcome
+val store_u8 : t -> int -> int -> outcome
+
+(** Result of a maintenance operation. *)
+type maint = { lines_touched : int; lines_written_back : int }
+
+val wb_inval_range : t -> addr:int -> len:int -> maint
+(** Write back dirty lines in the range, then invalidate — the MicroBlaze
+    "flush". *)
+
+val inval_range : t -> addr:int -> len:int -> maint
+(** Invalidate without write-back: cached modifications are lost. *)
+
+val flush_all : t -> maint
+
+val resident : t -> int -> bool
+val dirty : t -> int -> bool

@@ -1,0 +1,79 @@
+(* Timing and geometry parameters of the simulated many-core SoC (Fig. 7 of
+   the paper: tiles with a MicroBlaze-like in-order core and a dual-port
+   local memory, a write-only NoC between tiles, and a shared SDRAM behind
+   per-core non-coherent caches).
+
+   The defaults echo the paper's FPGA platform class: single-cycle cache
+   hits, tens of cycles to SDRAM, a couple of cycles to the local memory
+   and NoC latencies that grow with hop distance. *)
+
+type t = {
+  cores : int;
+  (* data cache *)
+  dcache_sets : int;
+  dcache_ways : int;
+  line_bytes : int;
+  dcache_hit_cycles : int;
+  (* instruction cache *)
+  icache_sets : int;
+  icache_ways : int;
+  icache_miss_cycles : int;
+  (* memories *)
+  sdram_word_cycles : int;      (* uncached single-word access *)
+  sdram_line_cycles : int;      (* cache line refill / write-back *)
+  sdram_word_occupancy : int;   (* port busy time per word (contention) *)
+  sdram_line_occupancy : int;   (* port busy time per line (contention) *)
+  local_mem_cycles : int;       (* dual-port local memory access (single-cycle LMB) *)
+  local_mem_bytes : int;        (* per-tile local memory size *)
+  sdram_bytes : int;
+  (* network-on-chip *)
+  noc_base_cycles : int;        (* remote write setup latency *)
+  noc_hop_cycles : int;         (* additional latency per hop *)
+  noc_word_cycles : int;        (* per-word cost of a burst *)
+  (* locking *)
+  lock_local_poll_cycles : int; (* polling the local grant flag *)
+  lock_transfer_cycles : int;   (* handover between tiles over the NoC *)
+  (* simulation *)
+  max_cycles : int;             (* watchdog against livelock *)
+  seed : int;                   (* PRNG seed for workload randomness *)
+}
+
+let default =
+  {
+    cores = 32;
+    dcache_sets = 128;
+    dcache_ways = 4;
+    line_bytes = 32;
+    dcache_hit_cycles = 1;
+    icache_sets = 512;
+    icache_ways = 1;
+    icache_miss_cycles = 20;
+    sdram_word_cycles = 24;
+    sdram_line_cycles = 30;
+    sdram_word_occupancy = 1;
+    sdram_line_occupancy = 2;
+    local_mem_cycles = 1;
+    local_mem_bytes = 64 * 1024;
+    sdram_bytes = 8 * 1024 * 1024;
+    noc_base_cycles = 10;
+    noc_hop_cycles = 1;
+    noc_word_cycles = 1;
+    lock_local_poll_cycles = 4;
+    lock_transfer_cycles = 30;
+    max_cycles = 2_000_000_000;
+    seed = 42;
+  }
+
+let small = { default with cores = 4; sdram_bytes = 1024 * 1024 }
+
+(* Number of NoC hops between two tiles: tiles on a bidirectional ring,
+   matching the connectionless NoC of the paper's platform [16]. *)
+let hops t ~src ~dst =
+  let d = abs (src - dst) in
+  min d (t.cores - d)
+
+let noc_latency t ~src ~dst ~words =
+  t.noc_base_cycles + (t.noc_hop_cycles * hops t ~src ~dst)
+  + (t.noc_word_cycles * words)
+
+let words_per_line t = t.line_bytes / 4

@@ -1,0 +1,42 @@
+(** Timing and geometry parameters of the simulated many-core SoC
+    (Fig. 7 of the paper: tiles with an in-order MicroBlaze-like core and
+    a dual-port local memory, a write-only NoC, and a shared SDRAM behind
+    per-core non-coherent caches). *)
+
+type t = {
+  cores : int;
+  dcache_sets : int;
+  dcache_ways : int;
+  line_bytes : int;
+  dcache_hit_cycles : int;
+  icache_sets : int;
+  icache_ways : int;
+  icache_miss_cycles : int;
+  sdram_word_cycles : int;      (** uncached single-word access latency *)
+  sdram_line_cycles : int;      (** cache-line refill / write-back latency *)
+  sdram_word_occupancy : int;   (** port busy time per word (contention) *)
+  sdram_line_occupancy : int;   (** port busy time per line (contention) *)
+  local_mem_cycles : int;       (** local memory access (single-cycle LMB) *)
+  local_mem_bytes : int;
+  sdram_bytes : int;
+  noc_base_cycles : int;        (** remote-write setup latency *)
+  noc_hop_cycles : int;         (** additional latency per ring hop *)
+  noc_word_cycles : int;        (** per-word injection/burst cost *)
+  lock_local_poll_cycles : int; (** polling the local grant flag *)
+  lock_transfer_cycles : int;   (** lock handover between tiles *)
+  max_cycles : int;             (** livelock watchdog *)
+  seed : int;                   (** PRNG seed for workload randomness *)
+}
+
+val default : t
+(** 32 tiles, 16 KiB 4-way D-caches with 32-byte lines, 16 KiB I-caches,
+    24-cycle SDRAM words, single-cycle local memories. *)
+
+val small : t
+(** A 4-tile variant for tests. *)
+
+val hops : t -> src:int -> dst:int -> int
+(** Ring-topology hop distance between two tiles. *)
+
+val noc_latency : t -> src:int -> dst:int -> words:int -> int
+val words_per_line : t -> int

@@ -1,0 +1,195 @@
+(* Discrete-event execution engine.
+
+   Each simulated core runs an ordinary OCaml function written against the
+   runtime API.  Timing is cooperative: whenever simulated work costs
+   cycles, the task performs a [Consume] effect; the scheduler advances
+   that core's virtual clock and always resumes the task with the smallest
+   clock next, so cores interleave exactly as their timing dictates.
+   Besides tasks, the event queue carries timed closures ([at]) used by the
+   NoC to deliver remote writes at their arrival time.
+
+   The simulation is fully deterministic: ties in time are broken by
+   insertion sequence. *)
+
+type _ Effect.t += Consume : int -> unit Effect.t
+
+exception Watchdog of int
+(* raised when a task exceeds [Config.max_cycles] — livelock guard *)
+
+exception Deadlock of string
+
+type task_state =
+  | Not_started of (unit -> unit)
+  | Suspended of (unit, unit) Effect.Deep.continuation
+  | Finished
+
+type task = { core : int; mutable time : int; seq : int; mutable state : task_state }
+
+type entry = Task of task | Event of (unit -> unit)
+
+(* Binary min-heap on (time, seq). *)
+module Heap = struct
+  type elt = { time : int; seq : int; entry : entry }
+
+  type t = { mutable a : elt array; mutable n : int }
+
+  let dummy = { time = 0; seq = 0; entry = Event (fun () -> ()) }
+  let create () = { a = Array.make 64 dummy; n = 0 }
+  let is_empty h = h.n = 0
+
+  let less x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (2 * h.n) dummy in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- x;
+    while !i > 0 && less h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    assert (h.n > 0);
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.n && less h.a.(l) h.a.(!smallest) then smallest := l;
+      if r < h.n && less h.a.(r) h.a.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.a.(!smallest) in
+        h.a.(!smallest) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
+end
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  heap : Heap.t;
+  mutable current : task option;
+  mutable next_seq : int;
+  mutable global_time : int;  (* time of the entry being processed *)
+  mutable tasks_live : int;
+}
+
+let create (config : Config.t) =
+  {
+    config;
+    stats = Stats.create config.cores;
+    heap = Heap.create ();
+    current = None;
+    next_seq = 0;
+    global_time = 0;
+    tasks_live = 0;
+  }
+
+let stats t = t.stats
+
+let fresh_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+(* Spawn a computation on [core], starting at the core's current time (or
+   at [start]).  Several tasks may share a core; they interleave at consume
+   points, which models cooperative threads on one processor. *)
+let spawn ?(start = 0) t ~core f =
+  if core < 0 || core >= t.config.cores then
+    invalid_arg "Engine.spawn: bad core";
+  let task =
+    { core; time = max start t.global_time; seq = fresh_seq t;
+      state = Not_started f }
+  in
+  t.tasks_live <- t.tasks_live + 1;
+  Heap.push t.heap { time = task.time; seq = task.seq; entry = Task task }
+
+(* Schedule [f] to run at absolute [time]. *)
+let at t ~time f =
+  Heap.push t.heap { time; seq = fresh_seq t; entry = Event f }
+
+let current_task t =
+  match t.current with
+  | Some task -> task
+  | None -> failwith "Engine: no task running (call from within spawn)"
+
+let core_id t = (current_task t).core
+let now t = (current_task t).time
+
+(* Advance the current core's clock by [n] cycles, attributed to [cat]. *)
+let consume t cat n =
+  if n < 0 then invalid_arg "Engine.consume: negative cycles";
+  if n > 0 then begin
+    let task = current_task t in
+    Stats.add (Stats.core t.stats task.core) cat n;
+    Effect.perform (Consume n)
+  end
+
+(* Advance the clock without statistics (used by pure waiting). *)
+let idle t n = if n > 0 then Effect.perform (Consume n) else ignore t
+
+let handler t task =
+  {
+    Effect.Deep.retc =
+      (fun () ->
+        task.state <- Finished;
+        t.tasks_live <- t.tasks_live - 1);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Consume n ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                task.time <- task.time + n;
+                if task.time > t.config.max_cycles then
+                  raise (Watchdog task.time);
+                task.state <- Suspended k;
+                Heap.push t.heap
+                  { time = task.time; seq = fresh_seq t; entry = Task task })
+        | _ -> None);
+  }
+
+(* Run until every task has finished and every event has fired.  Raises
+   [Watchdog] if a task spins past the configured horizon; raises
+   [Deadlock] if tasks remain but nothing is runnable (cannot happen with
+   pure time-based waiting, but guards future blocking primitives). *)
+let run t =
+  while not (Heap.is_empty t.heap) do
+    let { Heap.time; entry; _ } = Heap.pop t.heap in
+    t.global_time <- time;
+    match entry with
+    | Event f -> f ()
+    | Task task -> (
+        t.current <- Some task;
+        (match task.state with
+        | Not_started f ->
+            task.state <- Finished;
+            (* state is overwritten by the handler on suspension *)
+            Effect.Deep.match_with f () (handler t task)
+        | Suspended k ->
+            task.state <- Finished;
+            Effect.Deep.continue k ()
+        | Finished -> ());
+        t.current <- None)
+  done;
+  if t.tasks_live > 0 then
+    raise (Deadlock (Printf.sprintf "%d tasks never finished" t.tasks_live))
+
+let wall_time t = t.global_time

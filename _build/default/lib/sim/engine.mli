@@ -1,0 +1,49 @@
+(** Discrete-event execution engine.
+
+    Simulated cores are ordinary OCaml functions; whenever simulated work
+    costs cycles they perform a [Consume] effect, and the scheduler always
+    resumes the task with the smallest virtual clock, so cores interleave
+    exactly as their timing dictates.  Timed closures ([at]) share the
+    event queue — the NoC uses them to deliver posted writes.
+
+    Fully deterministic: ties in time break by creation sequence. *)
+
+type _ Effect.t += Consume : int -> unit Effect.t
+
+exception Watchdog of int
+(** A task exceeded [Config.max_cycles] — livelock guard. *)
+
+exception Deadlock of string
+
+type t
+
+val create : Config.t -> t
+val stats : t -> Stats.t
+
+val spawn : ?start:int -> t -> core:int -> (unit -> unit) -> unit
+(** Start a computation on [core].  Several tasks may share a core; they
+    interleave at consume points (cooperative threads). *)
+
+val at : t -> time:int -> (unit -> unit) -> unit
+(** Schedule a closure at an absolute time. *)
+
+val core_id : t -> int
+(** The core of the currently running task.  Must be called from within
+    a spawned computation. *)
+
+val now : t -> int
+(** The current task's virtual time. *)
+
+val consume : t -> Stats.category -> int -> unit
+(** Advance the current core's clock by [n] cycles, attributed to the
+    category. *)
+
+val idle : t -> int -> unit
+(** Advance the clock without statistics (pure waiting). *)
+
+val run : t -> unit
+(** Run until every task has finished and every event has fired.
+    @raise Watchdog on livelock, [Deadlock] if tasks remain unrunnable. *)
+
+val wall_time : t -> int
+(** Time of the last processed entry — the run's wall-clock. *)

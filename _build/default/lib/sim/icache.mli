@@ -1,0 +1,12 @@
+(** Instruction-cache model: tags only — instruction bytes are never
+    needed, only hit/miss timing for the Fig. 8 I-cache stall bars. *)
+
+type t
+
+val create : sets:int -> ways:int -> line_bytes:int -> t
+
+val fetch_line : t -> int -> bool
+(** [fetch_line t addr] — access the line containing [addr]; returns
+    whether it hit, allocating on miss (LRU). *)
+
+val invalidate_all : t -> unit

@@ -1,0 +1,443 @@
+(* The simulated many-core SoC of Fig. 7: [cores] tiles, each with an
+   in-order core, a private write-back D-cache and I-cache in front of a
+   shared SDRAM, a dual-port local memory, and a write-only NoC that lets
+   any core post writes into any other tile's local memory.
+
+   Address space (flat integers):
+     [0, uncached_base)             cached SDRAM
+     [uncached_base, sdram_bytes)   uncached SDRAM
+     [local_base + i*stride, +len)  tile i local memory
+
+   Each tile's local memory is split into a DSM region (objects replicated
+   at a common offset on every tile) and an SPM arena (scratch-pad
+   allocations with stack discipline).
+
+   Data movement happens at the *start* of an access's latency window;
+   cycle costs are consumed afterwards.  This keeps the simulation
+   deterministic and single-threaded while cores interleave at every
+   consume point. *)
+
+type code_state = {
+  mutable pc : int;
+  mutable footprint : int;     (* code size in bytes *)
+  mutable jump_prob : float;   (* probability of a taken jump per line *)
+  prng : Prng.t;
+}
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  sdram : Sdram.t;
+  dcaches : Cache.t array;
+  icaches : Icache.t array;
+  locals : Bytes.t array;
+  noc : Noc.t;
+  uncached_base : int;
+  local_base : int;
+  dsm_region_bytes : int;
+  mutable cached_brk : int;
+  mutable uncached_brk : int;
+  mutable dsm_brk : int;         (* common offset across all tiles *)
+  spm_sp : int array;            (* per-tile SPM stack pointer *)
+  private_base : int array;      (* per-core private arena (cached SDRAM) *)
+  code : code_state array;
+}
+
+let private_bytes = 16 * 1024
+
+let create (cfg : Config.t) : t =
+  let engine = Engine.create cfg in
+  let sdram =
+    Sdram.create ~size:cfg.sdram_bytes
+      ~word_occupancy:cfg.sdram_word_occupancy
+      ~line_occupancy:cfg.sdram_line_occupancy
+  in
+  let dcaches =
+    Array.init cfg.cores (fun _ ->
+        Cache.create ~sets:cfg.dcache_sets ~ways:cfg.dcache_ways
+          ~line_bytes:cfg.line_bytes
+          ~backing_read:(fun addr buf -> Sdram.read_line sdram addr buf)
+          ~backing_write:(fun addr buf -> Sdram.write_line sdram addr buf))
+  in
+  let icaches =
+    Array.init cfg.cores (fun _ ->
+        Icache.create ~sets:cfg.icache_sets ~ways:cfg.icache_ways
+          ~line_bytes:cfg.line_bytes)
+  in
+  let locals =
+    Array.init cfg.cores (fun _ -> Bytes.make cfg.local_mem_bytes '\000')
+  in
+  let noc = Noc.create cfg engine locals in
+  let seed_prng = Prng.create cfg.seed in
+  let code =
+    Array.init cfg.cores (fun _ ->
+        { pc = 0; footprint = 8 * 1024; jump_prob = 0.05;
+          prng = Prng.split seed_prng })
+  in
+  let uncached_base = cfg.sdram_bytes / 2 in
+  let m =
+    {
+      cfg;
+      engine;
+      sdram;
+      dcaches;
+      icaches;
+      locals;
+      noc;
+      uncached_base;
+      local_base = 0x1000_0000;
+      dsm_region_bytes = cfg.local_mem_bytes / 2;
+      cached_brk = 0;
+      uncached_brk = uncached_base;
+      dsm_brk = 0;
+      spm_sp = Array.make cfg.cores (cfg.local_mem_bytes / 2);
+      private_base = Array.make cfg.cores 0;
+      code;
+    }
+  in
+  (* carve out per-core private arenas from the cached region *)
+  Array.iteri
+    (fun i _ ->
+      m.private_base.(i) <- m.cached_brk + (i * private_bytes))
+    m.private_base;
+  m.cached_brk <- m.cached_brk + (cfg.cores * private_bytes);
+  m
+
+let config m = m.cfg
+let engine m = m.engine
+let stats m = Engine.stats m.engine
+let spawn ?start m ~core f = Engine.spawn ?start m.engine ~core f
+let run m = Engine.run m.engine
+let core_id m = Engine.core_id m.engine
+let now m = Engine.now m.engine
+
+(* ---------------- allocation ---------------- *)
+
+let align_up v a = (v + a - 1) / a * a
+
+(* Shared objects are cache-line aligned and never share a line with
+   another object (Section V-B: "All shared objects are aligned to a cache
+   line ... and cannot overlap with other objects"). *)
+let alloc_cached m ~bytes =
+  let a = align_up m.cached_brk m.cfg.line_bytes in
+  m.cached_brk <- a + align_up bytes m.cfg.line_bytes;
+  if m.cached_brk > m.uncached_base then failwith "cached arena exhausted";
+  a
+
+let alloc_uncached m ~bytes =
+  let a = align_up m.uncached_brk m.cfg.line_bytes in
+  m.uncached_brk <- a + align_up bytes m.cfg.line_bytes;
+  if m.uncached_brk > m.cfg.sdram_bytes then
+    failwith "uncached arena exhausted";
+  a
+
+(* DSM objects live at the same offset in every tile's local memory. *)
+let alloc_dsm m ~bytes : int =
+  let off = align_up m.dsm_brk 4 in
+  m.dsm_brk <- off + align_up bytes 4;
+  if m.dsm_brk > m.dsm_region_bytes then failwith "DSM region exhausted";
+  off
+
+(* SPM stack allocation in the upper half of the local memory. *)
+let spm_alloc m ~core ~bytes : int =
+  let off = m.spm_sp.(core) in
+  let next = align_up (off + bytes) 4 in
+  if next > m.cfg.local_mem_bytes then failwith "SPM arena exhausted";
+  m.spm_sp.(core) <- next;
+  off
+
+let spm_mark m ~core = m.spm_sp.(core)
+let spm_release m ~core mark = m.spm_sp.(core) <- mark
+
+(* ---------------- address decoding ---------------- *)
+
+type place =
+  | Cached_sdram of int
+  | Uncached_sdram of int
+  | Local of { tile : int; off : int }
+
+let local_addr m ~tile ~off = m.local_base + (tile * m.cfg.local_mem_bytes) + off
+
+let decode m addr : place =
+  if addr >= m.local_base then begin
+    let rel = addr - m.local_base in
+    let tile = rel / m.cfg.local_mem_bytes in
+    let off = rel mod m.cfg.local_mem_bytes in
+    if tile >= m.cfg.cores then invalid_arg "Machine: bad local address";
+    Local { tile; off }
+  end
+  else if addr >= m.uncached_base then Uncached_sdram addr
+  else Cached_sdram addr
+
+(* ---------------- timed accesses ---------------- *)
+
+let miss_cycles m oc =
+  let c = ref 0 in
+  if oc.Cache.refilled then begin
+    c := !c + Sdram.contend_line m.sdram ~now:(now m)
+         + m.cfg.sdram_line_cycles
+  end;
+  if oc.Cache.wrote_back then begin
+    c := !c + Sdram.contend_line m.sdram ~now:(now m)
+         + m.cfg.sdram_line_cycles
+  end;
+  !c
+
+let count_dcache m core (oc : Cache.outcome) =
+  let s = Stats.core (stats m) core in
+  if oc.hit then s.Stats.dcache_hits <- s.Stats.dcache_hits + 1
+  else s.Stats.dcache_misses <- s.Stats.dcache_misses + 1
+
+let read_stall_cat ~shared =
+  if shared then Stats.Shared_read_stall else Stats.Private_read_stall
+
+exception Remote_read of { core : int; tile : int }
+(* reading another tile's local memory is impossible on the write-only
+   interconnect *)
+
+let load_u32 m ~shared addr : int32 =
+  let core = core_id m in
+  match decode m addr with
+  | Cached_sdram a ->
+      let v, oc = Cache.load_u32 m.dcaches.(core) a in
+      count_dcache m core oc;
+      Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
+      if not oc.Cache.hit then
+        Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc)
+      else if oc.Cache.wrote_back then
+        Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc);
+      v
+  | Uncached_sdram a ->
+      let wait = Sdram.contend_word m.sdram ~now:(now m) in
+      Engine.consume m.engine (read_stall_cat ~shared)
+        (wait + m.cfg.sdram_word_cycles);
+      Sdram.read_u32 m.sdram a
+  | Local { tile; off } ->
+      if tile <> core then raise (Remote_read { core; tile });
+      Engine.consume m.engine (read_stall_cat ~shared) m.cfg.local_mem_cycles;
+      Bytes.get_int32_le m.locals.(tile) off
+
+let store_u32 m ~shared:_ addr (v : int32) : unit =
+  let core = core_id m in
+  match decode m addr with
+  | Cached_sdram a ->
+      let oc = Cache.store_u32 m.dcaches.(core) a v in
+      count_dcache m core oc;
+      Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
+      if oc.Cache.refilled || oc.Cache.wrote_back then
+        Engine.consume m.engine Stats.Write_stall (miss_cycles m oc)
+  | Uncached_sdram a ->
+      let wait = Sdram.contend_word m.sdram ~now:(now m) in
+      Engine.consume m.engine Stats.Write_stall
+        (wait + m.cfg.sdram_word_cycles);
+      Sdram.write_u32 m.sdram a v
+  | Local { tile; off } ->
+      if tile = core then begin
+        Engine.consume m.engine Stats.Write_stall m.cfg.local_mem_cycles;
+        Bytes.set_int32_le m.locals.(tile) off v
+      end
+      else begin
+        (* posted write over the NoC *)
+        let buf = Bytes.create 4 in
+        Bytes.set_int32_le buf 0 v;
+        let s = Stats.core (stats m) core in
+        s.Stats.noc_writes <- s.Stats.noc_writes + 1;
+        Engine.consume m.engine Stats.Write_stall
+          (Noc.injection_cost m.noc buf);
+        ignore (Noc.post_write m.noc ~src:core ~dst:tile ~off buf)
+      end
+
+let load_u8 m ~shared addr : int =
+  let core = core_id m in
+  match decode m addr with
+  | Cached_sdram a ->
+      let v, oc = Cache.load_u8 m.dcaches.(core) a in
+      count_dcache m core oc;
+      Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
+      if not oc.Cache.hit then
+        Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc);
+      v
+  | Uncached_sdram a ->
+      let wait = Sdram.contend_word m.sdram ~now:(now m) in
+      Engine.consume m.engine (read_stall_cat ~shared)
+        (wait + m.cfg.sdram_word_cycles);
+      Sdram.read_u8 m.sdram a
+  | Local { tile; off } ->
+      if tile <> core then raise (Remote_read { core; tile });
+      Engine.consume m.engine (read_stall_cat ~shared) m.cfg.local_mem_cycles;
+      Char.code (Bytes.get m.locals.(tile) off)
+
+let store_u8 m ~shared:_ addr (v : int) : unit =
+  let core = core_id m in
+  match decode m addr with
+  | Cached_sdram a ->
+      let oc = Cache.store_u8 m.dcaches.(core) a v in
+      count_dcache m core oc;
+      Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
+      if oc.Cache.refilled || oc.Cache.wrote_back then
+        Engine.consume m.engine Stats.Write_stall (miss_cycles m oc)
+  | Uncached_sdram a ->
+      let wait = Sdram.contend_word m.sdram ~now:(now m) in
+      Engine.consume m.engine Stats.Write_stall
+        (wait + m.cfg.sdram_word_cycles);
+      Sdram.write_u8 m.sdram a v
+  | Local { tile; off } ->
+      if tile = core then begin
+        Engine.consume m.engine Stats.Write_stall m.cfg.local_mem_cycles;
+        Bytes.set m.locals.(tile) off (Char.chr (v land 0xff))
+      end
+      else begin
+        let buf = Bytes.make 1 (Char.chr (v land 0xff)) in
+        let s = Stats.core (stats m) core in
+        s.Stats.noc_writes <- s.Stats.noc_writes + 1;
+        Engine.consume m.engine Stats.Write_stall
+          (Noc.injection_cost m.noc buf);
+        ignore (Noc.post_write m.noc ~src:core ~dst:tile ~off buf)
+      end
+
+(* Unordered remote write with caller-chosen latency: the Fig. 1 machine,
+   where different memories sit at different distances. *)
+let store_u32_remote_raw m ~dst ~off ~latency (v : int32) =
+  let core = core_id m in
+  let buf = Bytes.create 4 in
+  Bytes.set_int32_le buf 0 v;
+  let s = Stats.core (stats m) core in
+  s.Stats.noc_writes <- s.Stats.noc_writes + 1;
+  Engine.consume m.engine Stats.Write_stall (Noc.injection_cost m.noc buf);
+  ignore (Noc.post_write_at m.noc ~src:core ~dst ~off ~latency buf)
+
+(* Push [len] bytes of my local memory at [src_off] into tile [dst] at
+   [dst_off] over the NoC (the DSM back-end's replication primitive). *)
+let noc_push m ~dst ~src_off ~dst_off ~len =
+  let core = core_id m in
+  if dst = core then invalid_arg "noc_push to self";
+  let buf = Bytes.sub m.locals.(core) src_off len in
+  let s = Stats.core (stats m) core in
+  s.Stats.noc_writes <- s.Stats.noc_writes + 1;
+  Engine.consume m.engine Stats.Write_stall (Noc.injection_cost m.noc buf);
+  ignore (Noc.post_write m.noc ~src:core ~dst ~off:dst_off buf)
+
+(* Wait until all of this core's posted NoC writes have landed. *)
+let noc_drain m =
+  let core = core_id m in
+  Engine.consume m.engine Stats.Write_stall
+    (Noc.drain_wait m.noc ~src:core)
+
+(* ---------------- cache maintenance ---------------- *)
+
+let maint_cycles m (r : Cache.maint) =
+  (* one cycle per line tag probe plus a contended line transfer per
+     write-back *)
+  let wb = ref 0 in
+  for _ = 1 to r.Cache.lines_written_back do
+    wb := !wb + Sdram.contend_line m.sdram ~now:(now m)
+          + m.cfg.sdram_line_cycles
+  done;
+  r.Cache.lines_touched + !wb
+
+let wb_inval_range m ~addr ~len =
+  let core = core_id m in
+  (match decode m addr with
+  | Cached_sdram _ -> ()
+  | _ -> invalid_arg "wb_inval_range: not a cached address");
+  let r = Cache.wb_inval_range m.dcaches.(core) ~addr ~len in
+  let s = Stats.core (stats m) core in
+  s.Stats.flushes <- s.Stats.flushes + 1;
+  Engine.consume m.engine Stats.Flush_overhead (maint_cycles m r)
+
+let inval_range m ~addr ~len =
+  let core = core_id m in
+  let r = Cache.inval_range m.dcaches.(core) ~addr ~len in
+  Engine.consume m.engine Stats.Flush_overhead (maint_cycles m r)
+
+(* ---------------- instruction stream ---------------- *)
+
+let set_code m ~core ~footprint ~jump_prob =
+  let c = m.code.(core) in
+  c.footprint <- footprint;
+  c.jump_prob <- jump_prob;
+  c.pc <- 0
+
+(* Execute [n] instructions: 1 busy cycle each, plus I-cache miss stalls.
+   The instruction stream walks the core's code footprint sequentially
+   with occasional jumps to a random target, through a real I-cache. *)
+let instr m n =
+  if n > 0 then begin
+    let core = core_id m in
+    let c = m.code.(core) in
+    let ic = m.icaches.(core) in
+    let s = Stats.core (stats m) core in
+    let line = m.cfg.line_bytes in
+    let per_line = line / 4 in
+    let remaining = ref n in
+    let stall = ref 0 in
+    while !remaining > 0 do
+      let burst = min !remaining per_line in
+      if Icache.fetch_line ic c.pc then
+        s.Stats.icache_hits <- s.Stats.icache_hits + 1
+      else begin
+        s.Stats.icache_misses <- s.Stats.icache_misses + 1;
+        stall := !stall + m.cfg.icache_miss_cycles
+      end;
+      remaining := !remaining - burst;
+      if Prng.bool c.prng c.jump_prob then
+        c.pc <- Prng.int c.prng (max 1 (c.footprint / line)) * line
+      else c.pc <- (c.pc + line) mod c.footprint
+    done;
+    s.Stats.instructions <- s.Stats.instructions + n;
+    Engine.consume m.engine Stats.Busy n;
+    if !stall > 0 then Engine.consume m.engine Stats.Icache_stall !stall
+  end
+
+(* Pure busy work without instruction-cache modelling. *)
+let busy m n = Engine.consume m.engine Stats.Busy n
+
+(* ---------------- private data ---------------- *)
+
+(* Private per-core array access (stack/heap stand-in): word [idx] of this
+   core's private arena, through the D-cache. *)
+let private_load m idx : int32 =
+  let core = core_id m in
+  let addr = m.private_base.(core) + (idx * 4) mod private_bytes in
+  load_u32 m ~shared:false addr
+
+let private_store m idx v =
+  let core = core_id m in
+  let addr = m.private_base.(core) + (idx * 4) mod private_bytes in
+  store_u32 m ~shared:false addr v
+
+(* ---------------- untimed debug access ---------------- *)
+
+(* Read backing storage directly, bypassing caches and timing — test and
+   initialization use only. *)
+let peek_u32 m addr : int32 =
+  match decode m addr with
+  | Cached_sdram a | Uncached_sdram a -> Sdram.read_u32 m.sdram a
+  | Local { tile; off } -> Bytes.get_int32_le m.locals.(tile) off
+
+let poke_u32 m addr v =
+  match decode m addr with
+  | Cached_sdram a | Uncached_sdram a -> Sdram.write_u32 m.sdram a v
+  | Local { tile; off } -> Bytes.set_int32_le m.locals.(tile) off v
+
+let dcache m ~core = m.dcaches.(core)
+
+(* Atomic test-and-set on an uncached SDRAM word: consumes the full
+   round-trip first, then performs the read-modify-write in one step, so
+   it is atomic in simulated time.  The RMW locks the memory port for the
+   whole read+write pair, which is what makes centralized spinlocks
+   poisonous under contention (the problem the distributed lock [15]
+   avoids). *)
+let uncached_tas m addr : int32 =
+  (match decode m addr with
+  | Uncached_sdram _ -> ()
+  | _ -> invalid_arg "uncached_tas: not an uncached address");
+  let wait =
+    Sdram.contend m.sdram ~now:(now m)
+      ~occupancy:(4 * m.cfg.sdram_word_occupancy)
+  in
+  Engine.consume m.engine Stats.Lock_stall
+    (wait + (2 * m.cfg.sdram_word_cycles));
+  let old = Sdram.read_u32 m.sdram addr in
+  Sdram.write_u32 m.sdram addr 1l;
+  old

@@ -1,0 +1,74 @@
+(* Write-only network-on-chip (Fig. 7): a core may post writes into another
+   tile's local memory, but can never read a remote memory.  Writes are
+   posted — the sender only pays the injection cost; the data lands in the
+   destination memory after the link latency, delivered by an engine event.
+
+   Per (source, destination) pair delivery is FIFO, like the connectionless
+   NoC of the paper's platform [16].  [post_write_at] bypasses the FIFO and
+   lets the caller pick the arrival time; it models the Fig. 1 architecture
+   where two memories sit behind paths of different latency, and is what
+   the broken-flag demonstration uses. *)
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  locals : Bytes.t array;                  (* per-tile local memories *)
+  outstanding : int array;                 (* in-flight writes per source *)
+  last_arrival : int array;                (* latest arrival time per source *)
+  link_last : int array array;             (* per (src, dst) FIFO ordering *)
+  mutable total_writes : int;
+}
+
+let create (cfg : Config.t) (engine : Engine.t) (locals : Bytes.t array) =
+  {
+    cfg;
+    engine;
+    locals;
+    outstanding = Array.make cfg.cores 0;
+    last_arrival = Array.make cfg.cores 0;
+    link_last = Array.make_matrix cfg.cores cfg.cores 0;
+    total_writes = 0;
+  }
+
+let deliver t ~src ~dst ~off (data : Bytes.t) () =
+  Bytes.blit data 0 t.locals.(dst) off (Bytes.length data);
+  t.outstanding.(src) <- t.outstanding.(src) - 1
+
+(* Post [data] to offset [off] of tile [dst]'s local memory.  Returns the
+   arrival time.  The caller charges the injection cost. *)
+let post_write t ~src ~dst ~off (data : Bytes.t) : int =
+  if src = dst then invalid_arg "Noc.post_write: src = dst";
+  let now = Engine.now t.engine in
+  let words = (Bytes.length data + 3) / 4 in
+  let latency = Config.noc_latency t.cfg ~src ~dst ~words in
+  (* FIFO per link: never deliver before an earlier write on this link *)
+  let arrival = max (now + latency) (t.link_last.(src).(dst) + 1) in
+  t.link_last.(src).(dst) <- arrival;
+  t.outstanding.(src) <- t.outstanding.(src) + 1;
+  t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
+  t.total_writes <- t.total_writes + 1;
+  Engine.at t.engine ~time:arrival
+    (deliver t ~src ~dst ~off (Bytes.copy data));
+  arrival
+
+(* Unordered variant with caller-chosen latency (Fig. 1 machine). *)
+let post_write_at t ~src ~dst ~off ~latency (data : Bytes.t) : int =
+  let now = Engine.now t.engine in
+  let arrival = now + latency in
+  t.outstanding.(src) <- t.outstanding.(src) + 1;
+  t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
+  t.total_writes <- t.total_writes + 1;
+  Engine.at t.engine ~time:arrival
+    (deliver t ~src ~dst ~off (Bytes.copy data));
+  arrival
+
+let injection_cost t (data : Bytes.t) =
+  let words = (Bytes.length data + 3) / 4 in
+  t.cfg.Config.noc_word_cycles * words
+
+(* Cycles the source must wait for all of its posted writes to land. *)
+let drain_wait t ~src =
+  if t.outstanding.(src) = 0 then 0
+  else max 0 (t.last_arrival.(src) - Engine.now t.engine)
+
+let outstanding t ~src = t.outstanding.(src)

@@ -1,0 +1,28 @@
+(** Write-only network-on-chip (Fig. 7): cores may post writes into other
+    tiles' local memories but can never read them.  Writes are posted —
+    the sender pays only the injection cost; delivery happens after the
+    link latency via an engine event.  Delivery is FIFO per
+    (source, destination) link, like the connectionless NoC of the
+    paper's platform. *)
+
+type t
+
+val create : Config.t -> Engine.t -> Bytes.t array -> t
+(** [create cfg engine locals] — [locals] are the per-tile memories the
+    NoC delivers into. *)
+
+val post_write : t -> src:int -> dst:int -> off:int -> Bytes.t -> int
+(** Post [data] to tile [dst] at offset [off]; returns the arrival time.
+    The caller charges {!injection_cost}. *)
+
+val post_write_at :
+  t -> src:int -> dst:int -> off:int -> latency:int -> Bytes.t -> int
+(** Unordered variant with caller-chosen latency — the Fig. 1 machine,
+    where different memories sit behind paths of different latency. *)
+
+val injection_cost : t -> Bytes.t -> int
+
+val drain_wait : t -> src:int -> int
+(** Cycles until all of [src]'s posted writes have landed. *)
+
+val outstanding : t -> src:int -> int

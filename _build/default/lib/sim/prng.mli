@@ -1,0 +1,19 @@
+(** Deterministic splitmix64 PRNG — all simulation randomness is
+    explicitly seeded so every run is reproducible. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [0, bound).  @raise Invalid_argument if bound <= 0. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** True with the given probability. *)
+
+val split : t -> t
+(** Derive an independent stream (e.g. one per core). *)

@@ -1,0 +1,51 @@
+(* Shared SDRAM: flat byte store plus a simple contention model.
+
+   The memory port can start a new access only when the previous one has
+   released it; an access arriving while the port is busy queues.  The
+   returned latency therefore grows when many cores hammer the SDRAM — the
+   effect that dominates the 'no CC' bars of Fig. 8. *)
+
+type t = {
+  bytes : Bytes.t;
+  word_occupancy : int;  (* port busy time per word access *)
+  line_occupancy : int;  (* port busy time per line transfer *)
+  mutable busy_until : int;
+  mutable accesses : int;
+  mutable queued_cycles : int;
+}
+
+let create ~size ~word_occupancy ~line_occupancy =
+  {
+    bytes = Bytes.make size '\000';
+    word_occupancy;
+    line_occupancy;
+    busy_until = 0;
+    accesses = 0;
+    queued_cycles = 0;
+  }
+
+let size t = Bytes.length t.bytes
+
+(* Queuing delay for an access starting at [now] that occupies the port
+   for [occupancy] cycles.  Returns the wait before service begins. *)
+let contend t ~now ~occupancy =
+  let wait = max 0 (t.busy_until - now) in
+  t.busy_until <- now + wait + occupancy;
+  t.accesses <- t.accesses + 1;
+  t.queued_cycles <- t.queued_cycles + wait;
+  wait
+
+let contend_word t ~now = contend t ~now ~occupancy:t.word_occupancy
+let contend_line t ~now = contend t ~now ~occupancy:t.line_occupancy
+
+(* Data-path operations (timing handled by the caller). *)
+let read_u32 t addr = Bytes.get_int32_le t.bytes addr
+let write_u32 t addr v = Bytes.set_int32_le t.bytes addr v
+let read_u8 t addr = Char.code (Bytes.get t.bytes addr)
+let write_u8 t addr v = Bytes.set t.bytes addr (Char.chr (v land 0xff))
+
+let read_line t addr (buf : Bytes.t) =
+  Bytes.blit t.bytes addr buf 0 (Bytes.length buf)
+
+let write_line t addr (buf : Bytes.t) =
+  Bytes.blit buf 0 t.bytes addr (Bytes.length buf)

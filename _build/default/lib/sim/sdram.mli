@@ -1,0 +1,22 @@
+(** Shared SDRAM: flat byte store plus a single-port contention model —
+    an access arriving while the port is busy queues, which is what
+    dominates the 'no CC' bars of Fig. 8 at 32 cores. *)
+
+type t
+
+val create : size:int -> word_occupancy:int -> line_occupancy:int -> t
+val size : t -> int
+
+val contend : t -> now:int -> occupancy:int -> int
+(** Queue an access starting at [now] that occupies the port for
+    [occupancy] cycles; returns the wait before service begins. *)
+
+val contend_word : t -> now:int -> int
+val contend_line : t -> now:int -> int
+
+val read_u32 : t -> int -> int32
+val write_u32 : t -> int -> int32 -> unit
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_line : t -> int -> Bytes.t -> unit
+val write_line : t -> int -> Bytes.t -> unit

@@ -1,0 +1,66 @@
+(** Per-core cycle accounting with the stall categories of Fig. 8 (busy,
+    private-read, shared-read, write and I-cache stalls), plus lock-spin
+    and flush-instruction time, which the paper reports separately. *)
+
+type category =
+  | Busy
+  | Private_read_stall
+  | Shared_read_stall
+  | Write_stall
+  | Icache_stall
+  | Lock_stall
+  | Flush_overhead
+
+val categories : category list
+val category_name : category -> string
+
+(** Mutable per-core counters.  The event counters (cache hits, lock
+    transfers, …) are written directly by the machine and lock layers. *)
+type core = {
+  mutable cycles : int array;
+  mutable instructions : int;
+  mutable dcache_hits : int;
+  mutable dcache_misses : int;
+  mutable icache_hits : int;
+  mutable icache_misses : int;
+  mutable lock_acquires : int;
+  mutable lock_transfers : int;
+  mutable noc_writes : int;
+  mutable flushes : int;
+}
+
+val core_create : unit -> core
+val add : core -> category -> int -> unit
+val get : core -> category -> int
+val total : core -> int
+
+type t = { cores : core array }
+
+val create : int -> t
+val core : t -> int -> core
+
+type summary = {
+  wall_cycles : int;
+  per_category : (category * int) list;
+  total_cycles : int;
+  instructions : int;
+  dcache_hits : int;
+  dcache_misses : int;
+  icache_misses : int;
+  lock_acquires : int;
+  lock_transfers : int;
+  noc_writes : int;
+  flushes : int;
+}
+
+val summarize : t -> summary
+val category_cycles : summary -> category -> int
+
+val fraction : summary -> category -> float
+(** Fraction of summed core time spent in a category — the percentages
+    plotted in Fig. 8. *)
+
+val utilization : summary -> float
+(** [fraction summary Busy]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

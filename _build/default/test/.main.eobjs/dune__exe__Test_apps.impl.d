@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Config List Pmc Pmc_apps Pmc_sim Printf Stats

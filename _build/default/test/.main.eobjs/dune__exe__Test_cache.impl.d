@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Bytes Cache Gen Int32 List Pmc_sim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Check Fmt Ir List Lower Option Pmc_compile Pmc_sim QCheck QCheck_alcotest

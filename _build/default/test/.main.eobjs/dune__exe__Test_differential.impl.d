@@ -1,0 +1,1 @@
+test/test_differential.ml: Array Config List Machine Pmc Pmc_sim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Config Engine Gen List Pmc_sim QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_ext.ml: Alcotest Array Config Dot Execution Fun List Litmus Lprog Machine Models Op Order Pmc Pmc_lock Pmc_model Pmc_sim String

@@ -1,0 +1,1 @@
+test/test_fifo.ml: Alcotest Array Config Engine Fun Int32 List Machine Pmc Pmc_sim Printf QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Config Fmt Hashtbl History Int32 List Machine Observe Pmc Pmc_model Pmc_sim

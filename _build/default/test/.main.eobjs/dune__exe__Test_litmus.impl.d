@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Drf List Litmus Lprog Models Pmc_model QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Config Dlock Engine List Machine Pmc_lock Pmc_sim Printf Spinlock Stats

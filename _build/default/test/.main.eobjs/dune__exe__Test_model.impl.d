@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Execution Fun Gen List Observe Op Order Pmc_model QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_observe.ml: Alcotest Array Execution Gen History List Observe Op Pmc_model QCheck QCheck_alcotest

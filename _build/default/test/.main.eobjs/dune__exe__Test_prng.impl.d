@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Pmc_sim Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Config Engine Int32 List Machine Pmc Pmc_sim Printf Stats

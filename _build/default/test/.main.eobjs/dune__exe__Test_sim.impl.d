@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Config Engine List Machine Option Pmc_sim Stats

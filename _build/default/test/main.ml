@@ -1,0 +1,21 @@
+(* Test entry point: all suites of the PMC reproduction. *)
+
+let () =
+  Alcotest.run "pmc"
+    [
+      Test_prng.suite;
+      Test_model.suite;
+      Test_observe.suite;
+      Test_litmus.suite;
+      Test_engine.suite;
+      Test_cache.suite;
+      Test_sim.suite;
+      Test_lock.suite;
+      Test_runtime.suite;
+      Test_fifo.suite;
+      Test_compile.suite;
+      Test_integration.suite;
+      Test_ext.suite;
+      Test_differential.suite;
+      Test_apps.suite;
+    ]

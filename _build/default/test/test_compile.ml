@@ -1,0 +1,312 @@
+(* Tests of the annotation tooling: the static discipline checker and the
+   Table II lowering pass. *)
+
+open Pmc_compile
+
+let obj = Ir.obj
+
+let check_errors name prog expected_count =
+  let r = Check.check prog in
+  Alcotest.(check int) name expected_count (List.length r.Check.errors)
+
+let test_fig6_clean () =
+  let r = Check.check Ir.fig6 in
+  Alcotest.(check bool) "Fig. 6 passes the checker" true (Check.ok r);
+  Alcotest.(check int) "no warnings" 0 (List.length r.Check.warnings)
+
+let test_missing_fence_warning () =
+  let r = Check.check Ir.fig6_missing_fence in
+  Alcotest.(check bool) "still no hard errors" true (Check.ok r);
+  Alcotest.(check bool) "publish-without-fence warned" true
+    (List.exists
+       (function Check.Publish_without_fence _ -> true | _ -> false)
+       r.Check.warnings)
+
+let test_write_outside_x () =
+  let x = obj ~name:"X" ~bytes:4 in
+  check_errors "write outside entry_x"
+    { Ir.pname = "bad"; threads = [ [ Ir.Write x ] ] }
+    1
+
+let test_write_in_ro () =
+  let x = obj ~name:"X" ~bytes:4 in
+  check_errors "write in ro scope"
+    {
+      Ir.pname = "bad";
+      threads = [ [ Ir.Entry_ro x; Ir.Write x; Ir.Exit_ro x ] ];
+    }
+    1
+
+let test_read_outside () =
+  let x = obj ~name:"X" ~bytes:4 in
+  check_errors "read outside scope"
+    { Ir.pname = "bad"; threads = [ [ Ir.Read x ] ] }
+    1
+
+let test_flush_outside () =
+  let x = obj ~name:"X" ~bytes:4 in
+  check_errors "flush outside x"
+    { Ir.pname = "bad"; threads = [ [ Ir.Flush x ] ] }
+    1;
+  check_errors "flush in ro"
+    {
+      Ir.pname = "bad";
+      threads = [ [ Ir.Entry_ro x; Ir.Flush x; Ir.Exit_ro x ] ];
+    }
+    1
+
+let test_unclosed_and_unmatched () =
+  let x = obj ~name:"X" ~bytes:4 in
+  check_errors "unclosed scope"
+    { Ir.pname = "bad"; threads = [ [ Ir.Entry_x x ] ] }
+    1;
+  check_errors "unmatched exit"
+    { Ir.pname = "bad"; threads = [ [ Ir.Exit_x x ] ] }
+    1;
+  check_errors "mode mismatch"
+    { Ir.pname = "bad"; threads = [ [ Ir.Entry_x x; Ir.Exit_ro x ] ] }
+    2 (* bad exit + unclosed scope *)
+
+let test_non_nested () =
+  let x = obj ~name:"X" ~bytes:4 in
+  let y = obj ~name:"Y" ~bytes:4 in
+  (* the bad exit is reported and the scope of X then stays open: 2 errors *)
+  check_errors "non-LIFO exits"
+    {
+      Ir.pname = "bad";
+      threads =
+        [ [ Ir.Entry_x x; Ir.Entry_x y; Ir.Exit_x x; Ir.Exit_x y ] ];
+    }
+    2
+
+let test_reentrant () =
+  let x = obj ~name:"X" ~bytes:4 in
+  (* the re-entrant entry is not pushed, so the second exit is unmatched *)
+  check_errors "re-entrant entry"
+    {
+      Ir.pname = "bad";
+      threads = [ [ Ir.Entry_x x; Ir.Entry_x x; Ir.Exit_x x; Ir.Exit_x x ] ];
+    }
+    2
+
+let test_loop_bodies_checked () =
+  let x = obj ~name:"X" ~bytes:4 in
+  check_errors "violations inside loops found"
+    { Ir.pname = "bad"; threads = [ [ Ir.Loop (3, [ Ir.Write x ]) ] ] }
+    1
+
+let test_empty_scope_warning () =
+  let x = obj ~name:"X" ~bytes:4 in
+  let r =
+    Check.check
+      { Ir.pname = "w"; threads = [ [ Ir.Entry_x x; Ir.Exit_x x ] ] }
+  in
+  Alcotest.(check bool) "empty scope warned" true
+    (List.exists
+       (function Check.Empty_scope _ -> true | _ -> false)
+       r.Check.warnings)
+
+(* ---------------- lowering (Table II) ---------------- *)
+
+let cfg = Pmc_sim.Config.default
+
+let has_prim prims p = List.mem p prims
+
+let test_lower_swcc () =
+  let l = Lower.lower Lower.Swcc cfg Lower.A_entry_x ~bytes:64 in
+  Alcotest.(check bool) "entry_x locks" true (has_prim l Lower.P_lock_acquire);
+  let l = Lower.lower Lower.Swcc cfg Lower.A_exit_x ~bytes:64 in
+  Alcotest.(check bool) "exit_x flushes 2 lines" true
+    (has_prim l (Lower.P_cache_wb_inval 2));
+  Alcotest.(check bool) "exit_x releases" true (has_prim l Lower.P_lock_release);
+  let l = Lower.lower Lower.Swcc cfg Lower.A_entry_ro ~bytes:4 in
+  Alcotest.(check (list string)) "atomic-sized entry_ro is free"
+    [ "nop" ]
+    (List.map Lower.prim_name l);
+  let l = Lower.lower Lower.Swcc cfg Lower.A_flush ~bytes:128 in
+  Alcotest.(check bool) "flush writes back 4 lines" true
+    (has_prim l (Lower.P_cache_wb_inval 4))
+
+let test_lower_dsm () =
+  let l = Lower.lower Lower.Dsm cfg Lower.A_exit_x ~bytes:64 in
+  Alcotest.(check (list string)) "DSM exit_x is lazy (release only)"
+    [ "lock-release" ]
+    (List.map Lower.prim_name l);
+  let l = Lower.lower Lower.Dsm cfg Lower.A_flush ~bytes:64 in
+  Alcotest.(check bool) "DSM flush posts to all other tiles" true
+    (has_prim l (Lower.P_noc_post { words = 16; dests = cfg.cores - 1 }))
+
+let test_lower_spm () =
+  let l = Lower.lower Lower.Spm cfg Lower.A_entry_x ~bytes:64 in
+  Alcotest.(check bool) "SPM entry_x copies in" true
+    (has_prim l (Lower.P_copy_in 16));
+  let l = Lower.lower Lower.Spm cfg Lower.A_exit_x ~bytes:64 in
+  Alcotest.(check bool) "SPM exit_x copies out" true
+    (has_prim l (Lower.P_copy_out 16));
+  let l = Lower.lower Lower.Spm cfg Lower.A_exit_ro ~bytes:64 in
+  Alcotest.(check (list string)) "SPM exit_ro discards" [ "nop" ]
+    (List.map Lower.prim_name l)
+
+let test_lower_c11 () =
+  let names a b = List.map Lower.prim_name (Lower.lower Lower.C11 cfg a ~bytes:b) in
+  Alcotest.(check (list string)) "C11 entry_x is a mutex lock"
+    [ "mtx_lock" ] (names Lower.A_entry_x 64);
+  Alcotest.(check (list string)) "C11 fence is the language fence"
+    [ "atomic_thread_fence(seq_cst)" ] (names Lower.A_fence 0);
+  Alcotest.(check (list string)) "C11 flush is a no-op (hardware coherence)"
+    [ "nop" ] (names Lower.A_flush 64);
+  Alcotest.(check (list string)) "C11 atomic-sized entry_ro is an acquire load"
+    [ "atomic_load_explicit(acquire)" ] (names Lower.A_entry_ro 4)
+
+let test_lower_nocc_flush_nullified () =
+  let l = Lower.lower Lower.Nocc cfg Lower.A_flush ~bytes:64 in
+  Alcotest.(check (list string)) "no-CC flushes are nullified" [ "nop" ]
+    (List.map Lower.prim_name l)
+
+let test_fence_is_free_everywhere () =
+  List.iter
+    (fun arch ->
+      Alcotest.(check int)
+        (Lower.arch_name arch ^ ": fence costs nothing (in-order cores)")
+        0
+        (Lower.cost arch cfg Lower.A_fence ~bytes:0))
+    Lower.archs
+
+let test_expand_counts () =
+  let e = Lower.expand Lower.Swcc cfg Ir.fig6 in
+  (* fig6: thread 0 has 2 entry_x/exit_x pairs; thread 1 has 1 entry_ro/
+     exit_ro (in a 1-iteration loop) and 1 entry_x/exit_x *)
+  let count name =
+    Option.value ~default:0 (List.assoc_opt name e.Lower.prims)
+  in
+  Alcotest.(check int) "lock acquires" 3 (count "lock-acquire");
+  Alcotest.(check int) "lock releases" 3 (count "lock-release");
+  Alcotest.(check bool) "estimated overhead positive" true
+    (e.Lower.est_cycles > 0)
+
+let test_expand_scales_with_loops () =
+  let x = obj ~name:"X" ~bytes:4 in
+  let p n =
+    {
+      Ir.pname = "loop";
+      threads =
+        [ [ Ir.Loop (n, [ Ir.Entry_x x; Ir.Write x; Ir.Exit_x x ]) ] ];
+    }
+  in
+  let e1 = Lower.expand Lower.Swcc cfg (p 1) in
+  let e10 = Lower.expand Lower.Swcc cfg (p 10) in
+  Alcotest.(check int) "cost scales linearly with trip count"
+    (10 * e1.Lower.est_cycles) e10.Lower.est_cycles
+
+(* ---------------- parser ---------------- *)
+
+let test_parse_fig6_file () =
+  match Pmc_compile.Parse.parse (Pmc_compile.Parse.print Ir.fig6) with
+  | Error _ -> Alcotest.fail "print/parse of fig6 failed"
+  | Ok p ->
+      Alcotest.(check string) "name survives" "fig6" p.Ir.pname;
+      Alcotest.(check int) "thread count" 2 (List.length p.Ir.threads);
+      let r = Check.check p in
+      Alcotest.(check bool) "reparsed fig6 still checks" true (Check.ok r)
+
+let test_parse_errors () =
+  let expect_err text =
+    match Pmc_compile.Parse.parse text with
+    | Error (_ :: _) -> ()
+    | _ -> Alcotest.failf "expected a syntax error for %S" text
+  in
+  expect_err "bogus directive";
+  expect_err "thread\n  entry_x X\n";           (* unknown object *)
+  expect_err "obj X 4\nthread\n  loop 2\n  read X\n";  (* missing end *)
+  expect_err "obj X 4\nobj X 4\n";              (* duplicate object *)
+  expect_err "obj X notanumber\n";
+  expect_err "thread\n  end\n"                  (* end outside loop *)
+
+let test_parse_comments_and_whitespace () =
+  let text =
+    "# a comment\nprogram p  # trailing\nobj A 8\n\nthread\n\tentry_x A\n  write A\n  exit_x A\n"
+  in
+  match Pmc_compile.Parse.parse text with
+  | Error e ->
+      Alcotest.failf "unexpected error: %s"
+        (Fmt.str "%a" Pmc_compile.Parse.pp_error (List.hd e))
+  | Ok p ->
+      Alcotest.(check int) "one thread" 1 (List.length p.Ir.threads);
+      Alcotest.(check bool) "checks clean" true (Check.ok (Check.check p))
+
+(* Round trip on randomly generated programs. *)
+let gen_program =
+  let open QCheck.Gen in
+  let objs = [ Ir.obj ~name:"A" ~bytes:4; Ir.obj ~name:"B" ~bytes:64 ] in
+  let obj = oneofl objs in
+  let leaf =
+    frequency
+      [
+        (2, map (fun o -> Ir.Read o) obj);
+        (2, map (fun o -> Ir.Write o) obj);
+        (1, return Ir.Fence);
+        (1, map (fun o -> Ir.Flush o) obj);
+        (1, map (fun n -> Ir.Compute n) (int_range 1 100));
+      ]
+  in
+  let stmt =
+    frequency
+      [
+        (6, leaf);
+        (1, map2 (fun n body -> Ir.Loop (n, body)) (int_range 1 5)
+             (list_size (int_range 1 3) leaf));
+      ]
+  in
+  (* wrap random bodies in a well-formed scope so the text parses and the
+     structure is non-trivial *)
+  let thread =
+    map
+      (fun body -> [ Ir.Entry_x (List.hd objs) ] @ body @ [ Ir.Exit_x (List.hd objs) ])
+      (list_size (int_range 0 6) stmt)
+  in
+  map
+    (fun threads -> { Ir.pname = "rand"; threads })
+    (list_size (int_range 1 3) thread)
+
+let prop_parse_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"parse (print p) = p"
+    (QCheck.make gen_program) (fun p ->
+      match Pmc_compile.Parse.parse (Pmc_compile.Parse.print p) with
+      | Error _ -> false
+      | Ok p2 -> Pmc_compile.Parse.print p2 = Pmc_compile.Parse.print p)
+
+let suite =
+  ( "compile",
+    [
+      Alcotest.test_case "Fig. 6 is clean" `Quick test_fig6_clean;
+      Alcotest.test_case "missing fence warning" `Quick
+        test_missing_fence_warning;
+      Alcotest.test_case "write outside x" `Quick test_write_outside_x;
+      Alcotest.test_case "write in ro" `Quick test_write_in_ro;
+      Alcotest.test_case "read outside scope" `Quick test_read_outside;
+      Alcotest.test_case "flush discipline" `Quick test_flush_outside;
+      Alcotest.test_case "unclosed / unmatched" `Quick
+        test_unclosed_and_unmatched;
+      Alcotest.test_case "non-LIFO exits" `Quick test_non_nested;
+      Alcotest.test_case "re-entrant entry" `Quick test_reentrant;
+      Alcotest.test_case "loops are walked" `Quick test_loop_bodies_checked;
+      Alcotest.test_case "empty scope warning" `Quick
+        test_empty_scope_warning;
+      Alcotest.test_case "Table II: SWCC cells" `Quick test_lower_swcc;
+      Alcotest.test_case "Table II: DSM cells" `Quick test_lower_dsm;
+      Alcotest.test_case "Table II: SPM cells" `Quick test_lower_spm;
+      Alcotest.test_case "Table II: no-CC flush nullified" `Quick
+        test_lower_nocc_flush_nullified;
+      Alcotest.test_case "C11 lowering target" `Quick test_lower_c11;
+      Alcotest.test_case "fences are free" `Quick
+        test_fence_is_free_everywhere;
+      Alcotest.test_case "program expansion" `Quick test_expand_counts;
+      Alcotest.test_case "expansion scales with loops" `Quick
+        test_expand_scales_with_loops;
+      Alcotest.test_case "parse: fig6 round trip" `Quick
+        test_parse_fig6_file;
+      Alcotest.test_case "parse: syntax errors" `Quick test_parse_errors;
+      Alcotest.test_case "parse: comments/whitespace" `Quick
+        test_parse_comments_and_whitespace;
+      QCheck_alcotest.to_alcotest prop_parse_roundtrip;
+    ] )

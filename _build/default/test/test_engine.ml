@@ -1,0 +1,149 @@
+(* Tests of the discrete-event engine: virtual time, interleaving order,
+   events, determinism and the livelock watchdog. *)
+
+open Pmc_sim
+
+let cfg = { Config.small with cores = 4 }
+
+let test_time_accumulates () =
+  let e = Engine.create cfg in
+  let finished = ref (-1) in
+  Engine.spawn e ~core:0 (fun () ->
+      Engine.consume e Stats.Busy 10;
+      Engine.consume e Stats.Busy 5;
+      finished := Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "core time = sum of consumes" 15 !finished
+
+let test_interleaving_by_time () =
+  let e = Engine.create cfg in
+  let log = ref [] in
+  let mark tag = log := tag :: !log in
+  Engine.spawn e ~core:0 (fun () ->
+      Engine.consume e Stats.Busy 10;
+      mark "a10";
+      Engine.consume e Stats.Busy 20;
+      mark "a30");
+  Engine.spawn e ~core:1 (fun () ->
+      Engine.consume e Stats.Busy 5;
+      mark "b5";
+      Engine.consume e Stats.Busy 20;
+      mark "b25");
+  Engine.run e;
+  Alcotest.(check (list string)) "events in time order"
+    [ "b5"; "a10"; "b25"; "a30" ] (List.rev !log)
+
+let test_tie_break_deterministic () =
+  (* equal times resolve by spawn sequence; two identical runs match *)
+  let run () =
+    let e = Engine.create cfg in
+    let log = ref [] in
+    for c = 0 to 3 do
+      Engine.spawn e ~core:c (fun () ->
+          Engine.consume e Stats.Busy 7;
+          log := c :: !log)
+    done;
+    Engine.run e;
+    List.rev !log
+  in
+  Alcotest.(check (list int)) "deterministic tie-break" (run ()) (run ());
+  Alcotest.(check (list int)) "spawn order wins ties" [ 0; 1; 2; 3 ] (run ())
+
+let test_events_fire_at_time () =
+  let e = Engine.create cfg in
+  let seen = ref (-1) in
+  Engine.at e ~time:42 (fun () -> seen := 42);
+  Engine.spawn e ~core:0 (fun () ->
+      Engine.consume e Stats.Busy 50;
+      Alcotest.(check int) "event fired before task resumed at t=50" 42 !seen);
+  Engine.run e
+
+let test_event_vs_task_order () =
+  (* an event at the exact resume time of a task fires first if scheduled
+     earlier *)
+  let e = Engine.create cfg in
+  let applied = ref false in
+  Engine.at e ~time:10 (fun () -> applied := true);
+  Engine.spawn e ~core:0 (fun () ->
+      Engine.consume e Stats.Busy 10;
+      Alcotest.(check bool) "event at t=10 already applied" true !applied);
+  Engine.run e
+
+let test_stats_attribution () =
+  let e = Engine.create cfg in
+  Engine.spawn e ~core:2 (fun () ->
+      Engine.consume e Stats.Busy 10;
+      Engine.consume e Stats.Shared_read_stall 30;
+      Engine.consume e Stats.Lock_stall 5);
+  Engine.run e;
+  let s = Stats.core (Engine.stats e) 2 in
+  Alcotest.(check int) "busy" 10 (Stats.get s Stats.Busy);
+  Alcotest.(check int) "shared read" 30 (Stats.get s Stats.Shared_read_stall);
+  Alcotest.(check int) "lock" 5 (Stats.get s Stats.Lock_stall);
+  Alcotest.(check int) "total" 45 (Stats.total s);
+  Alcotest.(check int) "other cores untouched" 0
+    (Stats.total (Stats.core (Engine.stats e) 0))
+
+let test_watchdog () =
+  let e = Engine.create { cfg with max_cycles = 1000 } in
+  Engine.spawn e ~core:0 (fun () ->
+      while true do
+        Engine.consume e Stats.Busy 100
+      done);
+  Alcotest.check_raises "watchdog fires" (Engine.Watchdog 1100) (fun () ->
+      Engine.run e)
+
+let test_multiple_tasks_one_core () =
+  let e = Engine.create cfg in
+  let order = ref [] in
+  Engine.spawn e ~core:0 (fun () ->
+      Engine.consume e Stats.Busy 5;
+      order := `A :: !order);
+  Engine.spawn e ~core:0 (fun () ->
+      Engine.consume e Stats.Busy 3;
+      order := `B :: !order);
+  Engine.run e;
+  Alcotest.(check bool) "both tasks ran, shorter first" true
+    (List.rev !order = [ `B; `A ])
+
+let test_spawn_from_task () =
+  let e = Engine.create cfg in
+  let child_ran = ref false in
+  Engine.spawn e ~core:0 (fun () ->
+      Engine.consume e Stats.Busy 5;
+      Engine.spawn e ~core:1 (fun () -> child_ran := true));
+  Engine.run e;
+  Alcotest.(check bool) "spawned child ran" true !child_ran
+
+let prop_consume_sums =
+  QCheck.Test.make ~count:100 ~name:"core time equals sum of consumes"
+    QCheck.(list_of_size Gen.(int_range 1 30) (QCheck.int_range 0 50))
+    (fun xs ->
+      let e = Engine.create cfg in
+      let final = ref 0 in
+      Engine.spawn e ~core:0 (fun () ->
+          List.iter (fun n -> Engine.consume e Stats.Busy n) xs;
+          final := Engine.now e);
+      Engine.run e;
+      !final = List.fold_left ( + ) 0 xs)
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "time accumulates" `Quick test_time_accumulates;
+      Alcotest.test_case "interleaving by time" `Quick
+        test_interleaving_by_time;
+      Alcotest.test_case "deterministic tie-break" `Quick
+        test_tie_break_deterministic;
+      Alcotest.test_case "events fire at their time" `Quick
+        test_events_fire_at_time;
+      Alcotest.test_case "event before task at same time" `Quick
+        test_event_vs_task_order;
+      Alcotest.test_case "stats attribution" `Quick test_stats_attribution;
+      Alcotest.test_case "watchdog" `Quick test_watchdog;
+      Alcotest.test_case "two tasks on one core" `Quick
+        test_multiple_tasks_one_core;
+      Alcotest.test_case "spawn from within a task" `Quick
+        test_spawn_from_task;
+      QCheck_alcotest.to_alcotest prop_consume_sums;
+    ] )

@@ -1,0 +1,212 @@
+(* Tests of the Fig. 9 multi-reader/multi-writer FIFO: per-reader order,
+   broadcast delivery, flow control (bounded depth), multiple writers,
+   and a randomized end-to-end property on every back-end. *)
+
+open Pmc_sim
+
+let cfg = { Config.small with cores = 6 }
+
+let setup kind =
+  let m = Machine.create cfg in
+  let api = Pmc.Backends.create kind m in
+  (m, api)
+
+let test_single_reader_order () =
+  List.iter
+    (fun kind ->
+      let m, api = setup kind in
+      let fifo =
+        Pmc.Fifo.create api ~name:"f" ~depth:4 ~elem_words:1 ~readers:1
+      in
+      let got = ref [] in
+      Machine.spawn m ~core:0 (fun () ->
+          for i = 1 to 30 do
+            Pmc.Fifo.push fifo [| Int32.of_int i |]
+          done);
+      Machine.spawn m ~core:1 (fun () ->
+          for _ = 1 to 30 do
+            got := (Pmc.Fifo.pop fifo ~reader:0).(0) :: !got
+          done);
+      Machine.run m;
+      Alcotest.(check (list int32))
+        (Pmc.Backends.to_string kind ^ ": in-order, lossless")
+        (List.init 30 (fun i -> Int32.of_int (i + 1)))
+        (List.rev !got))
+    Pmc.Backends.all
+
+let test_broadcast_to_all_readers () =
+  let m, api = setup Pmc.Backends.Dsm in
+  let readers = 3 in
+  let fifo =
+    Pmc.Fifo.create api ~name:"f" ~depth:2 ~elem_words:2 ~readers
+  in
+  let got = Array.make readers [] in
+  Machine.spawn m ~core:0 (fun () ->
+      for i = 1 to 12 do
+        Pmc.Fifo.push fifo [| Int32.of_int i; Int32.of_int (i * i) |]
+      done);
+  for r = 0 to readers - 1 do
+    Machine.spawn m ~core:(r + 1) (fun () ->
+        for _ = 1 to 12 do
+          got.(r) <- (Pmc.Fifo.pop fifo ~reader:r) :: got.(r)
+        done)
+  done;
+  Machine.run m;
+  for r = 0 to readers - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "reader %d got all elements" r)
+      12
+      (List.length got.(r));
+    List.iteri
+      (fun i d ->
+        let v = 12 - i in
+        Alcotest.(check int32) "element order" (Int32.of_int v) d.(0);
+        Alcotest.(check int32) "element payload" (Int32.of_int (v * v)) d.(1))
+      got.(r)
+  done
+
+let test_flow_control () =
+  (* the writer cannot run more than depth ahead of the slowest reader *)
+  let m, api = setup Pmc.Backends.Seqcst in
+  let depth = 3 in
+  let fifo =
+    Pmc.Fifo.create api ~name:"f" ~depth ~elem_words:1 ~readers:1
+  in
+  let pushed = ref 0 and popped = ref 0 in
+  let max_lead = ref 0 in
+  Machine.spawn m ~core:0 (fun () ->
+      for i = 1 to 20 do
+        Pmc.Fifo.push fifo [| Int32.of_int i |];
+        incr pushed;
+        max_lead := max !max_lead (!pushed - !popped)
+      done);
+  Machine.spawn m ~core:1 (fun () ->
+      for _ = 1 to 20 do
+        ignore (Pmc.Fifo.pop fifo ~reader:0);
+        incr popped;
+        (* a slow reader *)
+        Engine.consume (Machine.engine m) Stats.Busy 500
+      done);
+  Machine.run m;
+  Alcotest.(check bool)
+    (Printf.sprintf "writer lead bounded by depth+1 (saw %d)" !max_lead)
+    true
+    (!max_lead <= depth + 1)
+
+let test_multiple_writers () =
+  let m, api = setup Pmc.Backends.Swcc in
+  let fifo =
+    Pmc.Fifo.create api ~name:"f" ~depth:4 ~elem_words:2 ~readers:1
+  in
+  let per_writer = 10 in
+  for w = 0 to 2 do
+    Machine.spawn m ~core:w (fun () ->
+        for i = 1 to per_writer do
+          Pmc.Fifo.push fifo [| Int32.of_int w; Int32.of_int i |]
+        done)
+  done;
+  let got = ref [] in
+  Machine.spawn m ~core:3 (fun () ->
+      for _ = 1 to 3 * per_writer do
+        got := Pmc.Fifo.pop fifo ~reader:0 :: !got
+      done);
+  Machine.run m;
+  Alcotest.(check int) "nothing lost or duplicated" (3 * per_writer)
+    (List.length !got);
+  (* per-writer subsequences stay in order *)
+  for w = 0 to 2 do
+    let seq =
+      List.rev_map (fun d -> d) !got
+      |> List.filter (fun d -> d.(0) = Int32.of_int w)
+      |> List.map (fun d -> d.(1))
+    in
+    Alcotest.(check (list int32))
+      (Printf.sprintf "writer %d order preserved" w)
+      (List.init per_writer (fun i -> Int32.of_int (i + 1)))
+      seq
+  done
+
+let test_element_integrity () =
+  (* multi-word elements never tear: each element is (i, 2i, 3i, i^2) *)
+  let m, api = setup Pmc.Backends.Dsm in
+  let fifo =
+    Pmc.Fifo.create api ~name:"f" ~depth:2 ~elem_words:4 ~readers:2
+  in
+  let bad = ref 0 in
+  Machine.spawn m ~core:0 (fun () ->
+      for i = 1 to 16 do
+        Pmc.Fifo.push fifo
+          [|
+            Int32.of_int i; Int32.of_int (2 * i); Int32.of_int (3 * i);
+            Int32.of_int (i * i);
+          |]
+      done);
+  for r = 0 to 1 do
+    Machine.spawn m ~core:(1 + r) (fun () ->
+        for _ = 1 to 16 do
+          let d = Pmc.Fifo.pop fifo ~reader:r in
+          let i = Int32.to_int d.(0) in
+          if
+            d.(1) <> Int32.of_int (2 * i)
+            || d.(2) <> Int32.of_int (3 * i)
+            || d.(3) <> Int32.of_int (i * i)
+          then incr bad
+        done)
+  done;
+  Machine.run m;
+  Alcotest.(check int) "no torn elements" 0 !bad
+
+(* Randomized: arbitrary (depth, element size, reader count, item count)
+   on a random back-end — every reader sees exactly the pushed sequence. *)
+let prop_fifo =
+  let gen =
+    QCheck.(
+      quad (int_range 1 5) (int_range 1 4) (int_range 1 3) (int_range 1 25))
+  in
+  QCheck.Test.make ~count:30 ~name:"fifo delivers exactly, in order, to all"
+    gen (fun (depth, elem_words, readers, items) ->
+      let kind =
+        List.nth Pmc.Backends.all ((depth + elem_words + items) mod 5)
+      in
+      let m, api = setup kind in
+      let fifo = Pmc.Fifo.create api ~name:"f" ~depth ~elem_words ~readers in
+      let got = Array.make readers [] in
+      Machine.spawn m ~core:0 (fun () ->
+          for i = 1 to items do
+            Pmc.Fifo.push fifo
+              (Array.init elem_words (fun w -> Int32.of_int ((i * 10) + w)))
+          done);
+      for r = 0 to readers - 1 do
+        Machine.spawn m ~core:(1 + (r mod (cfg.Config.cores - 1)))
+          (fun () ->
+            for _ = 1 to items do
+              got.(r) <- Pmc.Fifo.pop fifo ~reader:r :: got.(r)
+            done)
+      done;
+      Machine.run m;
+      Array.for_all
+        (fun l ->
+          let l = List.rev l in
+          List.length l = items
+          && List.for_all2
+               (fun i d ->
+                 Array.for_all2
+                   (fun w v -> Int32.of_int ((i * 10) + w) = v)
+                   (Array.init elem_words Fun.id)
+                   d)
+               (List.init items (fun i -> i + 1))
+               l)
+        got)
+
+let suite =
+  ( "fifo",
+    [
+      Alcotest.test_case "single reader order (all back-ends)" `Quick
+        test_single_reader_order;
+      Alcotest.test_case "broadcast to all readers" `Quick
+        test_broadcast_to_all_readers;
+      Alcotest.test_case "flow control" `Quick test_flow_control;
+      Alcotest.test_case "multiple writers" `Quick test_multiple_writers;
+      Alcotest.test_case "element integrity" `Quick test_element_integrity;
+      QCheck_alcotest.to_alcotest prop_fifo;
+    ] )

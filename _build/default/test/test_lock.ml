@@ -1,0 +1,240 @@
+(* Tests of the lock substrate: mutual exclusion, fairness, the asymmetric
+   fast path of the distributed lock, shared (read-only) admission, and
+   the centralized spinlock baseline. *)
+
+open Pmc_sim
+open Pmc_lock
+
+let cfg = { Config.small with cores = 8 }
+
+let test_mutual_exclusion () =
+  let m = Machine.create cfg in
+  let l = Dlock.create m in
+  let inside = ref 0 and max_inside = ref 0 and entries = ref 0 in
+  for c = 0 to 7 do
+    Machine.spawn m ~core:c (fun () ->
+        for _ = 1 to 5 do
+          Dlock.acquire l;
+          incr inside;
+          incr entries;
+          max_inside := max !max_inside !inside;
+          Engine.consume (Machine.engine m) Stats.Busy 20;
+          decr inside;
+          Dlock.release l
+        done)
+  done;
+  Machine.run m;
+  Alcotest.(check int) "never two holders" 1 !max_inside;
+  Alcotest.(check int) "all critical sections ran" 40 !entries
+
+let test_fast_reacquire_is_cheap () =
+  let m = Machine.create cfg in
+  let l = Dlock.create m in
+  let first = ref 0 and second = ref 0 in
+  Machine.spawn m ~core:0 (fun () ->
+      let t0 = Machine.now m in
+      Dlock.acquire l;
+      Dlock.release l;
+      let t1 = Machine.now m in
+      Dlock.acquire l;
+      Dlock.release l;
+      let t2 = Machine.now m in
+      first := t1 - t0;
+      second := t2 - t1);
+  Machine.run m;
+  Alcotest.(check bool) "re-acquire on the same tile is not slower" true
+    (!second <= !first)
+
+let test_transfer_costs_more () =
+  let m = Machine.create cfg in
+  let l = Dlock.create m in
+  let t_far = ref 0 in
+  Machine.spawn m ~core:0 (fun () ->
+      Dlock.acquire l;
+      Dlock.release l);
+  Machine.spawn m ~core:4 (fun () ->
+      Engine.consume (Machine.engine m) Stats.Busy 500;
+      let t0 = Machine.now m in
+      Dlock.acquire l;
+      Dlock.release l;
+      t_far := Machine.now m - t0);
+  Machine.run m;
+  Alcotest.(check bool) "cross-tile handover pays the transfer" true
+    (!t_far >= (Machine.config m).Config.lock_transfer_cycles);
+  let s = Stats.summarize (Machine.stats m) in
+  Alcotest.(check int) "one transfer counted" 1 s.Stats.lock_transfers
+
+let test_fifo_handover () =
+  (* waiters are served in arrival order *)
+  let m = Machine.create cfg in
+  let l = Dlock.create m in
+  let order = ref [] in
+  Machine.spawn m ~core:0 (fun () ->
+      Dlock.acquire l;
+      Engine.consume (Machine.engine m) Stats.Busy 500;
+      Dlock.release l);
+  for c = 1 to 4 do
+    Machine.spawn m ~core:c (fun () ->
+        Engine.consume (Machine.engine m) Stats.Busy (c * 10);
+        Dlock.acquire l;
+        order := c :: !order;
+        Engine.consume (Machine.engine m) Stats.Busy 10;
+        Dlock.release l)
+  done;
+  Machine.run m;
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3; 4 ] (List.rev !order)
+
+let test_readers_share () =
+  let m = Machine.create cfg in
+  let l = Dlock.create m in
+  let concurrent = ref 0 and max_concurrent = ref 0 in
+  for c = 0 to 5 do
+    Machine.spawn m ~core:c (fun () ->
+        Dlock.acquire_ro l;
+        incr concurrent;
+        max_concurrent := max !max_concurrent !concurrent;
+        Engine.consume (Machine.engine m) Stats.Busy 100;
+        decr concurrent;
+        Dlock.release_ro l)
+  done;
+  Machine.run m;
+  Alcotest.(check bool) "several readers inside simultaneously" true
+    (!max_concurrent > 1)
+
+let test_writer_excludes_readers () =
+  let m = Machine.create cfg in
+  let l = Dlock.create m in
+  let violation = ref false in
+  let writer_in = ref false in
+  Machine.spawn m ~core:0 (fun () ->
+      Dlock.acquire l;
+      writer_in := true;
+      Engine.consume (Machine.engine m) Stats.Busy 200;
+      writer_in := false;
+      Dlock.release l);
+  Machine.spawn m ~core:1 (fun () ->
+      Engine.consume (Machine.engine m) Stats.Busy 50;
+      Dlock.acquire_ro l;
+      if !writer_in then violation := true;
+      Dlock.release_ro l);
+  Machine.run m;
+  Alcotest.(check bool) "reader admitted only after writer left" false
+    !violation
+
+let test_writer_waits_for_readers () =
+  let m = Machine.create cfg in
+  let l = Dlock.create m in
+  let readers_in = ref 0 and violation = ref false in
+  Machine.spawn m ~core:0 (fun () ->
+      Dlock.acquire_ro l;
+      incr readers_in;
+      Engine.consume (Machine.engine m) Stats.Busy 200;
+      decr readers_in;
+      Dlock.release_ro l);
+  Machine.spawn m ~core:1 (fun () ->
+      Engine.consume (Machine.engine m) Stats.Busy 20;
+      Dlock.acquire l;
+      if !readers_in > 0 then violation := true;
+      Dlock.release l);
+  Machine.run m;
+  Alcotest.(check bool) "writer admitted only after readers left" false
+    !violation
+
+let test_double_acquire_rejected () =
+  let m = Machine.create cfg in
+  let l = Dlock.create m in
+  let failed = ref false in
+  Machine.spawn m ~core:0 (fun () ->
+      Dlock.acquire l;
+      (try Dlock.acquire l with Failure _ -> failed := true);
+      Dlock.release l);
+  Machine.run m;
+  Alcotest.(check bool) "re-entrant acquire fails" true !failed
+
+let test_spinlock_exclusion () =
+  let m = Machine.create cfg in
+  let l = Spinlock.create m in
+  let inside = ref 0 and max_inside = ref 0 in
+  for c = 0 to 7 do
+    Machine.spawn m ~core:c (fun () ->
+        for _ = 1 to 3 do
+          Spinlock.acquire l;
+          incr inside;
+          max_inside := max !max_inside !inside;
+          Engine.consume (Machine.engine m) Stats.Busy 15;
+          decr inside;
+          Spinlock.release l
+        done)
+  done;
+  Machine.run m;
+  Alcotest.(check int) "spinlock mutual exclusion" 1 !max_inside
+
+let test_dlock_cheaper_polling_than_spinlock () =
+  (* the asymmetric lock's waiters poll locally; the spinlock's waiters
+     hammer the shared SDRAM — under contention the distributed lock
+     finishes the same work faster (the claim of [15]) *)
+  let work lock_acquire lock_release =
+    let m = Machine.create cfg in
+    let acquire, release = lock_acquire m, lock_release m in
+    for c = 0 to 7 do
+      Machine.spawn m ~core:c (fun () ->
+          for _ = 1 to 10 do
+            acquire ();
+            Engine.consume (Machine.engine m) Stats.Busy 30;
+            release ()
+          done)
+    done;
+    Machine.run m;
+    Engine.wall_time (Machine.engine m)
+  in
+  let dlock_holder = ref None in
+  let t_dlock =
+    work
+      (fun m ->
+        let l = Dlock.create m in
+        dlock_holder := Some l;
+        fun () -> Dlock.acquire l)
+      (fun _ ->
+        fun () ->
+         match !dlock_holder with
+         | Some l -> Dlock.release l
+         | None -> assert false)
+  in
+  let spin_holder = ref None in
+  let t_spin =
+    work
+      (fun m ->
+        let l = Spinlock.create m in
+        spin_holder := Some l;
+        fun () -> Spinlock.acquire l)
+      (fun _ ->
+        fun () ->
+         match !spin_holder with
+         | Some l -> Spinlock.release l
+         | None -> assert false)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "distributed lock (%d) beats spinlock (%d)" t_dlock
+       t_spin)
+    true (t_dlock < t_spin)
+
+let suite =
+  ( "lock",
+    [
+      Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion;
+      Alcotest.test_case "asymmetric fast re-acquire" `Quick
+        test_fast_reacquire_is_cheap;
+      Alcotest.test_case "handover transfer cost" `Quick
+        test_transfer_costs_more;
+      Alcotest.test_case "FIFO handover" `Quick test_fifo_handover;
+      Alcotest.test_case "readers share" `Quick test_readers_share;
+      Alcotest.test_case "writer excludes readers" `Quick
+        test_writer_excludes_readers;
+      Alcotest.test_case "writer waits for readers" `Quick
+        test_writer_waits_for_readers;
+      Alcotest.test_case "double acquire rejected" `Quick
+        test_double_acquire_rejected;
+      Alcotest.test_case "spinlock exclusion" `Quick test_spinlock_exclusion;
+      Alcotest.test_case "dlock vs spinlock under contention" `Quick
+        test_dlock_cheaper_polling_than_spinlock;
+    ] )

@@ -1,0 +1,76 @@
+(* Determinism and distribution sanity of the simulation PRNG. *)
+
+open Pmc_sim
+
+let test_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Prng.next_int64 a)
+      (Prng.next_int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let test_int_bounds () =
+  let g = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "Prng.int out of bounds"
+  done
+
+let test_float_bounds () =
+  let g = Prng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g in
+    if v < 0.0 || v >= 1.0 then Alcotest.fail "Prng.float out of bounds"
+  done
+
+let test_split_independent () =
+  let g = Prng.create 5 in
+  let a = Prng.split g and b = Prng.split g in
+  Alcotest.(check bool) "split streams differ" false
+    (Prng.next_int64 a = Prng.next_int64 b)
+
+let test_rough_uniformity () =
+  let g = Prng.create 6 in
+  let buckets = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let b = Prng.int g 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if abs (c - (n / 10)) > n / 30 then
+        Alcotest.failf "bucket %d skewed: %d" i c)
+    buckets
+
+let prop_bool_prob =
+  QCheck.Test.make ~count:20 ~name:"Prng.bool tracks its probability"
+    QCheck.(float_range 0.1 0.9)
+    (fun p ->
+      let g = Prng.create 11 in
+      let hits = ref 0 in
+      let n = 5000 in
+      for _ = 1 to n do
+        if Prng.bool g p then incr hits
+      done;
+      abs_float ((float_of_int !hits /. float_of_int n) -. p) < 0.05)
+
+let suite =
+  ( "prng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed independence" `Quick test_different_seeds;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "float bounds" `Quick test_float_bounds;
+      Alcotest.test_case "split independence" `Quick test_split_independent;
+      Alcotest.test_case "rough uniformity" `Quick test_rough_uniformity;
+      QCheck_alcotest.to_alcotest prop_bool_prob;
+    ] )

@@ -1,0 +1,283 @@
+(* Tests of the PMC runtime: the annotation API's discipline checking, the
+   message-passing pattern on every back-end, back-end-specific semantics
+   (SWCC staleness without flushes, DSM replication, SPM staging), and the
+   Fig. 1 broken-flag demonstration. *)
+
+open Pmc_sim
+
+let cfg = { Config.small with cores = 4 }
+
+let with_api kind f =
+  let m = Machine.create cfg in
+  let api = Pmc.Backends.create kind m in
+  f m api
+
+let run_core0 m f =
+  Machine.spawn m ~core:0 f;
+  Machine.run m
+
+let all_backends = Pmc.Backends.all
+
+(* ---------------- discipline ---------------- *)
+
+let expect_discipline_error name f =
+  with_api Pmc.Backends.Seqcst (fun m api ->
+      let raised = ref false in
+      run_core0 m (fun () ->
+          try f api with Pmc.Api.Discipline_error _ -> raised := true);
+      Alcotest.(check bool) name true !raised)
+
+let test_write_outside_scope () =
+  expect_discipline_error "write outside entry_x rejected" (fun api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      Pmc.Api.set api o 0 1l)
+
+let test_write_in_ro_scope () =
+  expect_discipline_error "write in read-only scope rejected" (fun api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      Pmc.Api.with_ro api o (fun () -> Pmc.Api.set api o 0 1l))
+
+let test_read_outside_scope () =
+  expect_discipline_error "read outside any scope rejected" (fun api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      ignore (Pmc.Api.get api o 0))
+
+let test_flush_outside_x () =
+  expect_discipline_error "flush outside entry_x rejected" (fun api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      Pmc.Api.flush api o);
+  expect_discipline_error "flush in ro scope rejected" (fun api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      Pmc.Api.with_ro api o (fun () -> Pmc.Api.flush api o))
+
+let test_unmatched_exit () =
+  expect_discipline_error "exit without entry rejected" (fun api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      Pmc.Api.exit_x api o)
+
+let test_non_nested_exit () =
+  expect_discipline_error "non-LIFO exits rejected" (fun api ->
+      let a = Pmc.Api.alloc_words api ~name:"a" ~words:1 in
+      let b = Pmc.Api.alloc_words api ~name:"b" ~words:1 in
+      Pmc.Api.entry_x api a;
+      Pmc.Api.entry_x api b;
+      Pmc.Api.exit_x api a)
+
+let test_reentrant_entry () =
+  expect_discipline_error "re-entrant entry rejected" (fun api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      Pmc.Api.entry_x api o;
+      Pmc.Api.entry_x api o)
+
+let test_ro_upgrade_rejected () =
+  expect_discipline_error "ro -> x upgrade rejected" (fun api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      Pmc.Api.entry_ro api o;
+      Pmc.Api.entry_x api o)
+
+let test_out_of_bounds () =
+  expect_discipline_error "word index out of bounds" (fun api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:2 in
+      Pmc.Api.with_x api o (fun () -> ignore (Pmc.Api.get api o 2)))
+
+let test_unsafe_mode_skips_checks () =
+  let m = Machine.create cfg in
+  let api = Pmc.Backends.create ~check:false Pmc.Backends.Seqcst m in
+  let ok = ref false in
+  run_core0 m (fun () ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      Pmc.Api.set api o 0 1l;
+      (* no scope, no exception *)
+      ok := true);
+  Alcotest.(check bool) "unsafe mode permits undisciplined code" true !ok
+
+(* ---------------- cross-backend semantics ---------------- *)
+
+(* Basic write-then-read visibility through the lock on every back-end. *)
+let test_visibility_via_lock () =
+  List.iter
+    (fun kind ->
+      with_api kind (fun m api ->
+          let o = Pmc.Api.alloc_words api ~name:"o" ~words:8 in
+          let seen = ref 0l in
+          Machine.spawn m ~core:0 (fun () ->
+              Pmc.Api.with_x api o (fun () ->
+                  for w = 0 to 7 do
+                    Pmc.Api.set api o w (Int32.of_int (w + 1))
+                  done));
+          Machine.spawn m ~core:1 (fun () ->
+              Engine.consume (Machine.engine m) Stats.Busy 10_000;
+              Pmc.Api.with_x api o (fun () -> seen := Pmc.Api.get api o 7));
+          Machine.run m;
+          Alcotest.(check int32)
+            (Pmc.Backends.to_string kind ^ ": reader sees writer's data")
+            8l !seen))
+    all_backends
+
+(* Message passing (Fig. 6) delivers the payload on every back-end. *)
+let test_msg_all_backends () =
+  List.iter
+    (fun kind ->
+      with_api kind (fun m api ->
+          let data = Pmc.Api.alloc_words api ~name:"X" ~words:4 in
+          let flag = Pmc.Api.alloc_words api ~name:"flag" ~words:1 in
+          let got = ref [||] in
+          Machine.spawn m ~core:0 (fun () ->
+              Pmc.Msg.send api ~data ~flag [| 42l; 43l; 44l; 45l |]);
+          Machine.spawn m ~core:2 (fun () ->
+              got := Pmc.Msg.recv api ~data ~flag);
+          Machine.run m;
+          Alcotest.(check (array int32))
+            (Pmc.Backends.to_string kind ^ ": payload intact")
+            [| 42l; 43l; 44l; 45l |] !got))
+    all_backends
+
+(* SWCC specifics: a dirty exclusive scope leaves nothing stale — the
+   reader on another core re-fetches after its own entry. *)
+let test_swcc_exit_flushes () =
+  with_api Pmc.Backends.Swcc (fun m api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      run_core0 m (fun () ->
+          Pmc.Api.with_x api o (fun () -> Pmc.Api.set api o 0 5l));
+      (* after exit_x the SDRAM must hold the value (write-back done) *)
+      Alcotest.(check int32) "exit_x wrote back to SDRAM" 5l
+        (Machine.peek_u32 m o.Pmc.Shared.sdram_addr))
+
+(* SWCC without the protocol would be stale: write into the cache via raw
+   machine access, observe SDRAM unchanged. *)
+let test_swcc_staleness_without_protocol () =
+  with_api Pmc.Backends.Swcc (fun m api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      run_core0 m (fun () ->
+          Machine.store_u32 m ~shared:true o.Pmc.Shared.sdram_addr 9l);
+      Alcotest.(check int32)
+        "without exit_x the write stays in the cache (stale SDRAM)" 0l
+        (Machine.peek_u32 m o.Pmc.Shared.sdram_addr))
+
+(* DSM specifics: flush replicates to all tiles' local memories. *)
+let test_dsm_flush_replicates () =
+  with_api Pmc.Backends.Dsm (fun m api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:2 in
+      run_core0 m (fun () ->
+          Pmc.Api.with_x api o (fun () ->
+              Pmc.Api.set api o 0 11l;
+              Pmc.Api.set api o 1 22l;
+              Pmc.Api.flush api o);
+          Machine.noc_drain m);
+      for tile = 0 to cfg.Config.cores - 1 do
+        let a =
+          Machine.local_addr m ~tile ~off:o.Pmc.Shared.dsm_off
+        in
+        Alcotest.(check int32)
+          (Printf.sprintf "replica on tile %d" tile)
+          11l (Machine.peek_u32 m a)
+      done)
+
+(* DSM lazy release: without flush, the data moves only on the next
+   acquire (pulled by the new owner). *)
+let test_dsm_lazy_release () =
+  with_api Pmc.Backends.Dsm (fun m api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      let seen = ref 0l in
+      Machine.spawn m ~core:0 (fun () ->
+          Pmc.Api.with_x api o (fun () -> Pmc.Api.set api o 0 7l));
+      Machine.spawn m ~core:3 (fun () ->
+          Engine.consume (Machine.engine m) Stats.Busy 5_000;
+          (* before acquiring, the local replica is still the old value *)
+          let raw =
+            Machine.peek_u32 m
+              (Machine.local_addr m ~tile:3 ~off:o.Pmc.Shared.dsm_off)
+          in
+          Alcotest.(check int32) "replica stale before acquire" 0l raw;
+          Pmc.Api.with_x api o (fun () -> seen := Pmc.Api.get api o 0));
+      Machine.run m;
+      Alcotest.(check int32) "acquire pulled the version" 7l !seen)
+
+(* SPM specifics: reads inside a scope hit the scratch-pad; exit_x copies
+   back; exit_ro discards modifications-free. *)
+let test_spm_staging () =
+  with_api Pmc.Backends.Spm (fun m api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:4 in
+      Pmc.Api.poke api o 2 33l;
+      run_core0 m (fun () ->
+          Pmc.Api.with_ro api o (fun () ->
+              Alcotest.(check int32) "staged copy readable" 33l
+                (Pmc.Api.get api o 2));
+          Pmc.Api.with_x api o (fun () -> Pmc.Api.set api o 2 44l));
+      Alcotest.(check int32) "exit_x copied back" 44l (Pmc.Api.peek api o 2))
+
+let test_spm_access_outside_scope_fails () =
+  with_api Pmc.Backends.Spm (fun m api ->
+      let o = Pmc.Api.alloc_words api ~name:"o" ~words:1 in
+      let api_unsafe = Pmc.Backends.create ~check:false Pmc.Backends.Spm m in
+      ignore api_unsafe;
+      let raised = ref false in
+      run_core0 m (fun () ->
+          try ignore (Pmc.Api.get api o 0)
+          with Pmc.Api.Discipline_error _ -> raised := true);
+      Alcotest.(check bool) "SPM access outside scope rejected" true !raised)
+
+(* ---------------- Fig. 1 ---------------- *)
+
+let test_broken_flag () =
+  let m = Machine.create cfg in
+  let o =
+    Pmc.Msg.Broken.run m ~src:0 ~dst:1 ~latency_x:10 ~latency_flag:1
+      ~fixed:false
+  in
+  Alcotest.(check bool) "asymmetric latencies break the program" false
+    (Pmc.Msg.Broken.ok o);
+  Alcotest.(check int32) "stale value observed" 0l o.Pmc.Msg.Broken.observed
+
+let test_broken_flag_fixed () =
+  let m = Machine.create cfg in
+  let o =
+    Pmc.Msg.Broken.run m ~src:0 ~dst:1 ~latency_x:10 ~latency_flag:1
+      ~fixed:true
+  in
+  Alcotest.(check bool) "the PMC drain repairs it" true
+    (Pmc.Msg.Broken.ok o)
+
+let test_broken_flag_symmetric_ok () =
+  (* with symmetric latencies the FIFO-free machine happens to work *)
+  let m = Machine.create cfg in
+  let o =
+    Pmc.Msg.Broken.run m ~src:0 ~dst:1 ~latency_x:1 ~latency_flag:1
+      ~fixed:false
+  in
+  Alcotest.(check bool) "symmetric latencies mask the bug" true
+    (Pmc.Msg.Broken.ok o)
+
+let suite =
+  ( "runtime",
+    [
+      Alcotest.test_case "write outside scope" `Quick
+        test_write_outside_scope;
+      Alcotest.test_case "write in ro scope" `Quick test_write_in_ro_scope;
+      Alcotest.test_case "read outside scope" `Quick test_read_outside_scope;
+      Alcotest.test_case "flush discipline" `Quick test_flush_outside_x;
+      Alcotest.test_case "unmatched exit" `Quick test_unmatched_exit;
+      Alcotest.test_case "non-nested exit" `Quick test_non_nested_exit;
+      Alcotest.test_case "re-entrant entry" `Quick test_reentrant_entry;
+      Alcotest.test_case "ro upgrade rejected" `Quick test_ro_upgrade_rejected;
+      Alcotest.test_case "bounds check" `Quick test_out_of_bounds;
+      Alcotest.test_case "unsafe mode" `Quick test_unsafe_mode_skips_checks;
+      Alcotest.test_case "visibility via lock (all back-ends)" `Quick
+        test_visibility_via_lock;
+      Alcotest.test_case "message passing (all back-ends)" `Quick
+        test_msg_all_backends;
+      Alcotest.test_case "SWCC: exit_x writes back" `Quick
+        test_swcc_exit_flushes;
+      Alcotest.test_case "SWCC: stale without protocol" `Quick
+        test_swcc_staleness_without_protocol;
+      Alcotest.test_case "DSM: flush replicates" `Quick
+        test_dsm_flush_replicates;
+      Alcotest.test_case "DSM: lazy release" `Quick test_dsm_lazy_release;
+      Alcotest.test_case "SPM: staging" `Quick test_spm_staging;
+      Alcotest.test_case "SPM: outside scope rejected" `Quick
+        test_spm_access_outside_scope_fails;
+      Alcotest.test_case "Fig. 1: broken" `Quick test_broken_flag;
+      Alcotest.test_case "Fig. 1: fixed" `Quick test_broken_flag_fixed;
+      Alcotest.test_case "Fig. 1: symmetric is lucky" `Quick
+        test_broken_flag_symmetric_ok;
+    ] )

@@ -1,0 +1,253 @@
+(* Tests of the machine: address decoding, timed access paths, SDRAM
+   contention, the write-only NoC (posted writes, per-link FIFO, drain),
+   the instruction-stream model, allocation, and the atomic test-and-set. *)
+
+open Pmc_sim
+
+let cfg = { Config.small with cores = 4 }
+
+let run1 m f =
+  let result = ref None in
+  Machine.spawn m ~core:0 (fun () -> result := Some (f ()));
+  Machine.run m;
+  Option.get !result
+
+let test_decode () =
+  let m = Machine.create cfg in
+  (match Machine.decode m 0 with
+  | Machine.Cached_sdram 0 -> ()
+  | _ -> Alcotest.fail "low address is cached SDRAM");
+  (match Machine.decode m (cfg.Config.sdram_bytes - 4) with
+  | Machine.Uncached_sdram _ -> ()
+  | _ -> Alcotest.fail "high address is uncached SDRAM");
+  match Machine.decode m (Machine.local_addr m ~tile:2 ~off:100) with
+  | Machine.Local { tile = 2; off = 100 } -> ()
+  | _ -> Alcotest.fail "local address decodes to tile 2"
+
+let test_alloc_alignment () =
+  let m = Machine.create cfg in
+  let a = Machine.alloc_cached m ~bytes:5 in
+  let b = Machine.alloc_cached m ~bytes:5 in
+  Alcotest.(check int) "line aligned" 0 (a mod cfg.Config.line_bytes);
+  Alcotest.(check bool) "objects never share a line" true
+    (b - a >= cfg.Config.line_bytes)
+
+let test_cached_load_timing () =
+  let m = Machine.create cfg in
+  let addr = Machine.alloc_cached m ~bytes:64 in
+  Machine.poke_u32 m addr 17l;
+  let t_miss, t_hit, v =
+    run1 m (fun () ->
+        let t0 = Machine.now m in
+        let v = Machine.load_u32 m ~shared:true addr in
+        let t1 = Machine.now m in
+        ignore (Machine.load_u32 m ~shared:true addr);
+        let t2 = Machine.now m in
+        (t1 - t0, t2 - t1, v))
+  in
+  Alcotest.(check int32) "value read" 17l v;
+  Alcotest.(check bool) "miss slower than hit" true (t_miss > t_hit);
+  Alcotest.(check int) "hit costs the hit latency"
+    cfg.Config.dcache_hit_cycles t_hit
+
+let test_uncached_timing () =
+  let m = Machine.create cfg in
+  let addr = Machine.alloc_uncached m ~bytes:4 in
+  let dt =
+    run1 m (fun () ->
+        let t0 = Machine.now m in
+        ignore (Machine.load_u32 m ~shared:true addr);
+        Machine.now m - t0)
+  in
+  Alcotest.(check bool) "uncached read pays the SDRAM latency" true
+    (dt >= cfg.Config.sdram_word_cycles)
+
+let test_sdram_contention () =
+  (* many cores issuing uncached reads at once queue on the port *)
+  let m = Machine.create cfg in
+  let addr = Machine.alloc_uncached m ~bytes:4 in
+  let times = Array.make 4 0 in
+  for c = 0 to 3 do
+    Machine.spawn m ~core:c (fun () ->
+        ignore (Machine.load_u32 m ~shared:true addr);
+        times.(c) <- Machine.now m)
+  done;
+  Machine.run m;
+  let sorted = Array.copy times in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "later requesters wait longer" true
+    (sorted.(3) > sorted.(0))
+
+let test_local_mem_access () =
+  let m = Machine.create cfg in
+  let v =
+    run1 m (fun () ->
+        let a = Machine.local_addr m ~tile:0 ~off:16 in
+        Machine.store_u32 m ~shared:true a 5l;
+        Machine.load_u32 m ~shared:true a)
+  in
+  Alcotest.(check int32) "local memory read back" 5l v
+
+let test_remote_read_forbidden () =
+  let m = Machine.create cfg in
+  let exn = ref false in
+  Machine.spawn m ~core:0 (fun () ->
+      try ignore (Machine.load_u32 m ~shared:true
+                    (Machine.local_addr m ~tile:1 ~off:0))
+      with Machine.Remote_read _ -> exn := true);
+  Machine.run m;
+  Alcotest.(check bool) "write-only interconnect rejects remote reads" true
+    !exn
+
+let test_noc_posted_write () =
+  let m = Machine.create cfg in
+  let dst_addr = Machine.local_addr m ~tile:1 ~off:0 in
+  Machine.spawn m ~core:0 (fun () ->
+      let t0 = Machine.now m in
+      Machine.store_u32 m ~shared:true dst_addr 9l;
+      let injection = Machine.now m - t0 in
+      (* posted: the sender pays only the injection cost *)
+      Alcotest.(check bool) "posted write is cheap for the sender" true
+        (injection < cfg.Config.noc_base_cycles);
+      (* and the data has not landed yet *)
+      Alcotest.(check int32) "not yet visible" 0l (Machine.peek_u32 m dst_addr);
+      Machine.noc_drain m;
+      Alcotest.(check int32) "visible after drain" 9l
+        (Machine.peek_u32 m dst_addr));
+  Machine.run m
+
+let test_noc_fifo_per_link () =
+  (* two posted writes to the same destination land in issue order, even
+     with different sizes *)
+  let m = Machine.create cfg in
+  Machine.spawn m ~core:0 (fun () ->
+      Machine.noc_push m ~dst:1 ~src_off:0 ~dst_off:0 ~len:32;
+      Machine.store_u32 m ~shared:true (Machine.local_addr m ~tile:1 ~off:0)
+        1l;
+      Machine.noc_drain m;
+      (* the single-word write issued second must not be overwritten by
+         the earlier burst *)
+      Alcotest.(check int32) "second write wins" 1l
+        (Machine.peek_u32 m (Machine.local_addr m ~tile:1 ~off:0)));
+  Machine.run m
+
+let test_raw_remote_write_reorders () =
+  (* the Fig. 1 machine: a slow write issued first arrives after a fast
+     write issued second *)
+  let m = Machine.create cfg in
+  let order = ref [] in
+  Machine.spawn m ~core:0 (fun () ->
+      Machine.store_u32_remote_raw m ~dst:1 ~off:0 ~latency:50 1l;
+      Machine.store_u32_remote_raw m ~dst:1 ~off:4 ~latency:5 2l);
+  Machine.spawn m ~core:1 (fun () ->
+      for _ = 1 to 40 do
+        let a = Machine.peek_u32 m (Machine.local_addr m ~tile:1 ~off:0) in
+        let b = Machine.peek_u32 m (Machine.local_addr m ~tile:1 ~off:4) in
+        order := (a, b) :: !order;
+        Engine.idle (Machine.engine m) 2
+      done);
+  Machine.run m;
+  Alcotest.(check bool) "flag seen before data at some point" true
+    (List.exists (fun (a, b) -> a = 0l && b = 2l) !order)
+
+let test_instr_stream () =
+  let m = Machine.create cfg in
+  Machine.set_code m ~core:0 ~footprint:(4 * 1024) ~jump_prob:0.0;
+  Machine.spawn m ~core:0 (fun () -> Machine.instr m 1000);
+  Machine.run m;
+  let s = Stats.core (Machine.stats m) 0 in
+  Alcotest.(check int) "instructions counted" 1000 s.Stats.instructions;
+  Alcotest.(check int) "1 busy cycle per instruction" 1000
+    (Stats.get s Stats.Busy);
+  Alcotest.(check bool) "cold i-cache missed" true (s.Stats.icache_misses > 0);
+  (* second pass over the same footprint: all hits *)
+  let misses_before = s.Stats.icache_misses in
+  Machine.spawn m ~core:0 (fun () -> Machine.instr m 1000);
+  Machine.run m;
+  Alcotest.(check bool) "warm i-cache barely misses" true
+    (s.Stats.icache_misses - misses_before < misses_before / 4 + 2)
+
+let test_private_data () =
+  let m = Machine.create cfg in
+  let v =
+    run1 m (fun () ->
+        Machine.private_store m 10 77l;
+        Machine.private_load m 10)
+  in
+  Alcotest.(check int32) "private data round-trips" 77l v
+
+let test_private_data_per_core () =
+  let m = Machine.create cfg in
+  Machine.spawn m ~core:0 (fun () -> Machine.private_store m 0 1l);
+  Machine.spawn m ~core:1 (fun () ->
+      Engine.consume (Machine.engine m) Stats.Busy 100;
+      Alcotest.(check int32) "cores have distinct private arenas" 0l
+        (Machine.private_load m 0));
+  Machine.run m
+
+let test_tas_atomic () =
+  let m = Machine.create cfg in
+  let addr = Machine.alloc_uncached m ~bytes:4 in
+  let winners = ref 0 in
+  for c = 0 to 3 do
+    Machine.spawn m ~core:c (fun () ->
+        if Machine.uncached_tas m addr = 0l then incr winners)
+  done;
+  Machine.run m;
+  Alcotest.(check int) "exactly one winner" 1 !winners
+
+let test_flush_timing_counted () =
+  let m = Machine.create cfg in
+  let addr = Machine.alloc_cached m ~bytes:64 in
+  Machine.spawn m ~core:0 (fun () ->
+      Machine.store_u32 m ~shared:true addr 1l;
+      Machine.wb_inval_range m ~addr ~len:64);
+  Machine.run m;
+  let s = Stats.core (Machine.stats m) 0 in
+  Alcotest.(check bool) "flush cycles attributed" true
+    (Stats.get s Stats.Flush_overhead > 0);
+  Alcotest.(check int) "flush counted" 1 s.Stats.flushes
+
+let test_dsm_alloc_common_offset () =
+  let m = Machine.create cfg in
+  let o1 = Machine.alloc_dsm m ~bytes:12 in
+  let o2 = Machine.alloc_dsm m ~bytes:8 in
+  Alcotest.(check bool) "offsets grow" true (o2 > o1);
+  Alcotest.(check int) "word aligned" 0 (o2 mod 4)
+
+let test_spm_stack () =
+  let m = Machine.create cfg in
+  let base = Machine.spm_mark m ~core:0 in
+  let a = Machine.spm_alloc m ~core:0 ~bytes:100 in
+  let b = Machine.spm_alloc m ~core:0 ~bytes:100 in
+  Alcotest.(check bool) "stack grows" true (b > a);
+  Machine.spm_release m ~core:0 base;
+  let c = Machine.spm_alloc m ~core:0 ~bytes:100 in
+  Alcotest.(check int) "release rewinds" a c
+
+let suite =
+  ( "machine",
+    [
+      Alcotest.test_case "address decode" `Quick test_decode;
+      Alcotest.test_case "allocation alignment" `Quick test_alloc_alignment;
+      Alcotest.test_case "cached load timing" `Quick test_cached_load_timing;
+      Alcotest.test_case "uncached timing" `Quick test_uncached_timing;
+      Alcotest.test_case "SDRAM contention" `Quick test_sdram_contention;
+      Alcotest.test_case "local memory" `Quick test_local_mem_access;
+      Alcotest.test_case "remote reads forbidden" `Quick
+        test_remote_read_forbidden;
+      Alcotest.test_case "NoC posted write + drain" `Quick
+        test_noc_posted_write;
+      Alcotest.test_case "NoC per-link FIFO" `Quick test_noc_fifo_per_link;
+      Alcotest.test_case "raw remote writes reorder (Fig. 1)" `Quick
+        test_raw_remote_write_reorders;
+      Alcotest.test_case "instruction stream + I-cache" `Quick
+        test_instr_stream;
+      Alcotest.test_case "private data" `Quick test_private_data;
+      Alcotest.test_case "private arenas are per-core" `Quick
+        test_private_data_per_core;
+      Alcotest.test_case "test-and-set atomicity" `Quick test_tas_atomic;
+      Alcotest.test_case "flush accounting" `Quick test_flush_timing_counted;
+      Alcotest.test_case "DSM allocation" `Quick test_dsm_alloc_common_offset;
+      Alcotest.test_case "SPM stack allocator" `Quick test_spm_stack;
+    ] )
