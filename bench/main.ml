@@ -478,7 +478,7 @@ module Micro = struct
   let test_transition =
     Test.make ~name:"model: 64-op execution build"
       (Staged.stage (fun () ->
-           let e = Pmc_model.Execution.create ~procs:4 ~locs:4 in
+           let e = Pmc_model.Execution.create ~procs:4 ~locs:4 () in
            for i = 0 to 63 do
              ignore
                (Pmc_model.Execution.write e ~proc:(i mod 4) ~loc:(i mod 4)
@@ -527,6 +527,61 @@ end
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+
+(* --json: the app × back-end matrix as machine-readable records, one
+   JSON object per run with cycles, utilization and the per-category
+   stall breakdown — for scripted regression tracking instead of the
+   human-oriented tables above. *)
+module Json_out = struct
+  let result_json (r : Pmc_apps.Runner.result) =
+    let s = r.Pmc_apps.Runner.summary in
+    let stalls =
+      String.concat ","
+        (List.map
+           (fun c ->
+             Printf.sprintf "%S:%d" (Stats.category_name c)
+               (Stats.category_cycles s c))
+           Stats.categories)
+    in
+    Printf.sprintf
+      "{\"app\":%S,\"backend\":%S,\"cores\":%d,\"scale\":%d,\"cycles\":%d,\
+       \"utilization\":%.4f,\"instructions\":%d,\"ok\":%b,\"stalls\":{%s}}"
+      r.Pmc_apps.Runner.app
+      (Pmc.Backends.to_string r.Pmc_apps.Runner.backend)
+      r.Pmc_apps.Runner.cores r.Pmc_apps.Runner.scale r.Pmc_apps.Runner.wall
+      (Stats.utilization s) s.Stats.instructions
+      (Pmc_apps.Runner.ok r) stalls
+
+  let run ~cores ~scale () =
+    let cfg = { Config.default with cores } in
+    let first = ref true in
+    print_string "[";
+    List.iter
+      (fun app ->
+        List.iter
+          (fun backend ->
+            let record =
+              match Pmc_apps.Runner.run ~cfg app ~backend ~scale with
+              | r -> result_json r
+              | exception exn ->
+                  (* e.g. a back-end capacity limit at this geometry; keep
+                     the stream valid and the rest of the matrix running *)
+                  Printf.sprintf
+                    "{\"app\":%S,\"backend\":%S,\"cores\":%d,\"scale\":%d,\
+                     \"error\":%S}"
+                    app.Pmc_apps.Runner.name
+                    (Pmc.Backends.to_string backend)
+                    cores scale (Printexc.to_string exn)
+            in
+            if not !first then print_string ",";
+            first := false;
+            print_string ("\n  " ^ record))
+          Pmc.Backends.all)
+      Pmc_apps.Registry.all;
+    print_string "\n]\n"
+end
+
 let all_sections =
   [
     ("fig1", Fig1.run);
@@ -541,13 +596,17 @@ let all_sections =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with [] | [ _ ] -> None | _ :: l -> Some l
-  in
-  List.iter
-    (fun (name, run) ->
-      match requested with
-      | Some l when not (List.mem name l) -> ()
-      | _ -> run ())
-    all_sections;
-  Fmt.pr "@.done.@."
+  let args = match Array.to_list Sys.argv with [] -> [] | _ :: l -> l in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
+  if json then Json_out.run ~cores:16 ~scale:32 ()
+  else begin
+    let requested = match args with [] -> None | l -> Some l in
+    List.iter
+      (fun (name, run) ->
+        match requested with
+        | Some l when not (List.mem name l) -> ()
+        | _ -> run ())
+      all_sections;
+    Fmt.pr "@.done.@."
+  end

@@ -33,18 +33,18 @@ let print_graph title exec =
 
 let print_figures () =
   (* Fig. 2 *)
-  let e = Execution.create ~procs:1 ~locs:1 in
+  let e = Execution.create ~procs:1 ~locs:1 () in
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:1);
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:2);
   print_graph "Fig. 2: program order of two writes" e;
   (* Fig. 3 *)
-  let e = Execution.create ~procs:1 ~locs:1 in
+  let e = Execution.create ~procs:1 ~locs:1 () in
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:1);
   ignore (Execution.read e ~proc:0 ~loc:0 ~value:1);
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:2);
   print_graph "Fig. 3: local order of a read" e;
   (* Fig. 4 *)
-  let e = Execution.create ~procs:2 ~locs:1 in
+  let e = Execution.create ~procs:2 ~locs:1 () in
   ignore (Execution.acquire e ~proc:1 ~loc:0);
   ignore (Execution.write e ~proc:1 ~loc:0 ~value:1);
   ignore (Execution.write e ~proc:1 ~loc:0 ~value:2);
@@ -54,7 +54,7 @@ let print_figures () =
   ignore (Execution.release e ~proc:0 ~loc:0);
   print_graph "Fig. 4: exclusive access with two processes" e;
   (* Fig. 5 *)
-  let e = Execution.create ~procs:2 ~locs:2 in
+  let e = Execution.create ~procs:2 ~locs:2 () in
   ignore (Execution.acquire e ~proc:0 ~loc:0);
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:42);
   ignore (Execution.fence e ~proc:0);
@@ -80,7 +80,7 @@ let print_drf () =
     Lprog.all_standard
 
 let print_dot () =
-  let e = Execution.create ~procs:2 ~locs:2 in
+  let e = Execution.create ~procs:2 ~locs:2 () in
   ignore (Execution.acquire e ~proc:0 ~loc:0);
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:42);
   ignore (Execution.fence e ~proc:0);

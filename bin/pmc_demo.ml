@@ -1,14 +1,19 @@
 (* pmc_demo — run any annotated application on any memory-architecture
    back-end of the simulated many-core SoC and report the Fig. 8-style
-   statistics.
+   statistics.  With the pmc_trace flags the run additionally becomes an
+   analyzable artifact: a Perfetto-loadable trace (--trace), a dynamic
+   race check (--race-check), and a replay of the observed values through
+   the formal PMC model (--model-check).
 
      pmc_demo --app raytrace --backend swcc --cores 32 --scale 256
+     pmc_demo --app raytrace --backend swcc --trace out.json --race-check
      pmc_demo --list *)
 
 open Cmdliner
 open Pmc_sim
 
-let run_app app_name backend_name cores scale breakdown verify =
+let run_app app_name backend_name cores scale breakdown verify trace_file
+    race_check model_check capacity =
   match Pmc_apps.Registry.find app_name with
   | None ->
       Fmt.epr "unknown app %S; try --list@." app_name;
@@ -21,7 +26,16 @@ let run_app app_name backend_name cores scale breakdown verify =
           exit 1
       | Some backend ->
           let cfg = { Config.default with cores } in
-          let r = Pmc_apps.Runner.run ~cfg app ~backend ~scale in
+          let tracing = trace_file <> None || race_check || model_check in
+          let recorder = ref None in
+          let on_api =
+            if tracing then
+              Some
+                (fun api ->
+                  recorder := Some (Pmc_trace.Recorder.attach ?capacity api))
+            else None
+          in
+          let r = Pmc_apps.Runner.run ~cfg ?on_api app ~backend ~scale in
           Fmt.pr "%a" Pmc_apps.Runner.pp_result r;
           if breakdown then begin
             let s = r.Pmc_apps.Runner.summary in
@@ -33,10 +47,66 @@ let run_app app_name backend_name cores scale breakdown verify =
               s.Stats.lock_acquires s.Stats.lock_transfers s.Stats.noc_writes
               s.Stats.flushes
           end;
+          let rc = ref 0 in
+          (match !recorder with
+          | None -> ()
+          | Some rec_ ->
+              let events = Pmc_trace.Recorder.events rec_ in
+              let dropped = Pmc_trace.Recorder.dropped_total rec_ in
+              Fmt.pr "trace: %d events recorded%s@." (List.length events)
+                (if dropped = 0 then ""
+                 else Printf.sprintf ", %d dropped (raise --trace-capacity)"
+                        dropped);
+              (match trace_file with
+              | None -> ()
+              | Some path ->
+                  let stats =
+                    Machine.stats (Pmc.Api.machine (Pmc_trace.Recorder.api rec_))
+                  in
+                  (try
+                     Pmc_trace.Export.write_file ~stats ~path events;
+                     Fmt.pr "trace: wrote %s (open in ui.perfetto.dev)@." path
+                   with Sys_error msg ->
+                     Fmt.epr "trace: cannot write %s: %s@." path msg;
+                     rc := 2));
+              if race_check then begin
+                let races = Pmc_trace.Racecheck.check ~cores events in
+                match races with
+                | [] -> Fmt.pr "race check: no data races detected@."
+                | races ->
+                    Fmt.pr "race check: %d distinct data race(s):@."
+                      (List.length races);
+                    List.iter
+                      (fun r ->
+                        Fmt.pr "  %a@." Pmc_trace.Racecheck.pp_race r)
+                      races;
+                    rc := 3
+              end;
+              if model_check then begin
+                if dropped > 0 then
+                  Fmt.epr
+                    "model check: trace incomplete (%d events dropped) — \
+                     verdict unreliable@."
+                    dropped;
+                let report = Pmc_trace.Replay.check ~cores events in
+                if Pmc_model.History.ok report then
+                  Fmt.pr "model check: run is PMC-consistent \
+                          (History.check ok)@."
+                else begin
+                  Fmt.pr "model check: %d violation(s):@."
+                    (List.length report.Pmc_model.History.violations);
+                  List.iter
+                    (fun v ->
+                      Fmt.pr "  %a@." Pmc_model.History.pp_violation v)
+                    report.Pmc_model.History.violations;
+                  rc := 4
+                end
+              end);
           if verify && not (Pmc_apps.Runner.ok r) then begin
             Fmt.epr "checksum mismatch!@.";
             exit 2
-          end)
+          end;
+          if !rc <> 0 then exit !rc)
 
 let list_apps () =
   Fmt.pr "applications:@.";
@@ -71,15 +141,49 @@ let verify_t =
 
 let list_t = Arg.(value & flag & info [ "list"; "l" ] ~doc:"List apps.")
 
-let main app backend cores scale breakdown verify list =
+let trace_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace"; "t" ] ~docv:"FILE"
+        ~doc:
+          "Record the run and write a Chrome trace-event JSON to $(docv) \
+           (open in ui.perfetto.dev).")
+
+let race_check_t =
+  Arg.(
+    value & flag
+    & info [ "race-check" ]
+        ~doc:
+          "Record the run and check it for dynamic data races (exit 3 if \
+           any are found).")
+
+let model_check_t =
+  Arg.(
+    value & flag
+    & info [ "model-check" ]
+        ~doc:
+          "Record the run and replay it through the formal PMC model's \
+           history checker (exit 4 on violation).")
+
+let capacity_t =
+  Arg.(
+    value & opt (some int) None
+    & info [ "trace-capacity" ] ~docv:"N"
+        ~doc:"Per-core trace ring capacity (default 65536 events).")
+
+let main app backend cores scale breakdown verify trace race_check
+    model_check capacity list =
   if list then list_apps ()
-  else run_app app backend cores scale breakdown verify
+  else
+    run_app app backend cores scale breakdown verify trace race_check
+      model_check capacity
 
 let cmd =
   Cmd.v
     (Cmd.info "pmc_demo" ~doc:"Run PMC-annotated apps on simulated SoCs")
     Term.(
       const main $ app_t $ backend_t $ cores_t $ scale_t $ breakdown_t
-      $ verify_t $ list_t)
+      $ verify_t $ trace_t $ race_check_t $ model_check_t $ capacity_t
+      $ list_t)
 
 let () = exit (Cmd.eval cmd)

@@ -33,13 +33,15 @@ type result = {
 
 let ok r = r.checksum = r.reference
 
-let run ?(cfg = Config.default) (a : app) ~backend ~scale : result =
+let run ?(cfg = Config.default) ?on_api (a : app) ~backend ~scale : result =
   let m = Machine.create cfg in
   for core = 0 to cfg.Config.cores - 1 do
     Machine.set_code m ~core ~footprint:a.code_footprint
       ~jump_prob:a.jump_prob
   done;
   let api = Pmc.Backends.create backend m in
+  (* let observers (e.g. a trace recorder) hook the api before any task runs *)
+  Option.iter (fun f -> f api) on_api;
   let collect = a.setup api ~scale in
   Machine.run m;
   {

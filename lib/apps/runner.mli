@@ -27,8 +27,11 @@ val ok : result -> bool
 (** Checksum matches the sequential reference. *)
 
 val run :
-  ?cfg:Pmc_sim.Config.t -> app -> backend:Pmc.Backends.kind -> scale:int ->
-  result
+  ?cfg:Pmc_sim.Config.t -> ?on_api:(Pmc.Api.t -> unit) -> app ->
+  backend:Pmc.Backends.kind -> scale:int -> result
+(** [on_api] is called with the freshly created runtime instance before
+    any task is spawned — the hook point for attaching observers such as
+    a {!Pmc_trace.Recorder}. *)
 
 val pp_result : Format.formatter -> result -> unit
 

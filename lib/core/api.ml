@@ -37,6 +37,9 @@ type event =
   | Ev_flush of Shared.t
   | Ev_read of Shared.t * int * int32
   | Ev_write of Shared.t * int * int32
+  | Ev_read8 of Shared.t * int * int
+  | Ev_write8 of Shared.t * int * int
+  | Ev_init of Shared.t * int * int32
 
 type t = {
   backend : Backend_sig.backend;
@@ -210,14 +213,17 @@ let get8 t (o : Shared.t) i : int =
   if t.check && scope_of t o = None then
     fail "read of %a outside any entry/exit pair" Shared.pp o;
   let (Backend_sig.B ((module B), b)) = t.backend in
-  B.read_u8 b o i
+  let v = B.read_u8 b o i in
+  emit t (Ev_read8 (o, i, v));
+  v
 
 let set8 t (o : Shared.t) i (v : int) =
   check_byte o i;
   if t.check && scope_of t o <> Some X then
     fail "write of %a outside an exclusive entry_x/exit_x pair" Shared.pp o;
   let (Backend_sig.B ((module B), b)) = t.backend in
-  B.write_u8 b o i v
+  B.write_u8 b o i v;
+  emit t (Ev_write8 (o, i, v))
 
 (* Integer convenience wrappers. *)
 let get_int t o word = Int32.to_int (get t o word)
@@ -235,7 +241,10 @@ let peek_int t o word = Int32.to_int (peek t o word)
    data before the simulation starts. *)
 let poke t (o : Shared.t) word (v : int32) =
   let (Backend_sig.B ((module B), b)) = t.backend in
-  B.poke_u32 b o word v
+  B.poke_u32 b o word v;
+  (* poke runs on the host, usually outside any task, so there is no
+     issuing core — report it as core -1 *)
+  match t.trace with None -> () | Some f -> f ~core:(-1) (Ev_init (o, word, v))
 
 let poke_int t o word v = poke t o word (Int32.of_int v)
 

@@ -26,6 +26,11 @@ type event =
   | Ev_flush of Shared.t
   | Ev_read of Shared.t * int * int32
   | Ev_write of Shared.t * int * int32
+  | Ev_read8 of Shared.t * int * int   (** byte read: (object, byte, value) *)
+  | Ev_write8 of Shared.t * int * int  (** byte write: (object, byte, value) *)
+  | Ev_init of Shared.t * int * int32
+      (** untimed initialization write ({!poke}) — establishes the
+          location's initial value for model replay *)
 
 type t
 

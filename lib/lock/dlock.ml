@@ -56,6 +56,11 @@ let count_acquire t ~transferred =
   s.Stats.lock_acquires <- s.Stats.lock_acquires + 1;
   if transferred then s.Stats.lock_transfers <- s.Stats.lock_transfers + 1
 
+let emit t (op : Probe.lock_op) ~transferred =
+  Probe.emit (Machine.probe t.m)
+    ~time:(Engine.now (Machine.engine t.m))
+    (Probe.Lock { core = Machine.core_id t.m; lock = t.id; op; transferred })
+
 (* Hand the lock to the next exclusive waiter, if the lock is idle. *)
 let try_grant t =
   if
@@ -89,7 +94,8 @@ let acquire t =
     let cost = transfer_cycles t ~from:t.last_holder ~to_:core in
     t.last_holder <- core;
     count_acquire t ~transferred;
-    if cost > 0 then Engine.consume e Stats.Lock_stall cost
+    if cost > 0 then Engine.consume e Stats.Lock_stall cost;
+    emit t Probe.Acquire ~transferred
   end
   else begin
     Queue.push core t.queue;
@@ -105,7 +111,8 @@ let acquire t =
     t.owner <- Some core;
     let transferred = t.last_holder <> core in
     t.last_holder <- core;
-    count_acquire t ~transferred
+    count_acquire t ~transferred;
+    emit t Probe.Acquire ~transferred
   end
 
 let release t =
@@ -117,6 +124,7 @@ let release t =
   | _ -> failwith "Dlock.release: not the holder");
   Engine.consume e Stats.Lock_stall cfg.Config.lock_local_poll_cycles;
   t.owner <- None;
+  emit t Probe.Release ~transferred:false;
   try_grant t
 
 (* Shared (read-only) admission: wait until no exclusive holder, in-flight
@@ -131,7 +139,8 @@ let acquire_ro t =
   do
     Engine.consume e Stats.Lock_stall poll
   done;
-  t.readers <- t.readers + 1
+  t.readers <- t.readers + 1;
+  emit t Probe.Acquire_ro ~transferred:false
 
 let release_ro t =
   let e = Machine.engine t.m in
@@ -139,6 +148,7 @@ let release_ro t =
   if t.readers <= 0 then failwith "Dlock.release_ro: no readers";
   Engine.consume e Stats.Lock_stall cfg.Config.lock_local_poll_cycles;
   t.readers <- t.readers - 1;
+  emit t Probe.Release_ro ~transferred:false;
   try_grant t
 
 let holder t = t.owner

@@ -84,7 +84,7 @@ let find_race ?(limit = 200_000) (p : Lprog.t) : race option =
       check_trace (List.rev events)
     end
   and check_trace events =
-    let exec = Execution.create ~procs:n ~locs:p.Lprog.locs in
+    let exec = Execution.create ~procs:n ~locs:p.Lprog.locs () in
     let accesses = ref [] in
     List.iter
       (fun ev ->
@@ -97,9 +97,11 @@ let find_race ?(limit = 200_000) (p : Lprog.t) : race option =
             let o = Execution.write exec ~proc ~loc ~value in
             accesses :=
               { proc; loc; is_write = true; op_id = o.Op.id } :: !accesses
-        | History.E_acquire { proc; loc } ->
+        | History.E_acquire { proc; loc } | History.E_acquire_ro { proc; loc }
+          ->
             ignore (Execution.acquire exec ~proc ~loc)
-        | History.E_release { proc; loc } ->
+        | History.E_release { proc; loc } | History.E_release_ro { proc; loc }
+          ->
             ignore (Execution.release exec ~proc ~loc)
         | History.E_fence { proc } -> ignore (Execution.fence exec ~proc))
       events;

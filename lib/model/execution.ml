@@ -69,14 +69,15 @@ let add_edge exec ~src ~kind ~dst =
   end
 
 (* Initialization (Def. 3): every location gets an initial operation that
-   behaves like a write and a release; ≺ starts empty. *)
-let create ~procs ~locs =
+   behaves like a write and a release; ≺ starts empty.  [init] gives the
+   value each initial operation writes (default 0, zeroed memory). *)
+let create ?(init = fun _ -> 0) ~procs ~locs () =
   let exec =
     { procs; locs; ops = [||]; n_ops = 0; succs = [||]; preds = [||];
       fence_scopes = Hashtbl.create 8 }
   in
   for v = 0 to locs - 1 do
-    ignore (add_op_raw exec Op.Init ~proc:Op.env_proc ~loc:v ~value:0)
+    ignore (add_op_raw exec Op.Init ~proc:Op.env_proc ~loc:v ~value:(init v))
   done;
   exec
 

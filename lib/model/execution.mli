@@ -27,9 +27,10 @@ type t = {
       (** fence op id → ordered locations; absent = all (plain fence) *)
 }
 
-val create : procs:int -> locs:int -> t
-(** Initialization (Def. 3): every location receives one [Init] operation;
-    the order ≺ starts empty. *)
+val create : ?init:(int -> int) -> procs:int -> locs:int -> unit -> t
+(** Initialization (Def. 3): every location receives one [Init] operation
+    writing its initial value ([init], default 0); the order ≺ starts
+    empty. *)
 
 val op : t -> int -> Op.t
 (** [op exec id] — the operation with issue index [id]. *)

@@ -20,6 +20,8 @@ type event =
   | E_write of { proc : int; loc : int; value : int }
   | E_acquire of { proc : int; loc : int }
   | E_release of { proc : int; loc : int }
+  | E_acquire_ro of { proc : int; loc : int }
+  | E_release_ro of { proc : int; loc : int }
   | E_fence of { proc : int }
 
 type violation =
@@ -55,9 +57,9 @@ let ok report = report.violations = []
 
 (* [writes_seen] remembers, per (proc, loc), the id of the write the last
    read of that proc/loc observed, for the monotonicity check. *)
-let check ?(require_locked_writes = false) ~procs ~locs
+let check ?(require_locked_writes = false) ?(init = fun _ -> 0) ~procs ~locs
     (events : event list) : report =
-  let exec = Execution.create ~procs ~locs in
+  let exec = Execution.create ~init ~procs ~locs () in
   let holder = Array.make locs None in
   let violations = ref [] in
   let add v = violations := v :: !violations in
@@ -76,6 +78,15 @@ let check ?(require_locked_writes = false) ~procs ~locs
           (match holder.(loc) with
           | Some h when h = proc -> holder.(loc) <- None
           | _ -> add (Release_not_held { loc; proc }));
+          ignore (Execution.release exec ~proc ~loc)
+      | E_acquire_ro { proc; loc } ->
+          (* read-only entry: synchronizes with the last exclusive release
+             of the location (the same Table-I acquire edges) but takes no
+             lock, so any number may be held concurrently *)
+          ignore (Execution.acquire exec ~proc ~loc)
+      | E_release_ro { proc; loc } ->
+          (* read-only exit: later exclusive acquires are ≺S-after it
+             (writers wait for readers), with no holder bookkeeping *)
           ignore (Execution.release exec ~proc ~loc)
       | E_write { proc; loc; value } ->
           if require_locked_writes && holder.(loc) <> Some proc then

@@ -11,6 +11,12 @@ type event =
   | E_write of { proc : int; loc : int; value : int }
   | E_acquire of { proc : int; loc : int }
   | E_release of { proc : int; loc : int }
+  | E_acquire_ro of { proc : int; loc : int }
+      (** Read-only entry: gains the Table-I ≺S acquire edges but takes no
+          lock — any number may be held concurrently. *)
+  | E_release_ro of { proc : int; loc : int }
+      (** Read-only exit: later acquires are ≺S-after it (writers wait for
+          readers); no holder bookkeeping. *)
   | E_fence of { proc : int }
 
 type violation =
@@ -28,10 +34,12 @@ type report = { exec : Execution.t; violations : violation list }
 val ok : report -> bool
 
 val check :
-  ?require_locked_writes:bool -> procs:int -> locs:int -> event list ->
-  report
+  ?require_locked_writes:bool -> ?init:(int -> int) -> procs:int ->
+  locs:int -> event list -> report
 (** Replay [events] (in observed issue order) and verify: lock
     well-formedness and mutual exclusion, every read value readable at its
     issue point (Def. 12), read monotonicity, and acyclicity of ≺.  With
     [require_locked_writes], also the discipline that every write happens
-    under the location's lock. *)
+    under the location's lock.  [init] gives each location's initial
+    value (default 0); it behaves as a write ordered before every
+    operation, so reads with no ordered-before write may return it. *)

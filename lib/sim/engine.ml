@@ -82,6 +82,7 @@ end
 type t = {
   config : Config.t;
   stats : Stats.t;
+  probe : Probe.t;
   heap : Heap.t;
   mutable current : task option;
   mutable next_seq : int;
@@ -93,6 +94,7 @@ let create (config : Config.t) =
   {
     config;
     stats = Stats.create config.cores;
+    probe = Probe.create ();
     heap = Heap.create ();
     current = None;
     next_seq = 0;
@@ -101,6 +103,7 @@ let create (config : Config.t) =
   }
 
 let stats t = t.stats
+let probe t = t.probe
 
 let fresh_seq t =
   let s = t.next_seq in
@@ -118,6 +121,7 @@ let spawn ?(start = 0) t ~core f =
       state = Not_started f }
   in
   t.tasks_live <- t.tasks_live + 1;
+  Probe.emit t.probe ~time:task.time (Probe.Task { core; op = Probe.Spawn });
   Heap.push t.heap { time = task.time; seq = task.seq; entry = Task task }
 
 (* Schedule [f] to run at absolute [time]. *)
@@ -149,7 +153,9 @@ let handler t task =
     Effect.Deep.retc =
       (fun () ->
         task.state <- Finished;
-        t.tasks_live <- t.tasks_live - 1);
+        t.tasks_live <- t.tasks_live - 1;
+        Probe.emit t.probe ~time:task.time
+          (Probe.Task { core = task.core; op = Probe.Finish }));
     exnc = (fun e -> raise e);
     effc =
       (fun (type a) (eff : a Effect.t) ->

@@ -20,6 +20,10 @@ type t
 val create : Config.t -> t
 val stats : t -> Stats.t
 
+val probe : t -> Probe.t
+(** The engine's instrumentation hook; the machine, NoC and lock layers
+    emit into it, tracing tools subscribe to it. *)
+
 val spawn : ?start:int -> t -> core:int -> (unit -> unit) -> unit
 (** Start a computation on [core].  Several tasks may share a core; they
     interleave at consume points (cooperative threads). *)

@@ -106,6 +106,7 @@ let create (cfg : Config.t) : t =
 let config m = m.cfg
 let engine m = m.engine
 let stats m = Engine.stats m.engine
+let probe m = Engine.probe m.engine
 let spawn ?start m ~core f = Engine.spawn ?start m.engine ~core f
 let run m = Engine.run m.engine
 let core_id m = Engine.core_id m.engine
@@ -343,11 +344,21 @@ let wb_inval_range m ~addr ~len =
   let r = Cache.wb_inval_range m.dcaches.(core) ~addr ~len in
   let s = Stats.core (stats m) core in
   s.Stats.flushes <- s.Stats.flushes + 1;
+  Probe.emit (probe m) ~time:(now m)
+    (Probe.Cache_maint
+       { core; op = Probe.Wb_inval; addr; len;
+         lines_touched = r.Cache.lines_touched;
+         lines_written_back = r.Cache.lines_written_back });
   Engine.consume m.engine Stats.Flush_overhead (maint_cycles m r)
 
 let inval_range m ~addr ~len =
   let core = core_id m in
   let r = Cache.inval_range m.dcaches.(core) ~addr ~len in
+  Probe.emit (probe m) ~time:(now m)
+    (Probe.Cache_maint
+       { core; op = Probe.Inval; addr; len;
+         lines_touched = r.Cache.lines_touched;
+         lines_written_back = r.Cache.lines_written_back });
   Engine.consume m.engine Stats.Flush_overhead (maint_cycles m r)
 
 (* ---------------- instruction stream ---------------- *)

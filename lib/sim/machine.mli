@@ -21,6 +21,10 @@ val create : Config.t -> t
 val config : t -> Config.t
 val engine : t -> Engine.t
 val stats : t -> Stats.t
+
+val probe : t -> Probe.t
+(** The engine's instrumentation hook (see {!Probe}). *)
+
 val spawn : ?start:int -> t -> core:int -> (unit -> unit) -> unit
 val run : t -> unit
 val core_id : t -> int

@@ -47,6 +47,8 @@ let post_write t ~src ~dst ~off (data : Bytes.t) : int =
   t.outstanding.(src) <- t.outstanding.(src) + 1;
   t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
   t.total_writes <- t.total_writes + 1;
+  Probe.emit (Engine.probe t.engine) ~time:now
+    (Probe.Noc_post { src; dst; off; bytes = Bytes.length data; arrival });
   Engine.at t.engine ~time:arrival
     (deliver t ~src ~dst ~off (Bytes.copy data));
   arrival
@@ -58,6 +60,8 @@ let post_write_at t ~src ~dst ~off ~latency (data : Bytes.t) : int =
   t.outstanding.(src) <- t.outstanding.(src) + 1;
   t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
   t.total_writes <- t.total_writes + 1;
+  Probe.emit (Engine.probe t.engine) ~time:now
+    (Probe.Noc_post { src; dst; off; bytes = Bytes.length data; arrival });
   Engine.at t.engine ~time:arrival
     (deliver t ~src ~dst ~off (Bytes.copy data));
   arrival

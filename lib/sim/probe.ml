@@ -1,0 +1,48 @@
+(* Instrumentation hook of the simulator: the machine, NoC, engine and
+   lock layers publish the micro-architectural events a tracing tool needs
+   (posted NoC writes, cache flush/invalidate ranges, lock handovers, task
+   lifetimes) without the simulator depending on any tracing library.
+
+   One sink per engine; emission is a single option check when tracing is
+   off, so instrumented hot paths stay cheap.  The consumer (the
+   [pmc_trace] library) subscribes via [set] and merges these events with
+   the annotation-level events of [Pmc.Api]. *)
+
+type lock_op = Acquire | Release | Acquire_ro | Release_ro
+type maint_op = Wb_inval | Inval
+type task_op = Spawn | Finish
+
+type event =
+  | Noc_post of {
+      src : int;
+      dst : int;
+      off : int;       (* destination local-memory offset *)
+      bytes : int;
+      arrival : int;   (* virtual time the write lands at [dst] *)
+    }
+  | Cache_maint of {
+      core : int;
+      op : maint_op;
+      addr : int;
+      len : int;
+      lines_touched : int;
+      lines_written_back : int;
+    }
+  | Lock of {
+      core : int;
+      lock : int;                (* Dlock id *)
+      op : lock_op;
+      transferred : bool;        (* handover arrived from another tile *)
+    }
+  | Task of { core : int; op : task_op }
+
+type sink = time:int -> event -> unit
+
+type t = { mutable sink : sink option }
+
+let create () = { sink = None }
+let set t sink = t.sink <- sink
+let active t = t.sink <> None
+
+let emit t ~time ev =
+  match t.sink with None -> () | Some f -> f ~time ev

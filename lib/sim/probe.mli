@@ -1,0 +1,41 @@
+(** Instrumentation hook of the simulator.
+
+    The machine, NoC, engine and lock layers publish micro-architectural
+    events (posted NoC writes, cache maintenance ranges, lock handovers,
+    task lifetimes) to at most one sink per engine.  When no sink is set,
+    emission costs one option check — instrumented paths stay cheap.
+
+    The [pmc_trace] library subscribes here and merges these events with
+    the annotation-level events of [Pmc.Api] into one timeline. *)
+
+type lock_op = Acquire | Release | Acquire_ro | Release_ro
+type maint_op = Wb_inval | Inval
+type task_op = Spawn | Finish
+
+type event =
+  | Noc_post of {
+      src : int;
+      dst : int;
+      off : int;
+      bytes : int;
+      arrival : int;
+    }  (** A posted write injected at [time], landing at [arrival]. *)
+  | Cache_maint of {
+      core : int;
+      op : maint_op;
+      addr : int;
+      len : int;
+      lines_touched : int;
+      lines_written_back : int;
+    }
+  | Lock of { core : int; lock : int; op : lock_op; transferred : bool }
+  | Task of { core : int; op : task_op }
+
+type sink = time:int -> event -> unit
+
+type t
+
+val create : unit -> t
+val set : t -> sink option -> unit
+val active : t -> bool
+val emit : t -> time:int -> event -> unit

@@ -1,0 +1,96 @@
+(* The unified trace event: one virtually-timestamped record per thing the
+   runtime did, merging two sources into one timeline —
+
+     - the annotation-level events of [Pmc.Api] (entry/exit/fence/flush
+       and the word/byte accesses between them), and
+     - the micro-architectural events of [Pmc_sim.Probe] (posted NoC
+       writes, cache flush/invalidate ranges, distributed-lock handovers,
+       task lifetimes).
+
+   Events carry a plain-data object descriptor (id, name, size) instead of
+   the live [Pmc.Shared.t] handle so a captured trace is self-contained:
+   it can be exported, replayed through the formal model or fed to the
+   race detector long after the machine is gone. *)
+
+type obj = { id : int; name : string; words : int; bytes : int }
+
+type annot = Entry_x | Exit_x | Entry_ro | Exit_ro | Fence | Flush
+
+type lock_op = Acquire | Release | Acquire_ro | Release_ro
+type maint_op = Wb_inval | Inval
+type task_op = Spawn | Finish
+
+type kind =
+  | Annot of { ann : annot; obj : obj option }
+      (* [obj = None] for fences, which span all locations *)
+  | Read of { obj : obj; word : int; value : int32 }
+  | Write of { obj : obj; word : int; value : int32 }
+  | Read8 of { obj : obj; byte : int; value : int }
+  | Write8 of { obj : obj; byte : int; value : int }
+  | Init of { obj : obj; word : int; value : int32 }
+      (* untimed initialization write (poke), before the run proper *)
+  | Lock of { lock : int; op : lock_op; transferred : bool }
+  | Noc_post of { src : int; dst : int; off : int; bytes : int; arrival : int }
+  | Cache_maint of {
+      op : maint_op;
+      addr : int;
+      len : int;
+      lines_touched : int;
+      lines_written_back : int;
+    }
+  | Task of { op : task_op }
+
+type t = {
+  seq : int;   (* global emission index: issue order, survives ring drops *)
+  time : int;  (* virtual time (cycles) at emission *)
+  core : int;
+  kind : kind;
+}
+
+let obj_of_shared (o : Pmc.Shared.t) : obj =
+  { id = o.Pmc.Shared.id; name = o.Pmc.Shared.name;
+    words = Pmc.Shared.words o; bytes = o.Pmc.Shared.size }
+
+let annot_name = function
+  | Entry_x -> "entry_x"
+  | Exit_x -> "exit_x"
+  | Entry_ro -> "entry_ro"
+  | Exit_ro -> "exit_ro"
+  | Fence -> "fence"
+  | Flush -> "flush"
+
+let lock_op_name = function
+  | Acquire -> "acquire"
+  | Release -> "release"
+  | Acquire_ro -> "acquire_ro"
+  | Release_ro -> "release_ro"
+
+let maint_op_name = function Wb_inval -> "wb_inval" | Inval -> "inval"
+let task_op_name = function Spawn -> "spawn" | Finish -> "finish"
+
+let pp_kind ppf = function
+  | Annot { ann; obj = None } -> Fmt.pf ppf "%s" (annot_name ann)
+  | Annot { ann; obj = Some o } ->
+      Fmt.pf ppf "%s(%s#%d)" (annot_name ann) o.name o.id
+  | Read { obj; word; value } ->
+      Fmt.pf ppf "read %s#%d[%d] = %ld" obj.name obj.id word value
+  | Write { obj; word; value } ->
+      Fmt.pf ppf "write %s#%d[%d] := %ld" obj.name obj.id word value
+  | Read8 { obj; byte; value } ->
+      Fmt.pf ppf "read8 %s#%d.%d = %d" obj.name obj.id byte value
+  | Write8 { obj; byte; value } ->
+      Fmt.pf ppf "write8 %s#%d.%d := %d" obj.name obj.id byte value
+  | Init { obj; word; value } ->
+      Fmt.pf ppf "init %s#%d[%d] := %ld" obj.name obj.id word value
+  | Lock { lock; op; transferred } ->
+      Fmt.pf ppf "lock#%d %s%s" lock (lock_op_name op)
+        (if transferred then " (transfer)" else "")
+  | Noc_post { src; dst; bytes; arrival; _ } ->
+      Fmt.pf ppf "noc %d->%d %dB arr=%d" src dst bytes arrival
+  | Cache_maint { op; addr; len; lines_written_back; _ } ->
+      Fmt.pf ppf "%s [%#x,+%d) wb=%d" (maint_op_name op) addr len
+        lines_written_back
+  | Task { op } -> Fmt.pf ppf "task %s" (task_op_name op)
+
+let pp ppf (e : t) =
+  Fmt.pf ppf "@[t=%-8d c%-3d %a@]" e.time e.core pp_kind e.kind

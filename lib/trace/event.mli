@@ -1,0 +1,54 @@
+(** The unified trace event of the [pmc_trace] subsystem.
+
+    One virtually-timestamped record per runtime action, merging the
+    annotation-level events of {!Pmc.Api} with the micro-architectural
+    events of {!Pmc_sim.Probe} into a single per-run timeline.  Events
+    are plain data (no live handles), so captured traces are
+    self-contained artifacts: exportable ({!Export}), replayable through
+    the formal model ({!Replay}) and checkable for races ({!Racecheck}). *)
+
+type obj = { id : int; name : string; words : int; bytes : int }
+(** Descriptor of a shared object, detached from its live handle. *)
+
+type annot = Entry_x | Exit_x | Entry_ro | Exit_ro | Fence | Flush
+
+type lock_op = Acquire | Release | Acquire_ro | Release_ro
+type maint_op = Wb_inval | Inval
+type task_op = Spawn | Finish
+
+type kind =
+  | Annot of { ann : annot; obj : obj option }
+      (** An annotation; [obj = None] for fences. *)
+  | Read of { obj : obj; word : int; value : int32 }
+  | Write of { obj : obj; word : int; value : int32 }
+  | Read8 of { obj : obj; byte : int; value : int }
+  | Write8 of { obj : obj; byte : int; value : int }
+  | Init of { obj : obj; word : int; value : int32 }
+      (** Untimed initialization write ({!Pmc.Api.poke}), before the run. *)
+  | Lock of { lock : int; op : lock_op; transferred : bool }
+  | Noc_post of { src : int; dst : int; off : int; bytes : int; arrival : int }
+  | Cache_maint of {
+      op : maint_op;
+      addr : int;
+      len : int;
+      lines_touched : int;
+      lines_written_back : int;
+    }
+  | Task of { op : task_op }
+
+type t = {
+  seq : int;   (** global emission index — issue order, survives ring drops *)
+  time : int;  (** virtual time (cycles) at emission *)
+  core : int;
+  kind : kind;
+}
+
+val obj_of_shared : Pmc.Shared.t -> obj
+
+val annot_name : annot -> string
+val lock_op_name : lock_op -> string
+val maint_op_name : maint_op -> string
+val task_op_name : task_op -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp : Format.formatter -> t -> unit

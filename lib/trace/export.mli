@@ -1,0 +1,12 @@
+(** Chrome trace-event JSON export, loadable in Perfetto
+    ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or chrome://tracing.
+
+    One track per core: entry/exit pairs as duration slices, accesses /
+    fences / lock handovers / NoC posts / cache maintenance as instant
+    events with their payload in [args], and (when a {!Pmc_sim.Stats.t} is
+    supplied) the Fig. 8 stall-category totals as one counter sample per
+    core.  Timestamps are simulator cycles. *)
+
+val to_buffer : ?stats:Pmc_sim.Stats.t -> Buffer.t -> Event.t list -> unit
+val to_string : ?stats:Pmc_sim.Stats.t -> Event.t list -> string
+val write_file : ?stats:Pmc_sim.Stats.t -> path:string -> Event.t list -> unit

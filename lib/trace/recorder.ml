@@ -1,0 +1,151 @@
+(* Bounded trace recording.
+
+   One ring buffer per core, so a hot core cannot evict another core's
+   history, and a fixed [capacity] per ring, so tracing is safe on
+   arbitrarily long benches: when a ring fills, the oldest events are
+   overwritten and counted in [dropped].  Consumers that need a complete
+   trace (model replay, race checking) should check [dropped_total] and
+   raise capacity — the CLI does.
+
+   [attach] claims both hooks (the [Pmc.Api] trace callback and the
+   simulator's [Pmc_sim.Probe] sink); [detach] restores them.  The global
+   [seq] counter stamps emission order, which on the deterministic
+   single-threaded engine *is* issue order — [events] returns the merged
+   timeline sorted by it. *)
+
+open Pmc_sim
+
+type ring = {
+  buf : Event.t array;
+  mutable len : int;    (* number of valid entries *)
+  mutable head : int;   (* next write position *)
+  mutable dropped : int;
+}
+
+let dummy_event : Event.t =
+  { Event.seq = -1; time = 0; core = 0; kind = Event.Task { op = Event.Spawn } }
+
+let ring_create capacity =
+  { buf = Array.make capacity dummy_event; len = 0; head = 0; dropped = 0 }
+
+let ring_push r (e : Event.t) =
+  let cap = Array.length r.buf in
+  r.buf.(r.head) <- e;
+  r.head <- (r.head + 1) mod cap;
+  if r.len < cap then r.len <- r.len + 1 else r.dropped <- r.dropped + 1
+
+(* Oldest-first contents of the ring. *)
+let ring_list r =
+  let cap = Array.length r.buf in
+  let start = (r.head - r.len + cap) mod cap in
+  List.init r.len (fun i -> r.buf.((start + i) mod cap))
+
+type t = {
+  api : Pmc.Api.t;
+  machine : Machine.t;
+  rings : ring array;
+  mutable seq : int;
+  mutable attached : bool;
+}
+
+let default_capacity = 1 lsl 16
+
+let push t ~core ~time kind =
+  let core = if core < 0 || core >= Array.length t.rings then 0 else core in
+  ring_push t.rings.(core) { Event.seq = t.seq; time; core; kind };
+  t.seq <- t.seq + 1
+
+let api_hook t ~core (ev : Pmc.Api.event) =
+  (* host-context events (core -1, e.g. initialization pokes) happen
+     outside any task, where the engine has no current time *)
+  let time = if core < 0 then 0 else Machine.now t.machine in
+  let obj o = Event.obj_of_shared o in
+  let kind =
+    match ev with
+    | Pmc.Api.Ev_entry (Pmc.Api.X, o) ->
+        Event.Annot { ann = Event.Entry_x; obj = Some (obj o) }
+    | Pmc.Api.Ev_entry (Pmc.Api.Ro, o) ->
+        Event.Annot { ann = Event.Entry_ro; obj = Some (obj o) }
+    | Pmc.Api.Ev_exit (Pmc.Api.X, o) ->
+        Event.Annot { ann = Event.Exit_x; obj = Some (obj o) }
+    | Pmc.Api.Ev_exit (Pmc.Api.Ro, o) ->
+        Event.Annot { ann = Event.Exit_ro; obj = Some (obj o) }
+    | Pmc.Api.Ev_fence -> Event.Annot { ann = Event.Fence; obj = None }
+    | Pmc.Api.Ev_flush o ->
+        Event.Annot { ann = Event.Flush; obj = Some (obj o) }
+    | Pmc.Api.Ev_read (o, word, value) ->
+        Event.Read { obj = obj o; word; value }
+    | Pmc.Api.Ev_write (o, word, value) ->
+        Event.Write { obj = obj o; word; value }
+    | Pmc.Api.Ev_read8 (o, byte, value) ->
+        Event.Read8 { obj = obj o; byte; value }
+    | Pmc.Api.Ev_write8 (o, byte, value) ->
+        Event.Write8 { obj = obj o; byte; value }
+    | Pmc.Api.Ev_init (o, word, value) ->
+        Event.Init { obj = obj o; word; value }
+  in
+  push t ~core ~time kind
+
+let probe_sink t ~time (ev : Probe.event) =
+  match ev with
+  | Probe.Noc_post { src; dst; off; bytes; arrival } ->
+      push t ~core:src ~time (Event.Noc_post { src; dst; off; bytes; arrival })
+  | Probe.Cache_maint { core; op; addr; len; lines_touched;
+                        lines_written_back } ->
+      let op =
+        match op with
+        | Probe.Wb_inval -> Event.Wb_inval
+        | Probe.Inval -> Event.Inval
+      in
+      push t ~core ~time
+        (Event.Cache_maint { op; addr; len; lines_touched; lines_written_back })
+  | Probe.Lock { core; lock; op; transferred } ->
+      let op =
+        match op with
+        | Probe.Acquire -> Event.Acquire
+        | Probe.Release -> Event.Release
+        | Probe.Acquire_ro -> Event.Acquire_ro
+        | Probe.Release_ro -> Event.Release_ro
+      in
+      push t ~core ~time (Event.Lock { lock; op; transferred })
+  | Probe.Task { core; op } ->
+      let op =
+        match op with Probe.Spawn -> Event.Spawn | Probe.Finish -> Event.Finish
+      in
+      push t ~core ~time (Event.Task { op })
+
+let attach ?(capacity = default_capacity) (api : Pmc.Api.t) : t =
+  if capacity <= 0 then invalid_arg "Recorder.attach: capacity must be > 0";
+  let machine = Pmc.Api.machine api in
+  let cores = (Machine.config machine).Config.cores in
+  let t =
+    {
+      api;
+      machine;
+      rings = Array.init cores (fun _ -> ring_create capacity);
+      seq = 0;
+      attached = true;
+    }
+  in
+  Pmc.Api.set_trace api (Some (api_hook t));
+  Probe.set (Machine.probe machine) (Some (probe_sink t));
+  t
+
+let detach t =
+  if t.attached then begin
+    t.attached <- false;
+    Pmc.Api.set_trace t.api None;
+    Probe.set (Machine.probe t.machine) None
+  end
+
+let api t = t.api
+let cores t = Array.length t.rings
+let recorded t = Array.fold_left (fun acc r -> acc + r.len) 0 t.rings
+let dropped t ~core = t.rings.(core).dropped
+let dropped_total t = Array.fold_left (fun acc r -> acc + r.dropped) 0 t.rings
+
+let events t : Event.t list =
+  let all =
+    Array.fold_left (fun acc r -> List.rev_append (ring_list r) acc) [] t.rings
+  in
+  List.sort (fun (a : Event.t) b -> compare a.Event.seq b.Event.seq) all

@@ -1,0 +1,25 @@
+(** Lowering of captured traces into the formal model's history language.
+
+    [check] replays an observed run through {!Pmc_model.History.check}
+    (the Table-I transition plus the Def. 11/12 read-value semantics), so
+    every back-end execution can be mechanically validated
+    PMC-consistent — whatever its caches, NoC and locks did, the values
+    the program observed must be explainable by the model. *)
+
+type lowering = {
+  events : Pmc_model.History.event list;
+  locs : int;         (** distinct model locations, one per (object, word) *)
+  init : int -> int;  (** initial value of each location, from pokes *)
+  skipped : int;      (** trace events below the model's vocabulary *)
+}
+
+val lower : Event.t list -> lowering
+(** Word-granular mapping: entry_x/exit_x → acquire/release per word,
+    word accesses → reads/writes with observed values, fences → fences,
+    initialization pokes → the checker's [~init] values.  Byte accesses
+    and back-end mechanics (lock, NoC, cache, task events) are skipped
+    and counted. *)
+
+val check :
+  ?require_locked_writes:bool -> cores:int -> Event.t list ->
+  Pmc_model.History.report

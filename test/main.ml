@@ -18,4 +18,5 @@ let () =
       Test_ext.suite;
       Test_differential.suite;
       Test_apps.suite;
+      Test_trace.suite;
     ]

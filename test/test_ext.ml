@@ -12,7 +12,7 @@ let cfg = { Config.small with cores = 4 }
 (* ---------------- scoped fences (model) ---------------- *)
 
 let test_scoped_fence_orders_in_scope () =
-  let e = Execution.create ~procs:1 ~locs:3 in
+  let e = Execution.create ~procs:1 ~locs:3 () in
   ignore (Execution.acquire e ~proc:0 ~loc:0);
   let r0 = Execution.release e ~proc:0 ~loc:0 in
   let f = Execution.fence_scoped e ~proc:0 ~locs:[ 0; 1 ] in
@@ -25,7 +25,7 @@ let test_scoped_fence_orders_in_scope () =
     (Execution.fence_scope e f)
 
 let test_scoped_fence_ignores_out_of_scope () =
-  let e = Execution.create ~procs:1 ~locs:3 in
+  let e = Execution.create ~procs:1 ~locs:3 () in
   ignore (Execution.acquire e ~proc:0 ~loc:2);
   let r2 = Execution.release e ~proc:0 ~loc:2 in
   let f = Execution.fence_scoped e ~proc:0 ~locs:[ 0; 1 ] in
@@ -37,7 +37,7 @@ let test_scoped_fence_ignores_out_of_scope () =
 
 let test_scoped_fence_full_scope_equals_plain () =
   let build use_scoped =
-    let e = Execution.create ~procs:1 ~locs:2 in
+    let e = Execution.create ~procs:1 ~locs:2 () in
     ignore (Execution.acquire e ~proc:0 ~loc:0);
     ignore (Execution.release e ~proc:0 ~loc:0);
     if use_scoped then ignore (Execution.fence_scoped e ~proc:0 ~locs:[ 0; 1 ])
@@ -142,7 +142,7 @@ let test_barrier_all_backends () =
 (* ---------------- dot exporter ---------------- *)
 
 let test_dot_export () =
-  let e = Execution.create ~procs:2 ~locs:1 in
+  let e = Execution.create ~procs:2 ~locs:1 () in
   ignore (Execution.acquire e ~proc:0 ~loc:0);
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:1);
   ignore (Execution.release e ~proc:0 ~loc:0);

@@ -54,6 +54,12 @@ let make_tracer () =
         push
           (History.E_write
              { proc = core; loc = loc_of o w; value = Int32.to_int v })
+    | Pmc.Api.Ev_read8 _ | Pmc.Api.Ev_write8 _ ->
+        (* the History mapping is word-granular *)
+        ()
+    | Pmc.Api.Ev_init _ ->
+        (* these programs read nothing before writing it *)
+        ()
   in
   (hook, fun () -> (List.rev !events, !next_loc))
 

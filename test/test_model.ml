@@ -48,7 +48,7 @@ let test_init_acts_as_write_and_release () =
 
 let test_initialization () =
   (* Def. 3: every location starts with exactly one init op; ≺ is empty *)
-  let e = Execution.create ~procs:2 ~locs:3 in
+  let e = Execution.create ~procs:2 ~locs:3 () in
   Alcotest.(check int) "one op per location" 3 (Execution.n_ops e);
   Execution.iter_ops e (fun o ->
       check_bool "initial op is Init" true (o.Op.kind = Op.Init));
@@ -59,7 +59,7 @@ let test_initialization () =
 (* Table I, cell by cell.  For each pair (existing row, new column) build
    a two-op execution and assert the direct edge (or its absence). *)
 
-let fresh () = Execution.create ~procs:2 ~locs:2
+let fresh () = Execution.create ~procs:2 ~locs:2 ()
 
 let test_table1_read_row () =
   (* read ≺ℓ before new w / R / A / F; no read → read edge *)
@@ -184,7 +184,7 @@ let test_table1_fence_row () =
 
 (* Fig. 2: two writes to X by one process — program order chain. *)
 let test_fig2 () =
-  let e = Execution.create ~procs:1 ~locs:1 in
+  let e = Execution.create ~procs:1 ~locs:1 () in
   let init = Execution.op e 0 in
   let w1 = Execution.write e ~proc:0 ~loc:0 ~value:1 in
   let w2 = Execution.write e ~proc:0 ~loc:0 ~value:2 in
@@ -198,7 +198,7 @@ let test_fig2 () =
 
 (* Fig. 3: write, read, write — the read is locally ordered. *)
 let test_fig3 () =
-  let e = Execution.create ~procs:1 ~locs:1 in
+  let e = Execution.create ~procs:1 ~locs:1 () in
   let w1 = Execution.write e ~proc:0 ~loc:0 ~value:1 in
   let r = Execution.read e ~proc:0 ~loc:0 ~value:1 in
   let w2 = Execution.write e ~proc:0 ~loc:0 ~value:2 in
@@ -212,7 +212,7 @@ let test_fig3 () =
 (* Fig. 4: exclusive access by two processes; the depicted interleaving is
    p2 first, then p1 reads 2. *)
 let test_fig4 () =
-  let e = Execution.create ~procs:2 ~locs:1 in
+  let e = Execution.create ~procs:2 ~locs:1 () in
   let init = Execution.op e 0 in
   (* process 2 (p1 here) acquires first and writes 1 then 2 *)
   let a2 = Execution.acquire e ~proc:1 ~loc:0 in
@@ -237,7 +237,7 @@ let test_fig4 () =
 
 (* Fig. 5: the communication pattern with fences. *)
 let test_fig5 () =
-  let e = Execution.create ~procs:2 ~locs:2 in
+  let e = Execution.create ~procs:2 ~locs:2 () in
   let x = 0 and f = 1 in
   (* process 1 *)
   let acq_x = Execution.acquire e ~proc:0 ~loc:x in
@@ -380,7 +380,7 @@ let gen_ops =
 (* Replay arbitrary (kind, proc, loc, value) streams; lock operations are
    made well-formed on the fly. *)
 let replay ops =
-  let e = Execution.create ~procs:3 ~locs:3 in
+  let e = Execution.create ~procs:3 ~locs:3 () in
   let held = Array.make 3 None in
   List.iter
     (fun (k, p, v, value) ->

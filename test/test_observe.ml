@@ -7,7 +7,7 @@ let check_bool = Alcotest.(check bool)
 let check_ints = Alcotest.(check (list int))
 
 let test_last_write_simple () =
-  let e = Execution.create ~procs:1 ~locs:1 in
+  let e = Execution.create ~procs:1 ~locs:1 () in
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:1);
   let w2 = Execution.write e ~proc:0 ~loc:0 ~value:2 in
   let r = Execution.read e ~proc:0 ~loc:0 ~value:2 in
@@ -16,7 +16,7 @@ let test_last_write_simple () =
   Alcotest.(check int) "it is w2" w2.Op.id (List.hd lw).Op.id
 
 let test_last_write_initial () =
-  let e = Execution.create ~procs:2 ~locs:1 in
+  let e = Execution.create ~procs:2 ~locs:1 () in
   let r = Execution.read e ~proc:0 ~loc:0 ~value:0 in
   let lw = Observe.last_writes ~view:0 e r in
   Alcotest.(check int) "initial write is the last write" 1 (List.length lw);
@@ -25,7 +25,7 @@ let test_last_write_initial () =
 (* Slow reads: another process may still see an older value, but never one
    older than its own last-write bound; and values can be newer. *)
 let test_slow_read_cross_process () =
-  let e = Execution.create ~procs:2 ~locs:1 in
+  let e = Execution.create ~procs:2 ~locs:1 () in
   ignore (Execution.acquire e ~proc:0 ~loc:0);
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:1);
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:2);
@@ -37,7 +37,7 @@ let test_slow_read_cross_process () =
     (Observe.readable_values e r)
 
 let test_synchronized_read_is_exact () =
-  let e = Execution.create ~procs:2 ~locs:1 in
+  let e = Execution.create ~procs:2 ~locs:1 () in
   ignore (Execution.acquire e ~proc:0 ~loc:0);
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:1);
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:2);
@@ -49,14 +49,14 @@ let test_synchronized_read_is_exact () =
   check_bool "deterministic" true (Observe.deterministic_read e r)
 
 let test_own_writes_are_exact () =
-  let e = Execution.create ~procs:2 ~locs:1 in
+  let e = Execution.create ~procs:2 ~locs:1 () in
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:5);
   let r = Execution.read e ~proc:0 ~loc:0 ~value:5 in
   check_ints "own write is the only readable value" [ 5 ]
     (Observe.readable_values e r)
 
 let test_write_write_race () =
-  let e = Execution.create ~procs:2 ~locs:1 in
+  let e = Execution.create ~procs:2 ~locs:1 () in
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:1);
   ignore (Execution.write e ~proc:1 ~loc:0 ~value:2);
   check_bool "two unsynchronized writes race" false (Observe.race_free e);
@@ -64,7 +64,7 @@ let test_write_write_race () =
     (List.length (Observe.write_write_races e))
 
 let test_locked_writes_no_race () =
-  let e = Execution.create ~procs:2 ~locs:1 in
+  let e = Execution.create ~procs:2 ~locs:1 () in
   ignore (Execution.acquire e ~proc:0 ~loc:0);
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:1);
   ignore (Execution.release e ~proc:0 ~loc:0);
@@ -74,7 +74,7 @@ let test_locked_writes_no_race () =
   check_bool "lock-wrapped writes do not race" true (Observe.race_free e)
 
 let test_race_makes_read_nondeterministic () =
-  let e = Execution.create ~procs:3 ~locs:1 in
+  let e = Execution.create ~procs:3 ~locs:1 () in
   ignore (Execution.write e ~proc:0 ~loc:0 ~value:1);
   ignore (Execution.write e ~proc:1 ~loc:0 ~value:2);
   let r = Execution.read e ~proc:2 ~loc:0 ~value:1 in
@@ -84,7 +84,7 @@ let test_race_makes_read_nondeterministic () =
     (Observe.readable_values e r);
   (* a reader synchronized with both racy writers sees both in its
      last-write set *)
-  let e2 = Execution.create ~procs:3 ~locs:2 in
+  let e2 = Execution.create ~procs:3 ~locs:2 () in
   ignore (Execution.write e2 ~proc:0 ~loc:0 ~value:1);
   ignore (Execution.write e2 ~proc:1 ~loc:0 ~value:2);
   (* both writers release a lock the reader acquires *)
