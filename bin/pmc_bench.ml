@@ -1,0 +1,188 @@
+(* pmc_bench — benchmark regression harness for the PMC simulator.
+
+   `run` measures a suite of (app × back-end × cores × scale) cases with
+   warmup, repeats and outlier trimming, and writes a schema-versioned
+   JSON report; `compare` diffs two reports against per-metric
+   tolerances and exits non-zero on regression — the CI gate against the
+   committed BENCH_BASELINE.json.
+
+     pmc_bench run --suite smoke --label pr -o BENCH_pr.json
+     pmc_bench run --suite smoke --unbatched -o BENCH_unbatched.json
+     pmc_bench compare BENCH_BASELINE.json BENCH_pr.json
+     pmc_bench compare base.json pr.json --tolerance cycles=0.05 *)
+
+open Cmdliner
+
+let load_report path =
+  try Ok (Pmc_bench.Report.load path) with
+  | Sys_error msg -> Error msg
+  | Failure msg -> Error (path ^ ": " ^ msg)
+  | Pmc_bench.Json.Parse_error msg -> Error (path ^ ": " ^ msg)
+
+(* ---------------- run ---------------- *)
+
+let run_cmd suite_name label out unbatched warmup repeat quiet =
+  match
+    Pmc_bench.Spec.suite ~label ~unbatched ~warmup ~repeat suite_name
+  with
+  | None ->
+      Fmt.epr "unknown suite %S (known: %s)@." suite_name
+        (String.concat ", " Pmc_bench.Spec.suite_names);
+      exit 1
+  | Some spec ->
+      let report = Pmc_bench.Report.run spec in
+      if not quiet then Fmt.pr "%a" Pmc_bench.Report.pp report;
+      (match out with
+      | None -> ()
+      | Some path -> (
+          try
+            Pmc_bench.Report.save path report;
+            if not quiet then Fmt.pr "wrote %s@." path
+          with Sys_error msg ->
+            Fmt.epr "cannot write %s: %s@." path msg;
+            exit 2));
+      let bad =
+        List.exists
+          (fun (s : Pmc_bench.Measure.sample) ->
+            (not s.Pmc_bench.Measure.ok)
+            || not s.Pmc_bench.Measure.deterministic)
+          report.Pmc_bench.Report.samples
+      in
+      if bad then begin
+        Fmt.epr "run: checksum or determinism failure (see report)@.";
+        exit 3
+      end
+
+let suite_t =
+  Arg.(
+    value & opt string "smoke"
+    & info [ "suite" ] ~docv:"NAME"
+        ~doc:"Benchmark suite: $(b,smoke) (the CI gate) or $(b,full).")
+
+let label_t =
+  Arg.(
+    value & opt string "bench"
+    & info [ "label" ] ~docv:"LABEL"
+        ~doc:"Free-form tag recorded in the report header.")
+
+let out_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the JSON report to $(docv).")
+
+let unbatched_t =
+  Arg.(
+    value & flag
+    & info [ "unbatched" ]
+        ~doc:
+          "Run on the pre-batching cost model (multicast, lazy DSM \
+           versioning and burst cache maintenance disabled) instead of \
+           the default machine.")
+
+let warmup_t =
+  Arg.(
+    value & opt int 1
+    & info [ "warmup" ] ~docv:"N" ~doc:"Discarded runs before timing.")
+
+let repeat_t =
+  Arg.(
+    value & opt int 3
+    & info [ "repeat" ] ~docv:"N"
+        ~doc:
+          "Timed runs per case.  Architectural metrics must be identical \
+           across repeats (the simulator is deterministic); host time is \
+           outlier-trimmed and averaged.")
+
+let quiet_t =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only write the report.")
+
+let run_term =
+  Term.(
+    const run_cmd $ suite_t $ label_t $ out_t $ unbatched_t $ warmup_t
+    $ repeat_t $ quiet_t)
+
+let run_info =
+  Cmd.info "run" ~doc:"Measure a benchmark suite and emit a JSON report"
+    ~exits:
+      (Cmd.Exit.info 2 ~doc:"the report file could not be written."
+      :: Cmd.Exit.info 3
+           ~doc:"a checksum mismatched or a case was nondeterministic."
+      :: Cmd.Exit.defaults)
+
+(* ---------------- compare ---------------- *)
+
+let compare_cmd base_path cur_path tolerance_spec =
+  let tolerances =
+    match tolerance_spec with
+    | None -> Pmc_bench.Compare.default_tolerances
+    | Some spec -> (
+        try Pmc_bench.Compare.parse_tolerance_overrides spec
+        with Invalid_argument msg ->
+          Fmt.epr "bad --tolerance: %s@." msg;
+          exit 2)
+  in
+  match (load_report base_path, load_report cur_path) with
+  | Error msg, _ | _, Error msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+  | Ok base, Ok cur ->
+      let outcome = Pmc_bench.Compare.run ~tolerances ~base ~cur () in
+      Fmt.pr "%a" Pmc_bench.Compare.pp outcome;
+      if not (Pmc_bench.Compare.ok outcome) then exit 1
+
+let base_t =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BASELINE" ~doc:"Baseline report (e.g. the committed \
+                                     BENCH_BASELINE.json).")
+
+let cur_t =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"CURRENT" ~doc:"Report to gate.")
+
+let tolerance_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "tolerance" ] ~docv:"SPEC"
+        ~doc:
+          "Override per-metric tolerances as fractional changes, e.g. \
+           $(b,cycles=0.05,noc_flits=0.1).  Unnamed metrics keep their \
+           defaults (cycles/noc_flits/flushes 2%, lock_transfers 10%).")
+
+let compare_term = Term.(const compare_cmd $ base_t $ cur_t $ tolerance_t)
+
+let compare_info =
+  Cmd.info "compare"
+    ~doc:"Diff two reports against per-metric tolerances (the CI gate)"
+    ~exits:
+      (Cmd.Exit.info 1
+         ~doc:
+           "regression: a gated metric exceeded its tolerance, a case \
+            disappeared, or a current sample is broken."
+      :: Cmd.Exit.info 2 ~doc:"a report could not be read or parsed."
+      :: Cmd.Exit.defaults)
+
+(* ---------------- group ---------------- *)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "pmc_bench"
+       ~doc:"Benchmark regression harness for the PMC simulator"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs registered PMC applications across memory-architecture \
+              back-ends on the simulated SoC, records architectural \
+              metrics (cycles, NoC flits, cache maintenance, lock \
+              handovers) in schema-versioned JSON reports, and diffs \
+              reports against per-metric tolerances so CI can reject \
+              performance regressions.";
+         ])
+    [ Cmd.v run_info run_term; Cmd.v compare_info compare_term ]
+
+let () = exit (Cmd.eval cmd)

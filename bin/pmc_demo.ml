@@ -178,9 +178,24 @@ let main app backend cores scale breakdown verify trace race_check
     run_app app backend cores scale breakdown verify trace race_check
       model_check capacity
 
+(* The exit-code contract, surfaced in --help so scripts and CI can rely
+   on it. *)
+let exits =
+  Cmd.Exit.info 2
+    ~doc:
+      "the checksum mismatched the sequential reference, or the \
+       $(b,--trace) path was unwritable."
+  :: Cmd.Exit.info 3 ~doc:"$(b,--race-check) detected a data race."
+  :: Cmd.Exit.info 4
+       ~doc:
+         "$(b,--model-check) found the run inconsistent with the formal \
+          PMC model."
+  :: Cmd.Exit.defaults
+
 let cmd =
   Cmd.v
-    (Cmd.info "pmc_demo" ~doc:"Run PMC-annotated apps on simulated SoCs")
+    (Cmd.info "pmc_demo" ~doc:"Run PMC-annotated apps on simulated SoCs"
+       ~exits)
     Term.(
       const main $ app_t $ backend_t $ cores_t $ scale_t $ breakdown_t
       $ verify_t $ trace_t $ race_check_t $ model_check_t $ capacity_t

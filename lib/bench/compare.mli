@@ -1,0 +1,49 @@
+(** Diff two benchmark reports against per-metric tolerances — the
+    regression gate behind [pmc_bench compare].
+
+    Cases are joined on {!Spec.case_id}.  A metric whose fractional
+    change exceeds its tolerance is a regression; checksum failures,
+    nondeterministic samples and cases missing from the current report
+    also fail the gate.  New cases are reported but pass (nothing to
+    regress against). *)
+
+type verdict = Within | Improved | Regressed
+
+type row = {
+  case_id : string;
+  metric : string;
+  base : float;
+  cur : float;
+  delta : float;  (** fractional change; [infinity] when base is 0 *)
+  tol : float;
+  verdict : verdict;
+}
+
+type outcome = {
+  rows : row list;
+  missing : string list;
+  added : string list;
+  broken : string list;
+}
+
+val default_tolerances : (string * float) list
+(** [cycles]/[noc_flits]/[flushes] at 2%, [lock_transfers] at 10% —
+    drift absorption for benign scheduling shifts, not measurement
+    noise (the simulator is deterministic). *)
+
+val run :
+  ?tolerances:(string * float) list ->
+  base:Report.t ->
+  cur:Report.t ->
+  unit ->
+  outcome
+
+val regressions : outcome -> row list
+val ok : outcome -> bool
+
+val pp : Format.formatter -> outcome -> unit
+
+val parse_tolerance_overrides : string -> (string * float) list
+(** Parse ["cycles=0.05,noc_flits=0.1"] into {!default_tolerances} with
+    the named entries replaced.
+    @raise Invalid_argument on unknown metrics or bad values. *)

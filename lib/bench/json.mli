@@ -1,0 +1,40 @@
+(** Minimal JSON tree, printer and parser for the benchmark reports.
+
+    The repository carries no third-party JSON dependency; benchmark
+    reports are small, written and read only by {!Pmc_bench}, so this
+    deliberately supports just the subset the harness emits (objects,
+    arrays, strings, numbers, booleans, null — ASCII [\u] escapes). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+val float : float -> t
+
+val to_string : t -> string
+(** Two-space indented, trailing newline — committed baselines diff
+    readably. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. *)
+
+(** {1 Accessors} — all return [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_num : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val get_str : string -> t -> string option
+val get_int : string -> t -> int option
+val get_num : string -> t -> float option
+val get_bool : string -> t -> bool option
+val get_list : string -> t -> t list option

@@ -1,0 +1,188 @@
+(* Run one benchmark case and distil the simulator's counters into the
+   report metrics.
+
+   The simulator is deterministic, so the architectural metrics (cycles,
+   flits, flushes, lock handovers) are exact and identical across
+   repeats — the harness asserts that instead of averaging it away.
+   Host time is the only noisy quantity: it is measured per repeat,
+   outlier-trimmed (drop min and max when there are at least three
+   repeats) and averaged. *)
+
+open Pmc_sim
+
+type metrics = {
+  cycles : int;          (* engine wall time of the whole run *)
+  noc_flits : int;
+  noc_writes : int;
+  flushes : int;         (* cache flush/invalidate range operations *)
+  lock_acquires : int;
+  lock_transfers : int;  (* inter-tile lock handovers *)
+  dcache_misses : int;
+  instructions : int;
+  utilization : float;
+}
+
+type sample = {
+  case : Spec.case;
+  ok : bool;             (* checksum matched the sequential reference *)
+  deterministic : bool;  (* metrics identical across all repeats *)
+  repeats : int;
+  metrics : metrics;
+  host_s : float;        (* trimmed-mean host seconds per run *)
+}
+
+let metrics_of_result (r : Pmc_apps.Runner.result) : metrics =
+  let s = r.Pmc_apps.Runner.summary in
+  {
+    cycles = r.Pmc_apps.Runner.wall;
+    noc_flits = s.Stats.noc_flits;
+    noc_writes = s.Stats.noc_writes;
+    flushes = s.Stats.flushes;
+    lock_acquires = s.Stats.lock_acquires;
+    lock_transfers = s.Stats.lock_transfers;
+    dcache_misses = s.Stats.dcache_misses;
+    instructions = s.Stats.instructions;
+    utilization = Stats.utilization s;
+  }
+
+let trimmed_mean xs =
+  match xs with
+  | [] -> 0.0
+  | [ x ] -> x
+  | _ :: _ :: _ ->
+      let sorted = List.sort compare xs in
+      let trimmed =
+        if List.length sorted >= 3 then
+          (* drop the fastest and slowest run *)
+          List.filteri
+            (fun i _ -> i > 0 && i < List.length sorted - 1)
+            sorted
+        else sorted
+      in
+      List.fold_left ( +. ) 0.0 trimmed /. float_of_int (List.length trimmed)
+
+exception Unknown_app of string
+
+let run_case ~unbatched ~warmup ~repeat (c : Spec.case) : sample =
+  let app =
+    match Pmc_apps.Registry.find c.Spec.app with
+    | Some a -> a
+    | None -> raise (Unknown_app c.Spec.app)
+  in
+  let cfg =
+    let base = { Config.default with cores = c.Spec.cores } in
+    if unbatched then Config.unbatched base else base
+  in
+  let once () =
+    let t0 = Sys.time () in
+    let r = Pmc_apps.Runner.run ~cfg app ~backend:c.Spec.backend
+        ~scale:c.Spec.scale in
+    let t1 = Sys.time () in
+    (r, t1 -. t0)
+  in
+  for _ = 1 to warmup do
+    ignore (once ())
+  done;
+  let repeat = max 1 repeat in
+  let runs = List.init repeat (fun _ -> once ()) in
+  let results = List.map fst runs in
+  let times = List.map snd runs in
+  let first = List.hd results in
+  let m0 = metrics_of_result first in
+  let deterministic =
+    List.for_all (fun r -> metrics_of_result r = m0) results
+  in
+  {
+    case = c;
+    ok = List.for_all Pmc_apps.Runner.ok results;
+    deterministic;
+    repeats = repeat;
+    metrics = m0;
+    host_s = trimmed_mean times;
+  }
+
+(* ---------------- JSON (schema v1) ---------------- *)
+
+let schema_version = 1
+
+let metrics_to_json (m : metrics) : Json.t =
+  Json.Obj
+    [
+      ("cycles", Json.int m.cycles);
+      ("noc_flits", Json.int m.noc_flits);
+      ("noc_writes", Json.int m.noc_writes);
+      ("flushes", Json.int m.flushes);
+      ("lock_acquires", Json.int m.lock_acquires);
+      ("lock_transfers", Json.int m.lock_transfers);
+      ("dcache_misses", Json.int m.dcache_misses);
+      ("instructions", Json.int m.instructions);
+      ("utilization", Json.float m.utilization);
+    ]
+
+let sample_to_json (s : sample) : Json.t =
+  Json.Obj
+    [
+      ("app", Json.Str s.case.Spec.app);
+      ("backend", Json.Str (Pmc.Backends.to_string s.case.Spec.backend));
+      ("cores", Json.int s.case.Spec.cores);
+      ("scale", Json.int s.case.Spec.scale);
+      ("ok", Json.Bool s.ok);
+      ("deterministic", Json.Bool s.deterministic);
+      ("repeats", Json.int s.repeats);
+      ("metrics", metrics_to_json s.metrics);
+      ("host_s", Json.float s.host_s);
+    ]
+
+let fail msg = failwith ("Pmc_bench.Measure: malformed report: " ^ msg)
+let req what = function Some v -> v | None -> fail ("missing " ^ what)
+
+let metrics_of_json (j : Json.t) : metrics =
+  {
+    cycles = req "cycles" (Json.get_int "cycles" j);
+    noc_flits = req "noc_flits" (Json.get_int "noc_flits" j);
+    noc_writes = req "noc_writes" (Json.get_int "noc_writes" j);
+    flushes = req "flushes" (Json.get_int "flushes" j);
+    lock_acquires = req "lock_acquires" (Json.get_int "lock_acquires" j);
+    lock_transfers = req "lock_transfers" (Json.get_int "lock_transfers" j);
+    dcache_misses = req "dcache_misses" (Json.get_int "dcache_misses" j);
+    instructions = req "instructions" (Json.get_int "instructions" j);
+    utilization = req "utilization" (Json.get_num "utilization" j);
+  }
+
+let sample_of_json (j : Json.t) : sample =
+  let backend_s = req "backend" (Json.get_str "backend" j) in
+  let backend =
+    match Pmc.Backends.of_string backend_s with
+    | Some b -> b
+    | None -> fail ("unknown backend " ^ backend_s)
+  in
+  {
+    case =
+      {
+        Spec.app = req "app" (Json.get_str "app" j);
+        backend;
+        cores = req "cores" (Json.get_int "cores" j);
+        scale = req "scale" (Json.get_int "scale" j);
+      };
+    ok = req "ok" (Json.get_bool "ok" j);
+    deterministic = req "deterministic" (Json.get_bool "deterministic" j);
+    repeats = req "repeats" (Json.get_int "repeats" j);
+    metrics = metrics_of_json (req "metrics" (Json.member "metrics" j));
+    host_s = req "host_s" (Json.get_num "host_s" j);
+  }
+
+(* The numeric metrics a {!Compare} run can gate on, with accessors. *)
+let metric_names =
+  [ "cycles"; "noc_flits"; "noc_writes"; "flushes"; "lock_acquires";
+    "lock_transfers"; "dcache_misses"; "instructions" ]
+
+let metric (m : metrics) = function
+  | "cycles" -> float_of_int m.cycles
+  | "noc_flits" -> float_of_int m.noc_flits
+  | "noc_writes" -> float_of_int m.noc_writes
+  | "flushes" -> float_of_int m.flushes
+  | "lock_acquires" -> float_of_int m.lock_acquires
+  | "lock_transfers" -> float_of_int m.lock_transfers
+  | "dcache_misses" -> float_of_int m.dcache_misses
+  | "instructions" -> float_of_int m.instructions
+  | other -> invalid_arg ("Measure.metric: unknown metric " ^ other)

@@ -1,0 +1,49 @@
+(** Run one benchmark case and distil the simulator's counters into
+    report metrics.
+
+    The simulator is deterministic, so the architectural metrics are
+    exact; the harness runs each case [repeat] times and {e asserts}
+    repeatability ({!sample.deterministic}) rather than averaging it
+    away.  Only host time is noisy — it is outlier-trimmed (drop min and
+    max when at least three repeats ran) and averaged. *)
+
+type metrics = {
+  cycles : int;          (** engine wall time of the whole run *)
+  noc_flits : int;       (** header + payload flits injected into the NoC *)
+  noc_writes : int;      (** posted remote writes *)
+  flushes : int;         (** cache flush/invalidate range operations *)
+  lock_acquires : int;
+  lock_transfers : int;  (** inter-tile lock handovers *)
+  dcache_misses : int;
+  instructions : int;
+  utilization : float;   (** busy fraction of summed core time (Fig. 8) *)
+}
+
+type sample = {
+  case : Spec.case;
+  ok : bool;             (** checksum matched the sequential reference *)
+  deterministic : bool;  (** metrics identical across all repeats *)
+  repeats : int;
+  metrics : metrics;
+  host_s : float;        (** trimmed-mean host seconds per run *)
+}
+
+exception Unknown_app of string
+
+val run_case :
+  unbatched:bool -> warmup:int -> repeat:int -> Spec.case -> sample
+(** @raise Unknown_app when the case names no registered application. *)
+
+val trimmed_mean : float list -> float
+
+val schema_version : int
+
+val sample_to_json : sample -> Json.t
+val sample_of_json : Json.t -> sample
+(** @raise Failure on malformed input. *)
+
+val metric_names : string list
+(** The numeric metrics a {!Compare} run can gate on. *)
+
+val metric : metrics -> string -> float
+(** @raise Invalid_argument on names outside {!metric_names}. *)

@@ -1,0 +1,93 @@
+(* A benchmark report: the samples of one suite run plus enough header
+   to interpret them later (schema version, label, suite, machine
+   variant).  Serialized as the BENCH_<label>.json files the CI gate
+   diffs. *)
+
+type t = {
+  schema : int;
+  label : string;
+  suite : string;
+  unbatched : bool;
+  samples : Measure.sample list;
+}
+
+let make ~(spec : Spec.t) samples =
+  {
+    schema = Measure.schema_version;
+    label = spec.Spec.label;
+    suite = spec.Spec.suite;
+    unbatched = spec.Spec.unbatched;
+    samples;
+  }
+
+let run (spec : Spec.t) : t =
+  make ~spec
+    (List.map
+       (Measure.run_case ~unbatched:spec.Spec.unbatched
+          ~warmup:spec.Spec.warmup ~repeat:spec.Spec.repeat)
+       spec.Spec.cases)
+
+let to_json (t : t) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.int t.schema);
+      ("label", Json.Str t.label);
+      ("suite", Json.Str t.suite);
+      ("unbatched", Json.Bool t.unbatched);
+      ("results", Json.List (List.map Measure.sample_to_json t.samples));
+    ]
+
+let fail msg = failwith ("Pmc_bench.Report: " ^ msg)
+
+let of_json (j : Json.t) : t =
+  let schema =
+    match Json.get_int "schema" j with
+    | Some v -> v
+    | None -> fail "missing schema field"
+  in
+  if schema <> Measure.schema_version then
+    fail
+      (Printf.sprintf "schema %d not supported (this build reads %d)" schema
+         Measure.schema_version);
+  {
+    schema;
+    label = Option.value ~default:"" (Json.get_str "label" j);
+    suite = Option.value ~default:"" (Json.get_str "suite" j);
+    unbatched = Option.value ~default:false (Json.get_bool "unbatched" j);
+    samples =
+      (match Json.get_list "results" j with
+      | Some l -> List.map Measure.sample_of_json l
+      | None -> fail "missing results field");
+  }
+
+let save path (t : t) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (to_json t)))
+
+let load path : t =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_json (Json.parse content)
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "label=%s suite=%s%s (%d samples)@." t.label t.suite
+    (if t.unbatched then " [unbatched]" else "")
+    (List.length t.samples);
+  List.iter
+    (fun (s : Measure.sample) ->
+      let m = s.Measure.metrics in
+      Fmt.pf ppf
+        "  %-26s cycles=%-9d flits=%-8d flushes=%-6d handovers=%-5d %s@."
+        (Spec.case_id s.Measure.case)
+        m.Measure.cycles m.Measure.noc_flits m.Measure.flushes
+        m.Measure.lock_transfers
+        (if not s.Measure.ok then "CHECKSUM MISMATCH"
+         else if not s.Measure.deterministic then "NONDETERMINISTIC"
+         else "ok"))
+    t.samples

@@ -1,0 +1,27 @@
+(** A benchmark report: the samples of one suite run plus a header
+    (schema version, label, suite, machine variant) — the
+    [BENCH_<label>.json] files the CI regression gate diffs. *)
+
+type t = {
+  schema : int;
+  label : string;
+  suite : string;
+  unbatched : bool;
+  samples : Measure.sample list;
+}
+
+val make : spec:Spec.t -> Measure.sample list -> t
+
+val run : Spec.t -> t
+(** Measure every case of the suite, in order. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> t
+(** @raise Failure on malformed input or an unsupported schema
+    version. *)
+
+val save : string -> t -> unit
+val load : string -> t
+
+val pp : Format.formatter -> t -> unit

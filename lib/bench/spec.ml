@@ -1,0 +1,67 @@
+(* What to benchmark: a suite is a list of (app, backend, cores, scale)
+   cases plus the measurement discipline (warmup runs, timed repeats,
+   batched or unbatched machine).  The committed smoke suite is small
+   enough for a CI gate; the full suite covers the whole registry. *)
+
+type case = {
+  app : string;
+  backend : Pmc.Backends.kind;
+  cores : int;
+  scale : int;
+}
+
+type t = {
+  label : string;
+  suite : string;
+  unbatched : bool;  (* run on Config.unbatched (the pre-batching model) *)
+  warmup : int;      (* discarded runs before timing *)
+  repeat : int;      (* timed runs; host time is outlier-trimmed *)
+  cases : case list;
+}
+
+let case_id (c : case) =
+  Printf.sprintf "%s/%s/c%d/s%d" c.app
+    (Pmc.Backends.to_string c.backend)
+    c.cores c.scale
+
+let mk ~cores backends apps =
+  List.concat_map
+    (fun (app, scale) ->
+      List.map (fun backend -> { app; backend; cores; scale }) backends)
+    apps
+
+(* The CI gate: three kernels with distinct traffic shapes (lock-handover
+   bound, halo-exchange bound, reduction bound) on every software
+   coherency back-end, at the paper's 32-core geometry. *)
+let smoke_cases =
+  mk ~cores:32
+    [ Pmc.Backends.Nocc; Pmc.Backends.Swcc; Pmc.Backends.Dsm;
+      Pmc.Backends.Spm ]
+    [ ("streaming", 32); ("stencil", 8); ("histogram", 64) ]
+
+(* Everything in the registry, still at one geometry. *)
+let full_cases =
+  mk ~cores:32
+    [ Pmc.Backends.Nocc; Pmc.Backends.Swcc; Pmc.Backends.Dsm;
+      Pmc.Backends.Spm ]
+    [
+      ("radiosity", 512);
+      ("raytrace", 128);
+      ("volrend", 128);
+      ("motion_est", 4);
+      ("streaming", 32);
+      ("stencil", 8);
+      ("histogram", 64);
+      ("reduce", 2048);
+    ]
+
+let suite ?(label = "bench") ?(unbatched = false) ?(warmup = 1) ?(repeat = 3)
+    name =
+  match name with
+  | "smoke" -> Some { label; suite = name; unbatched; warmup; repeat;
+                      cases = smoke_cases }
+  | "full" -> Some { label; suite = name; unbatched; warmup; repeat;
+                     cases = full_cases }
+  | _ -> None
+
+let suite_names = [ "smoke"; "full" ]

@@ -1,0 +1,42 @@
+(** Benchmark suite descriptions: which (app, back-end, cores, scale)
+    combinations to run and with what measurement discipline. *)
+
+type case = {
+  app : string;       (** registry name, see {!Pmc_apps.Registry} *)
+  backend : Pmc.Backends.kind;
+  cores : int;
+  scale : int;
+}
+
+type t = {
+  label : string;     (** free-form tag recorded in the report *)
+  suite : string;     (** suite name the cases came from *)
+  unbatched : bool;
+      (** run on {!Pmc_sim.Config.unbatched} — the pre-batching cost
+          model — instead of the default machine *)
+  warmup : int;       (** discarded runs before timing *)
+  repeat : int;       (** timed runs; host time is outlier-trimmed *)
+  cases : case list;
+}
+
+val case_id : case -> string
+(** Stable identifier ["app/backend/cN/sM"] used to join baseline and
+    current reports in {!Compare}. *)
+
+val smoke_cases : case list
+(** The CI gate: three kernels with distinct traffic shapes on every
+    software coherency back-end at the 32-core geometry. *)
+
+val full_cases : case list
+(** Every registered application at the 32-core geometry. *)
+
+val suite :
+  ?label:string ->
+  ?unbatched:bool ->
+  ?warmup:int ->
+  ?repeat:int ->
+  string ->
+  t option
+(** [suite name] builds a suite by name; [None] for unknown names. *)
+
+val suite_names : string list

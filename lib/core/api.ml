@@ -261,8 +261,20 @@ let with_ro t o f =
 (* Spin until [pred (get o word)] holds, polling through a read-only
    scope — the canonical flag-waiting loop of Fig. 6.  Between polls the
    core backs off (the paper's sleep()), up to [max_backoff] cycles, so a
-   herd of pollers does not saturate the memory port. *)
-let poll_until ?(max_backoff = 512) t (o : Shared.t) word pred =
+   herd of pollers does not saturate the memory port.  Under the DSM
+   back-end every poll reads the core's own replica, which disturbs no
+   other tile (Section VI-B observes DSM's polling advantage), so the
+   default cap tightens to [Config.local_poll_backoff]. *)
+let poll_until ?max_backoff t (o : Shared.t) word pred =
+  let max_backoff =
+    match max_backoff with
+    | Some b -> b
+    | None ->
+        let (Backend_sig.B ((module B), _)) = t.backend in
+        if B.name = "dsm" then
+          (Machine.config t.machine).Config.local_poll_backoff
+        else 512
+  in
   let rec loop backoff =
     let v = with_ro t o (fun () -> get t o word) in
     if pred v then v

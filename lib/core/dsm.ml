@@ -18,7 +18,24 @@
      flush     push the local replica to every other tile's local memory
                (posted writes — best effort, arrival is asynchronous);
      fence     compiler barrier; inter-tile ordering is preserved by the
-               per-link FIFO of the NoC. *)
+               per-link FIFO of the NoC.
+
+   With [Config.dsm_lazy_versions] the back-end version-tracks replicas
+   (TreadMarks-style lazy release consistency):
+
+     - an acquire skips the pull when the local replica already holds the
+       newest published version (and the bytes have actually arrived);
+     - an exclusive scope that never wrote does not claim ownership, so a
+       chain of readers keeps pulling from the real producer instead of
+       from each other;
+     - writes record a dirty byte range, and a flush pushes only that
+       range to tiles whose replicas are known to be otherwise current,
+       falling back to the whole object for stale tiles.
+
+   All of this changes only who transfers what and when the acquirer
+   stalls — the content every core observes at every annotation is the
+   same as in the unbatched model; the replay-equivalence tests check
+   exactly that. *)
 
 open Pmc_sim
 
@@ -33,35 +50,78 @@ let alloc t ~name ~bytes =
   let lock = Pmc_lock.Dlock.create t.m in
   let o = Shared.make ~name ~size:bytes ~lock in
   o.Shared.dsm_off <- Machine.alloc_dsm t.m ~bytes;
+  Shared.dsm_track o ~cores:(Machine.config t.m).Config.cores;
   o
 
 let replica_addr t (o : Shared.t) ~tile =
   Machine.local_addr t.m ~tile ~off:o.Shared.dsm_off
 
 (* Bring the newest version (owned by [o.last_writer]) into [core]'s
-   replica, charging the NoC transfer to the acquirer. *)
-let pull_version t (o : Shared.t) =
+   replica, charging the NoC transfer to the acquirer.  Under
+   [dsm_lazy_versions] the transfer is skipped when the local replica is
+   already at the newest version and its bytes have landed; and when the
+   acquire just received the lock over the NoC ([handover]), the newest
+   version rides in the same grant burst — the releaser's replica is
+   always current at release time — so the acquirer pays only the burst's
+   payload extension instead of a separate transfer. *)
+let pull_version ?(handover = false) t (o : Shared.t) =
   let core = Machine.core_id t.m in
-  match o.Shared.last_writer with
-  | -1 -> ()
-  | w when w = core -> ()
-  | w ->
-      let words = Shared.words o in
-      let cfg = Machine.config t.m in
-      for i = 0 to words - 1 do
-        let v = Machine.peek_u32 t.m (replica_addr t o ~tile:w + (4 * i)) in
-        Machine.poke_u32 t.m (replica_addr t o ~tile:core + (4 * i)) v
-      done;
-      Engine.consume (Machine.engine t.m) Stats.Shared_read_stall
-        (Config.noc_latency cfg ~src:w ~dst:core ~words)
+  let cfg = Machine.config t.m in
+  let lazy_v = cfg.Config.dsm_lazy_versions in
+  let current =
+    lazy_v
+    && Array.length o.Shared.seen > 0
+    && o.Shared.seen.(core) = o.Shared.version
+    && Machine.now t.m >= o.Shared.seen_at.(core)
+  in
+  if not current then
+    match o.Shared.last_writer with
+    | -1 -> ()
+    | w when w = core -> ()
+    | w ->
+        let words = Shared.words o in
+        for i = 0 to words - 1 do
+          let v = Machine.peek_u32 t.m (replica_addr t o ~tile:w + (4 * i)) in
+          Machine.poke_u32 t.m (replica_addr t o ~tile:core + (4 * i)) v
+        done;
+        let cost =
+          if lazy_v && handover then cfg.Config.noc_word_cycles * words
+          else Config.noc_latency cfg ~src:w ~dst:core ~words
+        in
+        Engine.consume (Machine.engine t.m) Stats.Shared_read_stall cost;
+        if lazy_v then begin
+          o.Shared.seen.(core) <- o.Shared.version;
+          o.Shared.seen_at.(core) <- Machine.now t.m;
+          (* the pull overwrote any unpublished local bytes *)
+          if o.Shared.dirty_core = core then Shared.clear_dirty o
+        end
 
 let entry_x t (o : Shared.t) =
   Pmc_lock.Dlock.acquire o.Shared.lock;
-  pull_version t o
+  let handover = Pmc_lock.Dlock.last_transfer_from o.Shared.lock >= 0 in
+  pull_version ~handover t o
 
 let exit_x t (o : Shared.t) =
+  (* Release consistency: any flush posted inside the scope must have
+     landed before the release is observable, otherwise a reader ordered
+     after this release (even one on the lock-free atomic-sized path)
+     could still see pre-flush bytes in its replica.  The drain is a
+     no-op when the scope posted nothing. *)
+  Machine.noc_drain t.m;
   (* lazy release: the data stays local until the next acquirer pulls it *)
-  o.Shared.last_writer <- Machine.core_id t.m;
+  let core = Machine.core_id t.m in
+  let cfg = Machine.config t.m in
+  if cfg.Config.dsm_lazy_versions then begin
+    if o.Shared.dirty_core = core then begin
+      o.Shared.version <- o.Shared.version + 1;
+      o.Shared.last_writer <- core;
+      o.Shared.seen.(core) <- o.Shared.version;
+      o.Shared.seen_at.(core) <- Machine.now t.m;
+      Shared.clear_dirty o
+    end
+    (* a scope that never wrote leaves ownership with the real producer *)
+  end
+  else o.Shared.last_writer <- core;
   Pmc_lock.Dlock.release o.Shared.lock
 
 let entry_ro t (o : Shared.t) =
@@ -79,12 +139,65 @@ let fence _t = ()
 let flush t (o : Shared.t) =
   let core = Machine.core_id t.m in
   let cfg = Machine.config t.m in
-  for tile = 0 to cfg.Config.cores - 1 do
-    if tile <> core then
-      Machine.noc_push t.m ~dst:tile ~src_off:o.Shared.dsm_off
-        ~dst_off:o.Shared.dsm_off ~len:o.Shared.size
-  done;
-  o.Shared.last_writer <- core
+  let off = o.Shared.dsm_off in
+  let others =
+    List.filter (fun i -> i <> core) (List.init cfg.Config.cores Fun.id)
+  in
+  if not cfg.Config.dsm_lazy_versions then begin
+    ignore
+      (Machine.noc_push_multi t.m ~dsts:others ~src_off:off ~dst_off:off
+         ~len:o.Shared.size);
+    o.Shared.last_writer <- core
+  end
+  else begin
+    let now = Machine.now t.m in
+    (* A destination whose replica is known to hold the same base version
+       as the flusher's only needs the dirty range; anyone else gets the
+       whole object.  [seen_at] guards against in-flight deliveries. *)
+    let base = o.Shared.seen.(core) in
+    let clean = o.Shared.dirty_core = -1 in
+    let narrow =
+      base >= 0
+      && now >= o.Shared.seen_at.(core)
+      && (clean || o.Shared.dirty_core = core)
+    in
+    let fast, slow =
+      if narrow then
+        List.partition
+          (fun d -> o.Shared.seen.(d) = base && now >= o.Shared.seen_at.(d))
+          others
+      else ([], others)
+    in
+    let arr_fast =
+      if fast = [] || clean then now
+      else
+        let lo = o.Shared.dirty_lo and hi = o.Shared.dirty_hi in
+        Machine.noc_push_multi t.m ~dsts:fast ~src_off:(off + lo)
+          ~dst_off:(off + lo) ~len:(hi - lo)
+    in
+    let arr_slow =
+      if slow = [] then now
+      else
+        Machine.noc_push_multi t.m ~dsts:slow ~src_off:off ~dst_off:off
+          ~len:o.Shared.size
+    in
+    let newv = o.Shared.version + 1 in
+    o.Shared.version <- newv;
+    o.Shared.last_writer <- core;
+    o.Shared.seen.(core) <- newv;
+    o.Shared.seen_at.(core) <- now;
+    List.iter
+      (fun d ->
+        o.Shared.seen.(d) <- newv;
+        o.Shared.seen_at.(d) <- arr_fast)
+      fast;
+    List.iter
+      (fun d ->
+        o.Shared.seen.(d) <- newv;
+        o.Shared.seen_at.(d) <- arr_slow)
+      slow;
+    Shared.clear_dirty o
+  end
 
 let read_u32 t (o : Shared.t) word =
   let core = Machine.core_id t.m in
@@ -92,6 +205,7 @@ let read_u32 t (o : Shared.t) word =
 
 let write_u32 t (o : Shared.t) word v =
   let core = Machine.core_id t.m in
+  Shared.mark_dirty o ~core ~lo:(4 * word) ~hi:((4 * word) + 4);
   Machine.store_u32 t.m ~shared:true
     (replica_addr t o ~tile:core + (4 * word))
     v
@@ -102,6 +216,7 @@ let read_u8 t (o : Shared.t) i =
 
 let write_u8 t (o : Shared.t) i v =
   let core = Machine.core_id t.m in
+  Shared.mark_dirty o ~core ~lo:i ~hi:(i + 1);
   Machine.store_u8 t.m ~shared:true (replica_addr t o ~tile:core + i) v
 
 (* The canonical version lives in the last writer's replica (tile 0 before

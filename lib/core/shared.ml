@@ -21,6 +21,20 @@ type t = {
   mutable sdram_addr : int;         (* cached or uncached SDRAM; -1 = none *)
   mutable dsm_off : int;            (* common local-memory offset; -1 = none *)
   mutable last_writer : int;        (* tile owning the newest version; -1 = none *)
+  (* DSM version tracking (TreadMarks-style lazy release, used when
+     [Config.dsm_lazy_versions] is on): [version] counts publications of
+     the object (exit_x after a write, flush); [seen.(tile)] is the
+     version that tile's replica holds, valid from time [seen_at.(tile)]
+     (flush deliveries are posted writes that land later); -1 = unknown.
+     The arrays stay [||] until a DSM back-end adopts the object. *)
+  mutable version : int;
+  mutable seen : int array;
+  mutable seen_at : int array;
+  (* byte range [dirty_lo, dirty_hi) by which [dirty_core]'s replica
+     differs from the version it last pulled; -1 = clean *)
+  mutable dirty_core : int;
+  mutable dirty_lo : int;
+  mutable dirty_hi : int;
 }
 
 (* Objects of at most [!atomic_threshold] bytes are treated as atomic for
@@ -38,6 +52,41 @@ let next_id = ref 0
 let make ~name ~size ~lock =
   let id = !next_id in
   incr next_id;
-  { id; name; size; lock; sdram_addr = -1; dsm_off = -1; last_writer = -1 }
+  { id; name; size; lock; sdram_addr = -1; dsm_off = -1; last_writer = -1;
+    version = 0; seen = [||]; seen_at = [||];
+    dirty_core = -1; dirty_lo = 0; dirty_hi = 0 }
+
+(* Adopt the object for DSM version tracking: all replicas start equal
+   (version 0), established before the simulation begins. *)
+let dsm_track o ~cores =
+  o.seen <- Array.make cores 0;
+  o.seen_at <- Array.make cores 0
+
+let clear_dirty o =
+  o.dirty_core <- -1;
+  o.dirty_lo <- 0;
+  o.dirty_hi <- 0
+
+(* Record that [core] modified bytes [lo, hi) of its replica.  Two cores
+   dirtying the same object concurrently is a data race under PMC; if it
+   happens anyway, range tracking surrenders: the displaced core's
+   replica version becomes unknown and the new range covers the whole
+   object, so the next publication falls back to a full-object push. *)
+let mark_dirty o ~core ~lo ~hi =
+  if o.dirty_core = -1 then begin
+    o.dirty_core <- core;
+    o.dirty_lo <- lo;
+    o.dirty_hi <- hi
+  end
+  else if o.dirty_core = core then begin
+    o.dirty_lo <- min o.dirty_lo lo;
+    o.dirty_hi <- max o.dirty_hi hi
+  end
+  else begin
+    if Array.length o.seen > 0 then o.seen.(o.dirty_core) <- -1;
+    o.dirty_core <- core;
+    o.dirty_lo <- 0;
+    o.dirty_hi <- o.size
+  end
 
 let pp ppf o = Fmt.pf ppf "%s#%d[%dB]" o.name o.id o.size

@@ -13,6 +13,19 @@ type t = {
   mutable sdram_addr : int;    (** SDRAM placement; -1 = none *)
   mutable dsm_off : int;       (** common local-memory offset; -1 = none *)
   mutable last_writer : int;   (** tile owning the newest version; -1 = none *)
+  mutable version : int;
+      (** Publication count of the object under DSM lazy release: bumped
+          by an exit_x that wrote and by every flush
+          (see {!Config.t.dsm_lazy_versions}). *)
+  mutable seen : int array;
+      (** Per-tile replica version ([-1] = unknown); [[||]] until
+          {!dsm_track}. *)
+  mutable seen_at : int array;
+      (** Simulation time from which [seen.(tile)] holds — flush
+          deliveries are posted writes that land later. *)
+  mutable dirty_core : int;    (** tile with unpublished writes; -1 = clean *)
+  mutable dirty_lo : int;      (** dirty byte range, inclusive start *)
+  mutable dirty_hi : int;      (** dirty byte range, exclusive end *)
 }
 
 val atomic_threshold : int ref
@@ -24,4 +37,16 @@ val atomic_threshold : int ref
 val is_atomic_sized : t -> bool
 val words : t -> int
 val make : name:string -> size:int -> lock:Pmc_lock.Dlock.t -> t
+
+val dsm_track : t -> cores:int -> unit
+(** Adopt the object for DSM version tracking: every replica starts at
+    version 0 (replicas are made equal before the simulation begins). *)
+
+val clear_dirty : t -> unit
+
+val mark_dirty : t -> core:int -> lo:int -> hi:int -> unit
+(** Record that [core] modified bytes [[lo, hi)] of its replica.
+    Concurrent dirtying by two cores — a data race under PMC — degrades
+    tracking to a conservative whole-object range. *)
+
 val pp : Format.formatter -> t -> unit

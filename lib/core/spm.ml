@@ -50,36 +50,37 @@ let alloc t ~name ~bytes =
   o.Shared.sdram_addr <- Machine.alloc_uncached t.m ~bytes;
   o
 
-(* Burst copy between SDRAM and the SPM.  The DMA-style burst pays the
-   SDRAM latency once plus a per-word streaming cost. *)
-let burst_cycles t ~words =
+(* Burst copy between SDRAM and the SPM.  With [Config.batched_maint] the
+   DMA engine streams the whole object in one burst: a single SDRAM
+   latency plus a per-word streaming cost.  With batching off, every word
+   is a separate port access that arbitrates (and possibly queues) on its
+   own — the pre-batching model the equivalence tests compare against. *)
+let copy_cycles t ~words =
   let cfg = Machine.config t.m in
-  cfg.Config.sdram_word_cycles + (words * 2)
+  if cfg.Config.batched_maint then cfg.Config.sdram_word_cycles + (words * 2)
+  else begin
+    let c = ref 0 in
+    for _ = 1 to words do
+      c := !c + Machine.sdram_word_wait t.m + cfg.Config.sdram_word_cycles
+    done;
+    !c
+  end
 
 let copy_in t (o : Shared.t) ~spm_off =
   let core = Machine.core_id t.m in
   let words = Shared.words o in
-  for i = 0 to words - 1 do
-    let v = Machine.peek_u32 t.m (o.Shared.sdram_addr + (4 * i)) in
-    Machine.poke_u32 t.m
-      (Machine.local_addr t.m ~tile:core ~off:(spm_off + (4 * i)))
-      v
-  done;
+  Machine.blit_sdram_to_local t.m ~core ~sdram:o.Shared.sdram_addr
+    ~off:spm_off ~len:(4 * words);
   Engine.consume (Machine.engine t.m) Stats.Shared_read_stall
-    (burst_cycles t ~words)
+    (copy_cycles t ~words)
 
 let copy_out t (o : Shared.t) ~spm_off =
   let core = Machine.core_id t.m in
   let words = Shared.words o in
-  for i = 0 to words - 1 do
-    let v =
-      Machine.peek_u32 t.m
-        (Machine.local_addr t.m ~tile:core ~off:(spm_off + (4 * i)))
-    in
-    Machine.poke_u32 t.m (o.Shared.sdram_addr + (4 * i)) v
-  done;
+  Machine.blit_local_to_sdram t.m ~core ~off:spm_off
+    ~sdram:o.Shared.sdram_addr ~len:(4 * words);
   Engine.consume (Machine.engine t.m) Stats.Flush_overhead
-    (burst_cycles t ~words)
+    (copy_cycles t ~words)
 
 let stage t (o : Shared.t) =
   let core = Machine.core_id t.m in

@@ -27,6 +27,9 @@ type t = {
   (* an exclusive grant in flight: (core it is for, arrival time) *)
   mutable pending : (int * int) option;
   queue : int Queue.t;                  (* exclusive waiters *)
+  (* tile the lock travelled from on the most recent exclusive acquire,
+     -1 if that acquire was local (no handover) *)
+  mutable last_transfer_from : int;
 }
 
 let next_id = ref 0
@@ -42,6 +45,7 @@ let create (m : Machine.t) : t =
     last_holder = -1;
     pending = None;
     queue = Queue.create ();
+    last_transfer_from = -1;
   }
 
 let transfer_cycles t ~from ~to_ =
@@ -92,6 +96,7 @@ let acquire t =
     t.owner <- Some core;
     let transferred = t.last_holder <> -1 && t.last_holder <> core in
     let cost = transfer_cycles t ~from:t.last_holder ~to_:core in
+    t.last_transfer_from <- (if transferred then t.last_holder else -1);
     t.last_holder <- core;
     count_acquire t ~transferred;
     if cost > 0 then Engine.consume e Stats.Lock_stall cost;
@@ -110,6 +115,7 @@ let acquire t =
     t.pending <- None;
     t.owner <- Some core;
     let transferred = t.last_holder <> core in
+    t.last_transfer_from <- (if transferred then t.last_holder else -1);
     t.last_holder <- core;
     count_acquire t ~transferred;
     emit t Probe.Acquire ~transferred
@@ -152,6 +158,7 @@ let release_ro t =
   try_grant t
 
 let holder t = t.owner
+let last_transfer_from t = t.last_transfer_from
 let reader_count t = t.readers
 
 let with_lock t f =

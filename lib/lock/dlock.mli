@@ -26,6 +26,14 @@ val acquire_ro : t -> unit
 val release_ro : t -> unit
 
 val holder : t -> int option
+
+val last_transfer_from : t -> int
+(** Tile the lock travelled from on the calling core's most recent
+    exclusive {!acquire}, or -1 if that acquire involved no handover
+    (local re-acquisition or first acquisition).  The DSM back-end uses
+    this to piggyback the protected object's newest version on the grant
+    burst (see {!Pmc_sim.Config.t.dsm_lazy_versions}). *)
+
 val reader_count : t -> int
 
 val with_lock : t -> (unit -> 'a) -> 'a

@@ -13,6 +13,7 @@ type edge_kind = Local of int | Program | Sync | Fence
 
 val edge_kind_to_string : edge_kind -> string
 
+(** One ordering edge: [src] precedes [dst] under [kind]. *)
 type edge = { src : int; kind : edge_kind; dst : int }
 
 type t = {
@@ -36,15 +37,24 @@ val op : t -> int -> Op.t
 (** [op exec id] — the operation with issue index [id]. *)
 
 val n_ops : t -> int
+(** Number of issued operations, including the initial ones. *)
+
 val iter_ops : t -> (Op.t -> unit) -> unit
+(** Visit operations in issue order. *)
+
 val ops_list : t -> Op.t list
+(** All operations, in issue order. *)
+
 val edges : t -> edge list
+(** Every edge of ≺ (not transitively reduced). *)
 
 val execute :
   t -> Op.kind -> proc:int -> ?loc:int -> ?value:int -> unit -> Op.t
 (** State transition (Def. 4): issue an operation and add the Table-I
     edges from every matching earlier operation.  Raises [Invalid_argument]
     on bad process/location ids or an attempt to issue [Init]. *)
+
+(** Convenience wrappers around {!execute}, one per operation kind. *)
 
 val read : t -> proc:int -> loc:int -> value:int -> Op.t
 val write : t -> proc:int -> loc:int -> value:int -> Op.t
@@ -61,3 +71,4 @@ val fence_scope : t -> Op.t -> int list option
 (** The scope of a fence operation; [None] means unscoped. *)
 
 val pp : Format.formatter -> t -> unit
+(** Operations then edges, one per line. *)

@@ -19,7 +19,10 @@ val enumerate : ?limit:int -> (module Models.SEM) -> Lprog.t -> result
     {!State_space_too_large} past [limit] distinct states (default 2M). *)
 
 val outcomes_list : result -> string list
+(** The outcome set as sorted strings ({!Lprog.outcome_to_string}). *)
+
 val allows : result -> string -> bool
+(** Is this outcome string in the enumerated set? *)
 
 val subset_of : result -> result -> bool
 (** [subset_of r1 r2] — model 1 is at least as strong as model 2 on this

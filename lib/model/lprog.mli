@@ -23,16 +23,21 @@ type t = {
 }
 
 val make : name:string -> locs:int -> regs:int -> instr list list -> t
+(** One inner list per thread. *)
+
 val n_threads : t -> int
 
 (** An outcome: every thread's registers at termination. *)
 type outcome = int array array
 
 val outcome_to_string : outcome -> string
+(** Canonical form, e.g. [r0=1 r1=0 | r0=2] — the set element used by
+    {!Outcome_set}. *)
 
 module Outcome_set : Set.S with type elt = string
 
 val eval : int array -> expr -> int
+(** Evaluate an expression against one thread's register file. *)
 
 (** {1 Standard programs} *)
 

@@ -33,7 +33,10 @@ module type SEM = sig
 end
 
 val clone2 : int array array -> int array array
+(** Deep copy of a 2-D state component (shared by the semantics). *)
+
 val marshal_key : 'a -> string
+(** Default {!SEM.key}: [Marshal] the state. *)
 
 module Sc : SEM
 module Pc : SEM

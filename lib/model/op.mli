@@ -23,12 +23,18 @@ type t = {
 }
 
 val kind_to_string : kind -> string
+
 val pp : Format.formatter -> t -> unit
+(** E.g. [W p0 x=1 (#3)]. *)
+
 val to_string : t -> string
 
 val acts_as : t -> kind -> bool
 (** [acts_as o k] — does [o] behave as the base kind [k]?  [Init] acts as
     both [Write] and [Release]. *)
+
+(** Shorthand for {!acts_as} with each base kind ([Init] counts as both
+    a write and a release). *)
 
 val is_write : t -> bool
 val is_release : t -> bool

@@ -6,13 +6,17 @@
 type relation = Global | View of int | Full
 
 val edge_visible : relation -> Execution.edge_kind -> bool
+(** Does the relation include edges of this kind? *)
 
 val reaches : relation -> Execution.t -> int -> int -> bool
 (** [reaches rel exec a b] — is there a path from operation [a] to [b]
     using only edges visible under [rel]?  Irreflexive. *)
 
 val before : relation -> Execution.t -> int -> int -> bool
+(** Alias of {!reaches}. *)
+
 val concurrent : relation -> Execution.t -> int -> int -> bool
+(** Neither reaches the other. *)
 
 val is_acyclic : Execution.t -> bool
 (** ≺ must remain a partial order. *)
@@ -26,6 +30,7 @@ val transitive_reduction : relation -> Execution.t -> Execution.edge list
     collapsed. *)
 
 val writes_of : Execution.t -> int -> Op.t list
+(** All writes (including [Init]) to one location, in issue order. *)
 
 val gdo_total : Execution.t -> int -> bool
 (** Global Data Order (Sec. IV-E): are all writes to the location totally

@@ -26,6 +26,10 @@ val create :
 (** The backing callbacks transfer whole aligned lines. *)
 
 val line_addr : t -> int -> int
+(** The aligned base address of the line containing an address. *)
+
+(** {1 Timed accesses} — each returns what happened for cycle
+    accounting; a store marks its line dirty (write-back). *)
 
 val load_u32 : t -> int -> int32 * outcome
 val store_u32 : t -> int -> int32 -> outcome
@@ -43,6 +47,10 @@ val inval_range : t -> addr:int -> len:int -> maint
 (** Invalidate without write-back: cached modifications are lost. *)
 
 val flush_all : t -> maint
+(** Write back and invalidate every resident line. *)
 
 val resident : t -> int -> bool
+(** Is the line containing the address currently cached? *)
+
 val dirty : t -> int -> bool
+(** Is the line containing the address resident and modified? *)

@@ -33,6 +33,13 @@ type t = {
   (* locking *)
   lock_local_poll_cycles : int; (* polling the local grant flag *)
   lock_transfer_cycles : int;   (* handover between tiles over the NoC *)
+  (* hot-path batching: each switch can be turned off to reproduce the
+     unbatched cost model (the regression benches compare both) *)
+  noc_multicast : bool;         (* one burst per flush instead of per tile *)
+  dsm_lazy_versions : bool;     (* skip pulls of an up-to-date DSM replica *)
+  batched_maint : bool;         (* one SDRAM arbitration per maintenance burst *)
+  local_poll_backoff : int;     (* max poll backoff when spinning on a local
+                                   replica (polls other tiles never see) *)
   (* simulation *)
   max_cycles : int;             (* watchdog against livelock *)
   seed : int;                   (* PRNG seed for workload randomness *)
@@ -60,11 +67,26 @@ let default =
     noc_word_cycles = 1;
     lock_local_poll_cycles = 4;
     lock_transfer_cycles = 30;
+    noc_multicast = true;
+    dsm_lazy_versions = true;
+    batched_maint = true;
+    local_poll_backoff = 64;
     max_cycles = 2_000_000_000;
     seed = 42;
   }
 
 let small = { default with cores = 4; sdram_bytes = 1024 * 1024 }
+
+(* Disable every batching optimization: the pre-batching cost model, used
+   as the reference side of regression benches and equivalence tests. *)
+let unbatched t =
+  {
+    t with
+    noc_multicast = false;
+    dsm_lazy_versions = false;
+    batched_maint = false;
+    local_poll_backoff = 512;
+  }
 
 (* Number of NoC hops between two tiles: tiles on a bidirectional ring,
    matching the connectionless NoC of the paper's platform [16]. *)

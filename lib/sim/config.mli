@@ -24,6 +24,24 @@ type t = {
   noc_word_cycles : int;        (** per-word injection/burst cost *)
   lock_local_poll_cycles : int; (** polling the local grant flag *)
   lock_transfer_cycles : int;   (** lock handover between tiles *)
+  noc_multicast : bool;
+      (** Batching: a DSM flush injects one multicast burst (one header
+          flit plus the payload, once) instead of a unicast burst per
+          destination tile. *)
+  dsm_lazy_versions : bool;
+      (** Batching: version-track DSM replicas so an acquire skips the
+          pull when the local replica already holds the newest version,
+          and an exclusive scope that never wrote does not claim
+          ownership. *)
+  batched_maint : bool;
+      (** Batching: a range cache-maintenance operation arbitrates for
+          the SDRAM port once per burst of write-backs instead of once
+          per line. *)
+  local_poll_backoff : int;
+      (** Maximum exponential-backoff sleep when polling a word that
+          lives in the polling core's local memory (DSM replicas).  Such
+          polls disturb no other tile — Section VI-B — so they may poll
+          tighter than {!Pmc.Api.poll_until}'s shared-memory default. *)
   max_cycles : int;             (** livelock watchdog *)
   seed : int;                   (** PRNG seed for workload randomness *)
 }
@@ -34,6 +52,13 @@ val default : t
 
 val small : t
 (** A 4-tile variant for tests. *)
+
+val unbatched : t -> t
+(** The same machine with every batching optimization disabled
+    ([noc_multicast], [dsm_lazy_versions], [batched_maint] off and the
+    conservative 512-cycle local poll backoff) — the pre-batching cost
+    model used as the reference side of regression benches and of the
+    batched/unbatched equivalence tests. *)
 
 val hops : t -> src:int -> dst:int -> int
 (** Ring-topology hop distance between two tiles. *)

@@ -10,3 +10,5 @@ val fetch_line : t -> int -> bool
     whether it hit, allocating on miss (LRU). *)
 
 val invalidate_all : t -> unit
+(** Discard every tag (a cold restart; instruction memory is
+    read-only, so nothing needs writing back). *)

@@ -243,6 +243,7 @@ let store_u32 m ~shared:_ addr (v : int32) : unit =
         Bytes.set_int32_le buf 0 v;
         let s = Stats.core (stats m) core in
         s.Stats.noc_writes <- s.Stats.noc_writes + 1;
+        s.Stats.noc_flits <- s.Stats.noc_flits + 2;
         Engine.consume m.engine Stats.Write_stall
           (Noc.injection_cost m.noc buf);
         ignore (Noc.post_write m.noc ~src:core ~dst:tile ~off buf)
@@ -291,6 +292,7 @@ let store_u8 m ~shared:_ addr (v : int) : unit =
         let buf = Bytes.make 1 (Char.chr (v land 0xff)) in
         let s = Stats.core (stats m) core in
         s.Stats.noc_writes <- s.Stats.noc_writes + 1;
+        s.Stats.noc_flits <- s.Stats.noc_flits + 2;
         Engine.consume m.engine Stats.Write_stall
           (Noc.injection_cost m.noc buf);
         ignore (Noc.post_write m.noc ~src:core ~dst:tile ~off buf)
@@ -304,19 +306,61 @@ let store_u32_remote_raw m ~dst ~off ~latency (v : int32) =
   Bytes.set_int32_le buf 0 v;
   let s = Stats.core (stats m) core in
   s.Stats.noc_writes <- s.Stats.noc_writes + 1;
+  s.Stats.noc_flits <- s.Stats.noc_flits + 2;
   Engine.consume m.engine Stats.Write_stall (Noc.injection_cost m.noc buf);
   ignore (Noc.post_write_at m.noc ~src:core ~dst ~off ~latency buf)
 
 (* Push [len] bytes of my local memory at [src_off] into tile [dst] at
-   [dst_off] over the NoC (the DSM back-end's replication primitive). *)
-let noc_push m ~dst ~src_off ~dst_off ~len =
+   [dst_off] over the NoC (the DSM back-end's replication primitive).
+   Returns the arrival time of the posted write. *)
+let noc_push_arrival m ~dst ~src_off ~dst_off ~len : int =
   let core = core_id m in
   if dst = core then invalid_arg "noc_push to self";
   let buf = Bytes.sub m.locals.(core) src_off len in
   let s = Stats.core (stats m) core in
   s.Stats.noc_writes <- s.Stats.noc_writes + 1;
+  s.Stats.noc_flits <- s.Stats.noc_flits + 1 + ((len + 3) / 4);
   Engine.consume m.engine Stats.Write_stall (Noc.injection_cost m.noc buf);
-  ignore (Noc.post_write m.noc ~src:core ~dst ~off:dst_off buf)
+  Noc.post_write m.noc ~src:core ~dst ~off:dst_off buf
+
+let noc_push m ~dst ~src_off ~dst_off ~len =
+  ignore (noc_push_arrival m ~dst ~src_off ~dst_off ~len)
+
+(* Replicate [len] bytes of my local memory into every tile of [dsts].
+   With [Config.noc_multicast] the sender frames one burst — one header
+   flit plus the payload, one injection cost — and the NoC fans it out;
+   without it the replication degrades to one unicast push per tile,
+   paying header and injection per destination (the unbatched model).
+   Returns the latest arrival time across destinations (now if none). *)
+let noc_push_multi m ~dsts ~src_off ~dst_off ~len : int =
+  let core = core_id m in
+  let dsts = List.filter (fun d -> d <> core) dsts in
+  match dsts with
+  | [] -> now m
+  | dsts when m.cfg.Config.noc_multicast ->
+      let buf = Bytes.sub m.locals.(core) src_off len in
+      let s = Stats.core (stats m) core in
+      s.Stats.noc_writes <- s.Stats.noc_writes + List.length dsts;
+      s.Stats.noc_flits <- s.Stats.noc_flits + 1 + ((len + 3) / 4);
+      Engine.consume m.engine Stats.Write_stall (Noc.injection_cost m.noc buf);
+      Noc.post_multicast m.noc ~src:core ~dsts ~off:dst_off buf
+  | dsts ->
+      List.fold_left
+        (fun acc dst ->
+          max acc (noc_push_arrival m ~dst ~src_off ~dst_off ~len))
+        (now m) dsts
+
+(* DMA data paths between SDRAM and a tile's local memory (the SPM
+   staging copies).  Data only — the caller charges the burst timing. *)
+let blit_sdram_to_local m ~core ~sdram ~off ~len =
+  Sdram.blit_to m.sdram ~addr:sdram m.locals.(core) ~pos:off ~len
+
+let blit_local_to_sdram m ~core ~off ~sdram ~len =
+  Sdram.blit_from m.sdram ~addr:sdram m.locals.(core) ~pos:off ~len
+
+(* One SDRAM port arbitration for a single word access — the per-word
+   staging model used when [Config.batched_maint] is off. *)
+let sdram_word_wait m = Sdram.contend_word m.sdram ~now:(now m)
 
 (* Wait until all of this core's posted NoC writes have landed. *)
 let noc_drain m =
@@ -327,14 +371,26 @@ let noc_drain m =
 (* ---------------- cache maintenance ---------------- *)
 
 let maint_cycles m (r : Cache.maint) =
-  (* one cycle per line tag probe plus a contended line transfer per
-     write-back *)
-  let wb = ref 0 in
-  for _ = 1 to r.Cache.lines_written_back do
-    wb := !wb + Sdram.contend_line m.sdram ~now:(now m)
-          + m.cfg.sdram_line_cycles
-  done;
-  r.Cache.lines_touched + !wb
+  (* one cycle per line tag probe plus the write-back traffic.  Batched
+     ([Config.batched_maint]): the range operation drains its dirty lines
+     as one burst — one port arbitration for the whole range.  Unbatched:
+     every line arbitrates (and possibly queues) separately. *)
+  let wb =
+    if r.Cache.lines_written_back = 0 then 0
+    else if m.cfg.Config.batched_maint then
+      Sdram.contend_burst m.sdram ~now:(now m)
+        ~lines:r.Cache.lines_written_back
+      + (r.Cache.lines_written_back * m.cfg.sdram_line_cycles)
+    else begin
+      let wb = ref 0 in
+      for _ = 1 to r.Cache.lines_written_back do
+        wb := !wb + Sdram.contend_line m.sdram ~now:(now m)
+              + m.cfg.sdram_line_cycles
+      done;
+      !wb
+    end
+  in
+  r.Cache.lines_touched + wb
 
 let wb_inval_range m ~addr ~len =
   let core = core_id m in

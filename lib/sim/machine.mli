@@ -83,8 +83,36 @@ val noc_push : t -> dst:int -> src_off:int -> dst_off:int -> len:int -> unit
 (** Post a chunk of this core's local memory to another tile (the DSM
     replication primitive). *)
 
+val noc_push_multi :
+  t -> dsts:int list -> src_off:int -> dst_off:int -> len:int -> int
+(** Replicate a chunk of this core's local memory into every tile of
+    [dsts] (the coalesced DSM flush).  With {!Config.t.noc_multicast}
+    the sender injects one multicast burst — one header flit plus the
+    payload, one injection stall — and the NoC fans it out with delivery
+    semantics identical to per-destination {!noc_push}es; with the switch
+    off it degrades to exactly those unicast pushes.  Destinations equal
+    to the calling core are ignored.  Returns the latest arrival time
+    across destinations ([now] if there are none). *)
+
 val noc_drain : t -> unit
 (** Stall until all of this core's posted writes have landed. *)
+
+(** {1 DMA staging (SPM back-end)} *)
+
+val blit_sdram_to_local :
+  t -> core:int -> sdram:int -> off:int -> len:int -> unit
+(** Bulk-copy [len] bytes of SDRAM at [sdram] into tile [core]'s local
+    memory at offset [off] — the SPM staging data path.  Untimed; the
+    caller charges the burst (see {!Config.t.batched_maint}). *)
+
+val blit_local_to_sdram :
+  t -> core:int -> off:int -> sdram:int -> len:int -> unit
+(** Bulk-copy local memory back to SDRAM (the SPM write-back path). *)
+
+val sdram_word_wait : t -> int
+(** Arbitrate for the SDRAM port for one word access and return the
+    queuing wait — the per-word staging model used when
+    {!Config.t.batched_maint} is off. *)
 
 (** {1 Cache maintenance} *)
 

@@ -53,6 +53,34 @@ let post_write t ~src ~dst ~off (data : Bytes.t) : int =
     (deliver t ~src ~dst ~off (Bytes.copy data));
   arrival
 
+(* Multicast burst: one injection delivers the same payload to several
+   tiles.  The sender frames a single burst (one header flit plus the
+   payload, counted by the caller) and the ring circulates it; every
+   destination still receives its copy after its own link latency and the
+   per-link FIFO is preserved, so delivery semantics are identical to a
+   sequence of unicast posts — only the injection side is cheaper.
+   Returns the latest arrival time. *)
+let post_multicast t ~src ~dsts ~off (data : Bytes.t) : int =
+  let now = Engine.now t.engine in
+  let words = (Bytes.length data + 3) / 4 in
+  let last = ref now in
+  List.iter
+    (fun dst ->
+      if dst = src then invalid_arg "Noc.post_multicast: src in dsts";
+      let latency = Config.noc_latency t.cfg ~src ~dst ~words in
+      let arrival = max (now + latency) (t.link_last.(src).(dst) + 1) in
+      t.link_last.(src).(dst) <- arrival;
+      t.outstanding.(src) <- t.outstanding.(src) + 1;
+      t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
+      t.total_writes <- t.total_writes + 1;
+      Probe.emit (Engine.probe t.engine) ~time:now
+        (Probe.Noc_post { src; dst; off; bytes = Bytes.length data; arrival });
+      Engine.at t.engine ~time:arrival
+        (deliver t ~src ~dst ~off (Bytes.copy data));
+      last := max !last arrival)
+    dsts;
+  !last
+
 (* Unordered variant with caller-chosen latency (Fig. 1 machine). *)
 let post_write_at t ~src ~dst ~off ~latency (data : Bytes.t) : int =
   let now = Engine.now t.engine in

@@ -15,14 +15,25 @@ val post_write : t -> src:int -> dst:int -> off:int -> Bytes.t -> int
 (** Post [data] to tile [dst] at offset [off]; returns the arrival time.
     The caller charges {!injection_cost}. *)
 
+val post_multicast : t -> src:int -> dsts:int list -> off:int -> Bytes.t -> int
+(** One injected burst delivers the same payload to every tile in [dsts]
+    (the coalesced DSM flush).  Per-destination arrival times and the
+    per-link FIFO are identical to a sequence of {!post_write}s — only
+    the sender's injection cost changes, which the caller charges once
+    per burst instead of once per destination.  Returns the latest
+    arrival time. *)
+
 val post_write_at :
   t -> src:int -> dst:int -> off:int -> latency:int -> Bytes.t -> int
 (** Unordered variant with caller-chosen latency — the Fig. 1 machine,
     where different memories sit behind paths of different latency. *)
 
 val injection_cost : t -> Bytes.t -> int
+(** Cycles the sender stalls to inject a payload (per-word cost; the
+    network latency is paid by the in-flight write, not the sender). *)
 
 val drain_wait : t -> src:int -> int
 (** Cycles until all of [src]'s posted writes have landed. *)
 
 val outstanding : t -> src:int -> int
+(** Number of [src]'s posted writes still in flight. *)

@@ -4,7 +4,10 @@
 type t
 
 val create : int -> t
+(** A stream seeded from the given integer. *)
+
 val next_int64 : t -> int64
+(** The raw 64-bit splitmix64 step. *)
 
 val int : t -> int -> int
 (** Uniform in [0, bound).  @raise Invalid_argument if bound <= 0. *)

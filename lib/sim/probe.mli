@@ -32,10 +32,18 @@ type event =
   | Task of { core : int; op : task_op }
 
 type sink = time:int -> event -> unit
+(** Receives every event with its emission time. *)
 
 type t
 
 val create : unit -> t
+
 val set : t -> sink option -> unit
+(** Install or remove the sink (at most one per probe). *)
+
 val active : t -> bool
+(** Whether a sink is installed — lets callers skip building expensive
+    event payloads. *)
+
 val emit : t -> time:int -> event -> unit
+(** Deliver an event to the sink, if any. *)

@@ -38,11 +38,20 @@ let contend t ~now ~occupancy =
 let contend_word t ~now = contend t ~now ~occupancy:t.word_occupancy
 let contend_line t ~now = contend t ~now ~occupancy:t.line_occupancy
 
+(* A burst of [lines] back-to-back line transfers: the requester queues
+   once and then holds the port for the whole burst, instead of
+   re-arbitrating (and potentially queuing again) per line. *)
+let contend_burst t ~now ~lines =
+  contend t ~now ~occupancy:(lines * t.line_occupancy)
+
 (* Data-path operations (timing handled by the caller). *)
 let read_u32 t addr = Bytes.get_int32_le t.bytes addr
 let write_u32 t addr v = Bytes.set_int32_le t.bytes addr v
 let read_u8 t addr = Char.code (Bytes.get t.bytes addr)
 let write_u8 t addr v = Bytes.set t.bytes addr (Char.chr (v land 0xff))
+
+let blit_to t ~addr (dst : Bytes.t) ~pos ~len = Bytes.blit t.bytes addr dst pos len
+let blit_from t ~addr (src : Bytes.t) ~pos ~len = Bytes.blit src pos t.bytes addr len
 
 let read_line t addr (buf : Bytes.t) =
   Bytes.blit t.bytes addr buf 0 (Bytes.length buf)

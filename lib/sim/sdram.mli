@@ -14,6 +14,18 @@ val contend : t -> now:int -> occupancy:int -> int
 val contend_word : t -> now:int -> int
 val contend_line : t -> now:int -> int
 
+val contend_burst : t -> now:int -> lines:int -> int
+(** Queue once for a burst of [lines] back-to-back line transfers; the
+    port stays held for the whole burst.  This is the batched
+    cache-maintenance model selected by {!Config.t.batched_maint}. *)
+
+val blit_to : t -> addr:int -> Bytes.t -> pos:int -> len:int -> unit
+(** Bulk copy out of the SDRAM byte store (data path only — the caller
+    charges the timing). *)
+
+val blit_from : t -> addr:int -> Bytes.t -> pos:int -> len:int -> unit
+(** Bulk copy into the SDRAM byte store (data path only). *)
+
 val read_u32 : t -> int -> int32
 val write_u32 : t -> int -> int32 -> unit
 val read_u8 : t -> int -> int

@@ -37,6 +37,7 @@ type core = {
   mutable lock_acquires : int;
   mutable lock_transfers : int;
   mutable noc_writes : int;
+  mutable noc_flits : int;
   mutable flushes : int;
 }
 
@@ -51,6 +52,7 @@ let core_create () =
     lock_acquires = 0;
     lock_transfers = 0;
     noc_writes = 0;
+    noc_flits = 0;
     flushes = 0;
   }
 
@@ -81,6 +83,7 @@ type summary = {
   lock_acquires : int;
   lock_transfers : int;
   noc_writes : int;
+  noc_flits : int;
   flushes : int;
 }
 
@@ -100,6 +103,7 @@ let summarize (t : t) : summary =
     lock_acquires = sum (fun c -> c.lock_acquires);
     lock_transfers = sum (fun c -> c.lock_transfers);
     noc_writes = sum (fun c -> c.noc_writes);
+    noc_flits = sum (fun c -> c.noc_flits);
     flushes = sum (fun c -> c.flushes);
   }
 

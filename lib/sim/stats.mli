@@ -26,19 +26,31 @@ type core = {
   mutable lock_acquires : int;
   mutable lock_transfers : int;
   mutable noc_writes : int;
+  mutable noc_flits : int;
   mutable flushes : int;
 }
 
 val core_create : unit -> core
+(** Fresh zeroed counters for one core. *)
+
 val add : core -> category -> int -> unit
+(** Charge cycles to a category. *)
+
 val get : core -> category -> int
+(** Cycles charged to a category so far. *)
+
 val total : core -> int
+(** Sum over all categories. *)
 
 type t = { cores : core array }
 
 val create : int -> t
-val core : t -> int -> core
+(** [create n] — counters for an [n]-core machine. *)
 
+val core : t -> int -> core
+(** The counters of one core. *)
+
+(** Whole-machine totals, aggregated over cores by {!summarize}. *)
 type summary = {
   wall_cycles : int;
   per_category : (category * int) list;
@@ -50,11 +62,15 @@ type summary = {
   lock_acquires : int;
   lock_transfers : int;
   noc_writes : int;
+  noc_flits : int;
   flushes : int;
 }
 
 val summarize : t -> summary
+(** Aggregate all cores; [wall_cycles] is the max of per-core totals. *)
+
 val category_cycles : summary -> category -> int
+(** Summed cycles of one category across all cores. *)
 
 val fraction : summary -> category -> float
 (** Fraction of summed core time spent in a category — the percentages
@@ -64,3 +80,4 @@ val utilization : summary -> float
 (** [fraction summary Busy]. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+(** Human-readable breakdown, one category per line. *)

@@ -19,4 +19,5 @@ let () =
       Test_differential.suite;
       Test_apps.suite;
       Test_trace.suite;
+      Test_bench.suite;
     ]
