@@ -1,0 +1,305 @@
+(* pmc_chaos — fault-injection soak harness CLI.
+
+     pmc_chaos soak --seeds 20 --backend dsm
+         run every registered app under 20 seeded fault schedules;
+         each run must complete correctly or fail with a typed error —
+         a silent wrong answer or a PMC-inconsistent trace fails the
+         soak (exit 1);
+     pmc_chaos soak --seeds 20 --smoke
+         the CI gate: three kernels at a small geometry;
+     pmc_chaos run --app stencil --seed 7 --intensity 2.0
+         one seeded run with its full fault and verdict report;
+     pmc_chaos zerocost --baseline BENCH_BASELINE.json
+         assert the zero-cost-when-off invariant: disarmed chaos
+         machines ([Config.no_faults (Config.chaos ...)]) reproduce the
+         fault-free runs bit for bit, including the committed benchmark
+         baseline's architectural metrics. *)
+
+open Cmdliner
+open Pmc_sim
+
+let parse_backend s =
+  match Pmc.Backends.of_string s with
+  | Some b -> b
+  | None ->
+      Fmt.epr "unknown backend %S (seqcst|nocc|swcc|dsm|spm)@." s;
+      exit 1
+
+let parse_app s =
+  match Pmc_apps.Registry.find s with
+  | Some a -> a
+  | None ->
+      Fmt.epr "unknown app %S; one of: %s@." s
+        (String.concat ", " Pmc_apps.Registry.names);
+      exit 1
+
+(* The smoke matrix: three kernels with distinct traffic shapes at a
+   geometry small enough for CI. *)
+let smoke_apps = [ "histogram"; "reduce"; "stencil" ]
+
+(* ---------------- soak ---------------- *)
+
+let soak_cmd app backend cores scale seeds seed_base intensity smoke
+    no_model_check replay_budget quiet =
+  let backend = parse_backend backend in
+  (* smoke geometry: small enough that every trace fits the replay
+     budget and the model checker runs on every completed seed *)
+  let cores, scale = if smoke then (4, min scale 4) else (cores, scale) in
+  let apps =
+    match app with
+    | Some a -> [ parse_app a ]
+    | None ->
+        let names =
+          if smoke then smoke_apps else Pmc_apps.Registry.names
+        in
+        List.map parse_app names
+  in
+  let seeds = List.init (max 1 seeds) (fun i -> seed_base + i) in
+  let progress r =
+    if not quiet then Fmt.pr "%a@." Pmc_apps.Chaos.pp_report r
+  in
+  let s =
+    Pmc_apps.Chaos.soak ~intensity ~model_check:(not no_model_check)
+      ?replay_budget ~progress ~apps ~backend ~cores ~scale ~seeds ()
+  in
+  Fmt.pr "%a@." Pmc_apps.Chaos.pp_soak s;
+  if not (Pmc_apps.Chaos.ok s) then begin
+    List.iter
+      (fun (r : Pmc_apps.Chaos.report) ->
+        if not (Pmc_apps.Chaos.acceptable r.Pmc_apps.Chaos.verdict) then
+          Fmt.epr "FAILED: %a@." Pmc_apps.Chaos.pp_report r)
+      s.Pmc_apps.Chaos.reports;
+    exit 1
+  end
+
+(* ---------------- run ---------------- *)
+
+let run_cmd app backend cores scale seed intensity no_model_check
+    replay_budget =
+  let app = parse_app app and backend = parse_backend backend in
+  let r =
+    Pmc_apps.Chaos.run_one ~intensity ~model_check:(not no_model_check)
+      ?replay_budget app ~backend ~cores ~scale ~seed
+  in
+  Fmt.pr "%a@." Pmc_apps.Chaos.pp_report r;
+  Fmt.pr "trace: %d events captured, %d dropped@." r.Pmc_apps.Chaos.events
+    r.Pmc_apps.Chaos.dropped;
+  if not (Pmc_apps.Chaos.acceptable r.Pmc_apps.Chaos.verdict) then exit 1
+
+(* ---------------- zerocost ---------------- *)
+
+(* Identity matrix: each smoke app on the replication-heavy back-ends. *)
+let zerocost_identity ~seed ~quiet =
+  let failures = ref 0 in
+  List.iter
+    (fun name ->
+      let app = parse_app name in
+      List.iter
+        (fun backend ->
+          let id =
+            Pmc_apps.Chaos.zero_cost_identity app ~backend ~cores:8 ~scale:16
+              ~seed
+          in
+          if id.Pmc_apps.Chaos.identical then begin
+            if not quiet then
+              Fmt.pr "identical  %-10s %s@." name
+                (Pmc.Backends.to_string backend)
+          end
+          else begin
+            incr failures;
+            Fmt.epr "DIFFERS    %-10s %s: %s@." name
+              (Pmc.Backends.to_string backend)
+              id.Pmc_apps.Chaos.detail
+          end)
+        [ Pmc.Backends.Swcc; Pmc.Backends.Dsm; Pmc.Backends.Spm ])
+    smoke_apps;
+  !failures
+
+(* Replay the committed benchmark baseline's cases on a disarmed-chaos
+   machine and require every architectural metric to match exactly —
+   the strongest form of "no perf cost when off". *)
+let zerocost_baseline ~path ~seed ~quiet =
+  let report =
+    try Pmc_bench.Report.load path
+    with Sys_error msg | Failure msg ->
+      Fmt.epr "cannot load %s: %s@." path msg;
+      exit 2
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (s : Pmc_bench.Measure.sample) ->
+      let case = s.Pmc_bench.Measure.case in
+      let app = parse_app case.Pmc_bench.Spec.app in
+      let cfg =
+        Config.no_faults
+          (Config.chaos ~seed
+             { Config.default with cores = case.Pmc_bench.Spec.cores })
+      in
+      let cfg =
+        if report.Pmc_bench.Report.unbatched then Config.unbatched cfg
+        else cfg
+      in
+      let r =
+        Pmc_apps.Runner.run ~cfg app ~backend:case.Pmc_bench.Spec.backend
+          ~scale:case.Pmc_bench.Spec.scale
+      in
+      let m = s.Pmc_bench.Measure.metrics in
+      let sum = r.Pmc_apps.Runner.summary in
+      let mismatches =
+        List.filter_map
+          (fun (name, base, cur) ->
+            if base = cur then None
+            else Some (Printf.sprintf "%s %d->%d" name base cur))
+          [
+            ("cycles", m.Pmc_bench.Measure.cycles, r.Pmc_apps.Runner.wall);
+            ("noc_flits", m.Pmc_bench.Measure.noc_flits, sum.Stats.noc_flits);
+            ( "noc_writes",
+              m.Pmc_bench.Measure.noc_writes,
+              sum.Stats.noc_writes );
+            ("flushes", m.Pmc_bench.Measure.flushes, sum.Stats.flushes);
+            ( "lock_acquires",
+              m.Pmc_bench.Measure.lock_acquires,
+              sum.Stats.lock_acquires );
+            ( "lock_transfers",
+              m.Pmc_bench.Measure.lock_transfers,
+              sum.Stats.lock_transfers );
+            ( "dcache_misses",
+              m.Pmc_bench.Measure.dcache_misses,
+              sum.Stats.dcache_misses );
+            ( "instructions",
+              m.Pmc_bench.Measure.instructions,
+              sum.Stats.instructions );
+          ]
+      in
+      let id = Pmc_bench.Spec.case_id case in
+      if mismatches = [] then begin
+        if not quiet then Fmt.pr "identical  %s@." id
+      end
+      else begin
+        incr failures;
+        Fmt.epr "DIFFERS    %s: %s@." id (String.concat ", " mismatches)
+      end)
+    report.Pmc_bench.Report.samples;
+  !failures
+
+let zerocost_cmd baseline seed quiet =
+  let failures = ref 0 in
+  failures := zerocost_identity ~seed ~quiet;
+  (match baseline with
+  | None -> ()
+  | Some path -> failures := !failures + zerocost_baseline ~path ~seed ~quiet);
+  if !failures > 0 then begin
+    Fmt.epr
+      "zerocost: %d case(s) differ — the disarmed fault plane is not free@."
+      !failures;
+    exit 1
+  end;
+  Fmt.pr "zerocost: disarmed chaos machines are bit-identical to baseline@."
+
+(* ---------------- cmdliner plumbing ---------------- *)
+
+let backend_t =
+  Arg.(
+    value & opt string "dsm"
+    & info [ "backend"; "b" ] ~doc:"seqcst, nocc, swcc, dsm or spm.")
+
+let cores_t =
+  Arg.(value & opt int 8 & info [ "cores"; "c" ] ~doc:"Number of tiles.")
+
+let scale_t =
+  Arg.(value & opt int 16 & info [ "scale"; "s" ] ~doc:"Workload scale.")
+
+let seeds_t =
+  Arg.(
+    value & opt int 10
+    & info [ "seeds" ] ~docv:"N" ~doc:"Fault schedules per app (the wall).")
+
+let seed_base_t =
+  Arg.(
+    value & opt int 1
+    & info [ "seed-base" ] ~docv:"S" ~doc:"First fault seed of the wall.")
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault schedule seed.")
+
+let intensity_t =
+  Arg.(
+    value & opt float 1.0
+    & info [ "intensity" ] ~docv:"X"
+        ~doc:"Fault probability multiplier (1.0 = the standard mix).")
+
+let smoke_t =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:"CI geometry: three kernels, 4 cores, capped scale.")
+
+let no_model_check_t =
+  Arg.(
+    value & flag
+    & info [ "no-model-check" ]
+        ~doc:"Skip the PMC model replay of completed runs.")
+
+let quiet_t =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the summary.")
+
+let replay_budget_t =
+  Arg.(
+    value & opt (some int) None
+    & info [ "replay-budget" ] ~docv:"N"
+        ~doc:
+          "Skip the model replay for traces above N captured events \
+           (default 10000).")
+
+let app_opt_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "app"; "a" ] ~doc:"Run a single application.")
+
+let app_t =
+  Arg.(value & opt string "stencil" & info [ "app"; "a" ] ~doc:"Application.")
+
+let baseline_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:
+          "Also replay this benchmark report's cases on a disarmed-chaos \
+           machine and require exact metric equality.")
+
+let soak_c =
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Run apps under a wall of seeded fault schedules"
+       ~exits:
+         (Cmd.Exit.info 1
+            ~doc:"a run produced a wrong result or an inconsistent trace."
+         :: Cmd.Exit.defaults))
+    Term.(
+      const soak_cmd $ app_opt_t $ backend_t $ cores_t $ scale_t $ seeds_t
+      $ seed_base_t $ intensity_t $ smoke_t $ no_model_check_t
+      $ replay_budget_t $ quiet_t)
+
+let run_c =
+  Cmd.v (Cmd.info "run" ~doc:"One seeded chaos run with a full report")
+    Term.(
+      const run_cmd $ app_t $ backend_t $ cores_t $ scale_t $ seed_t
+      $ intensity_t $ no_model_check_t $ replay_budget_t)
+
+let zerocost_c =
+  Cmd.v
+    (Cmd.info "zerocost"
+       ~doc:"Assert the disarmed fault plane costs nothing"
+       ~exits:
+         (Cmd.Exit.info 1 ~doc:"a disarmed run differed from baseline."
+         :: Cmd.Exit.info 2 ~doc:"the baseline report could not be read."
+         :: Cmd.Exit.defaults))
+    Term.(const zerocost_cmd $ baseline_t $ seed_t $ quiet_t)
+
+let main_c =
+  Cmd.group
+    (Cmd.info "pmc_chaos" ~version:"%%VERSION%%"
+       ~doc:"Fault injection and chaos soak harness for the PMC simulator")
+    [ soak_c; run_c; zerocost_c ]
+
+let () = exit (Cmd.eval main_c)

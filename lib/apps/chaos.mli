@@ -1,0 +1,98 @@
+(** Chaos soak harness.
+
+    Runs registered applications under seeded fault schedules
+    ({!Pmc_sim.Config.chaos}) and holds them to a hard contract: a run
+    may complete with the right answer, or fail with a typed error —
+    but it must never finish with a silently wrong answer or a trace
+    the PMC model cannot explain.  The fault plane is deterministic, so
+    every verdict is reproducible from
+    (app, backend, cores, scale, seed, intensity). *)
+
+type verdict =
+  | Completed
+      (** Checksum matched the sequential reference; when the trace was
+          complete, the model replay also found the run PMC-consistent. *)
+  | Typed_error of string
+      (** The run died with a typed, attributable error
+          ({!Pmc_sim.Pmc_error.Error}, watchdog, deadlock) — acceptable
+          under injected faults. *)
+  | Wrong_result of { checksum : int64; reference : int64 }
+      (** Silent wrong answer — always a harness failure. *)
+  | Inconsistent of int
+      (** The model replay found this many violations — always a
+          harness failure. *)
+
+type report = {
+  app : string;
+  backend : Pmc.Backends.kind;
+  cores : int;
+  scale : int;
+  seed : int;
+  intensity : float;
+  verdict : verdict;
+  wall : int;
+  faults : Pmc_sim.Fault.counts;  (** snapshot of the run's counters *)
+  events : int;                   (** trace events captured *)
+  dropped : int;                  (** trace events lost to ring overflow *)
+  replayed : bool;                (** model replay ran (complete trace) *)
+}
+
+val acceptable : verdict -> bool
+(** [Completed] and [Typed_error] are acceptable; [Wrong_result] and
+    [Inconsistent] are not. *)
+
+val total_injected : Pmc_sim.Fault.counts -> int
+(** Faults actually injected (drops, corruptions, delays, SDRAM errors,
+    stalls) — protocol reactions (retries, relays) not included. *)
+
+val default_replay_budget : int
+(** Captured-event count above which the model replay is skipped
+    (currently 10000): the checker's cost grows super-linearly with
+    history length and would otherwise dominate a soak. *)
+
+val run_one :
+  ?intensity:float -> ?model_check:bool -> ?replay_budget:int ->
+  ?capacity:int ->
+  Runner.app -> backend:Pmc.Backends.kind -> cores:int -> scale:int ->
+  seed:int -> report
+(** One traced run under [Config.chaos ~intensity ~seed].  The model
+    replay runs only when [model_check] (default [true]), the trace ring
+    never overflowed, and the trace holds at most [replay_budget] events
+    (default {!default_replay_budget}); [capacity] sizes the per-core
+    trace rings. *)
+
+type soak = {
+  reports : report list;  (** in run order *)
+  total : int;
+  completed : int;
+  typed_errors : int;
+  failed : int;           (** wrong results + inconsistent replays *)
+  injected : int;         (** faults injected across all runs *)
+}
+
+val soak :
+  ?intensity:float -> ?model_check:bool -> ?replay_budget:int ->
+  ?capacity:int -> ?progress:(report -> unit) ->
+  apps:Runner.app list -> backend:Pmc.Backends.kind -> cores:int ->
+  scale:int -> seeds:int list -> unit -> soak
+(** The wall of seeds: every app × every seed, with [progress] called
+    after each run. *)
+
+val ok : soak -> bool
+(** No unacceptable verdicts. *)
+
+type identity = { identical : bool; detail : string }
+
+val zero_cost_identity :
+  Runner.app -> backend:Pmc.Backends.kind -> cores:int -> scale:int ->
+  seed:int -> identity
+(** The bit-identical-when-off invariant:
+    [Config.no_faults (Config.chaos ~seed cfg)] must reproduce the
+    never-armed run exactly — same wall clock, same checksum, same
+    per-category cycle accounts. *)
+
+val verdict_name : verdict -> string
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_counts : Format.formatter -> Pmc_sim.Fault.counts -> unit
+val pp_report : Format.formatter -> report -> unit
+val pp_soak : Format.formatter -> soak -> unit

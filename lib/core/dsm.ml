@@ -35,7 +35,16 @@
    All of this changes only who transfers what and when the acquirer
    stalls — the content every core observes at every annotation is the
    same as in the unbatched model; the replay-equivalence tests check
-   exactly that. *)
+   exactly that.
+
+   Degradation under faults (the chaos plane): replication rides on the
+   resilient NoC transport, which retransmits losses and keeps per-link
+   FIFO order, so the protocol above stays sound unchanged.  Once a link
+   is declared dead ([Machine.link_dead]) the back-end stops trusting
+   narrow deltas to that peer — it is demoted to the full-object group
+   on every flush — and pulls across a dead link are charged the SDRAM
+   relay cost instead of the NoC latency.  Data always still arrives;
+   only the cost model degrades. *)
 
 open Pmc_sim
 
@@ -85,7 +94,12 @@ let pull_version ?(handover = false) t (o : Shared.t) =
           Machine.poke_u32 t.m (replica_addr t o ~tile:core + (4 * i)) v
         done;
         let cost =
-          if lazy_v && handover then cfg.Config.noc_word_cycles * words
+          (* a dead (src=w, dst=core) link degrades the pull to the
+             SDRAM relay: the producer stages the version through shared
+             memory and the acquirer reads it back *)
+          if Machine.link_dead t.m ~src:w ~dst:core then
+            Config.relay_latency cfg ~words
+          else if lazy_v && handover then cfg.Config.noc_word_cycles * words
           else Config.noc_latency cfg ~src:w ~dst:core ~words
         in
         Engine.consume (Machine.engine t.m) Stats.Shared_read_stall cost;
@@ -162,9 +176,15 @@ let flush t (o : Shared.t) =
       && (clean || o.Shared.dirty_core = core)
     in
     let fast, slow =
+      (* a peer behind a dead link is never trusted with a narrow delta:
+         its replica state is only reachable through the degraded relay,
+         so it conservatively gets the whole object *)
       if narrow then
         List.partition
-          (fun d -> o.Shared.seen.(d) = base && now >= o.Shared.seen_at.(d))
+          (fun d ->
+            o.Shared.seen.(d) = base
+            && now >= o.Shared.seen_at.(d)
+            && not (Machine.link_dead t.m ~src:core ~dst:d))
           others
       else ([], others)
     in

@@ -82,6 +82,10 @@ let copy_out t (o : Shared.t) ~spm_off =
   Engine.consume (Machine.engine t.m) Stats.Flush_overhead
     (copy_cycles t ~words)
 
+let scope_error t (o : Shared.t) ~op =
+  Pmc_error.raise_error ~core:(Machine.core_id t.m) ~obj:o.Shared.name ~op
+    "no active SPM scope for this object on this core"
+
 let stage t (o : Shared.t) =
   let core = Machine.core_id t.m in
   let mark = Machine.spm_mark t.m ~core in
@@ -96,7 +100,7 @@ let stage t (o : Shared.t) =
 let unstage t (o : Shared.t) =
   let core = Machine.core_id t.m in
   match Hashtbl.find_opt t.staged.(core) o.Shared.id with
-  | None -> failwith "Spm: exit without entry"
+  | None -> scope_error t o ~op:"Spm.exit"
   | Some s ->
       Hashtbl.remove t.staged.(core) o.Shared.id;
       let top = (s.spm_off + o.Shared.size + 3) / 4 * 4 in
@@ -113,7 +117,7 @@ let entry_x t (o : Shared.t) =
 let exit_x t (o : Shared.t) =
   let core = Machine.core_id t.m in
   (match Hashtbl.find_opt t.staged.(core) o.Shared.id with
-  | None -> failwith "Spm: exit_x without entry_x"
+  | None -> scope_error t o ~op:"Spm.exit_x"
   | Some s -> copy_out t o ~spm_off:s.spm_off);
   ignore (unstage t o);
   Pmc_lock.Dlock.release o.Shared.lock
@@ -136,7 +140,7 @@ let fence _t = ()
 let flush t (o : Shared.t) =
   let core = Machine.core_id t.m in
   match Hashtbl.find_opt t.staged.(core) o.Shared.id with
-  | None -> failwith "Spm: flush outside scope"
+  | None -> scope_error t o ~op:"Spm.flush"
   | Some s -> copy_out t o ~spm_off:s.spm_off
 
 let spm_addr t (o : Shared.t) word =
@@ -144,7 +148,7 @@ let spm_addr t (o : Shared.t) word =
   match Hashtbl.find_opt t.staged.(core) o.Shared.id with
   | Some s ->
       Machine.local_addr t.m ~tile:core ~off:(s.spm_off + (4 * word))
-  | None -> failwith "Spm: access outside scope"
+  | None -> scope_error t o ~op:"Spm.access"
 
 let read_u32 t (o : Shared.t) word =
   Machine.load_u32 t.m ~shared:true (spm_addr t o word)
@@ -158,7 +162,7 @@ let read_u8 t (o : Shared.t) i =
   | Some s ->
       Machine.load_u8 t.m ~shared:true
         (Machine.local_addr t.m ~tile:core ~off:(s.spm_off + i))
-  | None -> failwith "Spm: access outside scope"
+  | None -> scope_error t o ~op:"Spm.access"
 
 let write_u8 t (o : Shared.t) i v =
   let core = Machine.core_id t.m in
@@ -167,7 +171,7 @@ let write_u8 t (o : Shared.t) i v =
       Machine.store_u8 t.m ~shared:true
         (Machine.local_addr t.m ~tile:core ~off:(s.spm_off + i))
         v
-  | None -> failwith "Spm: access outside scope"
+  | None -> scope_error t o ~op:"Spm.access"
 
 let peek_u32 t (o : Shared.t) word =
   Machine.peek_u32 t.m (o.Shared.sdram_addr + (4 * word))

@@ -77,14 +77,45 @@ let try_grant t =
     t.pending <- Some (next, max arrival (now + 1))
   end
 
-let acquire t =
+type outcome = Acquired | Timeout of { waited : int }
+
+(* Withdraw a timed-out waiter: drop it from the FIFO, bounce back any
+   grant already in flight to it (the lock returns to idle and travels on
+   to the next waiter), and re-run the grant logic so nobody wedges. *)
+let withdraw t core =
+  let keep = Queue.create () in
+  Queue.iter (fun c -> if c <> core then Queue.push c keep) t.queue;
+  Queue.clear t.queue;
+  Queue.transfer keep t.queue;
+  (match t.pending with
+  | Some (c, _) when c = core -> t.pending <- None
+  | _ -> ());
+  try_grant t
+
+(* Take the granted lock (the waiter slow path's epilogue). *)
+let take_grant t ~core =
+  t.pending <- None;
+  t.owner <- Some core;
+  let transferred = t.last_holder <> core in
+  t.last_transfer_from <- (if transferred then t.last_holder else -1);
+  t.last_holder <- core;
+  count_acquire t ~transferred;
+  emit t Probe.Acquire ~transferred
+
+(* [deadline = None] is the unbounded acquire and must stay cycle-exact
+   with the historical behavior (constant-interval local polling — the
+   regression benches pin it); a deadline switches the waiter to capped
+   exponential backoff and a typed Timeout outcome. *)
+let acquire_aux t ~deadline : outcome =
   let core = Machine.core_id t.m in
   let e = Machine.engine t.m in
   let cfg = Machine.config t.m in
   let poll = cfg.Config.lock_local_poll_cycles in
   Engine.consume e Stats.Lock_stall poll;
   (match t.owner with
-  | Some c when c = core -> failwith "Dlock.acquire: already held"
+  | Some c when c = core ->
+      Pmc_error.raise_error ~core ~obj:(Printf.sprintf "lock#%d" t.id)
+        ~op:"Dlock.acquire" "already held by this core"
   | _ -> ());
   if
     t.owner = None && t.readers = 0 && Queue.is_empty t.queue
@@ -100,7 +131,8 @@ let acquire t =
     t.last_holder <- core;
     count_acquire t ~transferred;
     if cost > 0 then Engine.consume e Stats.Lock_stall cost;
-    emit t Probe.Acquire ~transferred
+    emit t Probe.Acquire ~transferred;
+    Acquired
   end
   else begin
     Queue.push core t.queue;
@@ -109,17 +141,46 @@ let acquire t =
       | Some (c, arrival) when c = core && Engine.now e >= arrival -> true
       | _ -> false
     in
-    while not (granted ()) do
-      Engine.consume e Stats.Lock_stall poll
-    done;
-    t.pending <- None;
-    t.owner <- Some core;
-    let transferred = t.last_holder <> core in
-    t.last_transfer_from <- (if transferred then t.last_holder else -1);
-    t.last_holder <- core;
-    count_acquire t ~transferred;
-    emit t Probe.Acquire ~transferred
+    match deadline with
+    | None ->
+        while not (granted ()) do
+          Engine.consume e Stats.Lock_stall poll
+        done;
+        take_grant t ~core;
+        Acquired
+    | Some limit ->
+        let start = Engine.now e in
+        let backoff = ref poll in
+        while (not (granted ())) && Engine.now e < limit do
+          let wait = min !backoff (limit - Engine.now e) in
+          Engine.consume e Stats.Lock_stall wait;
+          backoff := min (!backoff * 2) (poll * 64)
+        done;
+        if granted () then begin
+          take_grant t ~core;
+          Acquired
+        end
+        else begin
+          withdraw t core;
+          let waited = Engine.now e - start in
+          let counts = Fault.counts (Machine.fault t.m) in
+          counts.Fault.lock_timeouts <- counts.Fault.lock_timeouts + 1;
+          Probe.emit (Machine.probe t.m) ~time:(Engine.now e)
+            (Probe.Fault
+               (Probe.F_lock_timeout { core; lock = t.id; waited }));
+          Timeout { waited }
+        end
   end
+
+let acquire t =
+  match acquire_aux t ~deadline:None with
+  | Acquired -> ()
+  | Timeout _ -> assert false
+
+let acquire_timeout t ~timeout =
+  if timeout <= 0 then invalid_arg "Dlock.acquire_timeout: timeout <= 0";
+  let deadline = Engine.now (Machine.engine t.m) + timeout in
+  acquire_aux t ~deadline:(Some deadline)
 
 let release t =
   let core = Machine.core_id t.m in
@@ -127,7 +188,12 @@ let release t =
   let cfg = Machine.config t.m in
   (match t.owner with
   | Some c when c = core -> ()
-  | _ -> failwith "Dlock.release: not the holder");
+  | _ ->
+      Pmc_error.raise_error ~core ~obj:(Printf.sprintf "lock#%d" t.id)
+        ~op:"Dlock.release" "not the holder (owner: %s)"
+        (match t.owner with
+        | Some c -> "core " ^ string_of_int c
+        | None -> "none"));
   Engine.consume e Stats.Lock_stall cfg.Config.lock_local_poll_cycles;
   t.owner <- None;
   emit t Probe.Release ~transferred:false;
@@ -151,7 +217,10 @@ let acquire_ro t =
 let release_ro t =
   let e = Machine.engine t.m in
   let cfg = Machine.config t.m in
-  if t.readers <= 0 then failwith "Dlock.release_ro: no readers";
+  if t.readers <= 0 then
+    Pmc_error.raise_error ~core:(Machine.core_id t.m)
+      ~obj:(Printf.sprintf "lock#%d" t.id) ~op:"Dlock.release_ro"
+      "no readers hold the lock";
   Engine.consume e Stats.Lock_stall cfg.Config.lock_local_poll_cycles;
   t.readers <- t.readers - 1;
   emit t Probe.Release_ro ~transferred:false;

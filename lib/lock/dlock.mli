@@ -15,10 +15,26 @@ val create : Pmc_sim.Machine.t -> t
 
 val acquire : t -> unit
 (** Take the lock exclusively; FIFO among exclusive waiters.
-    @raise Failure on re-entrant acquisition. *)
+    @raise Pmc_sim.Pmc_error.Error on re-entrant acquisition. *)
+
+type outcome = Acquired | Timeout of { waited : int }
+(** Result of a bounded acquisition; [waited] is the cycles spent
+    polling before giving up. *)
+
+val acquire_timeout : t -> timeout:int -> outcome
+(** Bounded {!acquire}: poll with capped exponential backoff for at most
+    [timeout] cycles, then withdraw from the waiter queue (bouncing back
+    any grant already in flight, so the lock travels on to the next
+    waiter) and return {!Timeout}.  A timeout is recorded in the fault
+    plane's counters and trace ({!Pmc_sim.Probe.F_lock_timeout}).
+    Unlike {!acquire}, the bounded wait polls with backoff — its timing
+    under contention differs from the unbounded constant-interval poll.
+    @raise Invalid_argument when [timeout <= 0].
+    @raise Pmc_sim.Pmc_error.Error on re-entrant acquisition. *)
 
 val release : t -> unit
-(** @raise Failure when the caller does not hold the lock. *)
+(** @raise Pmc_sim.Pmc_error.Error when the caller does not hold the
+    lock. *)
 
 val acquire_ro : t -> unit
 (** Join the reader group (shared mode). *)

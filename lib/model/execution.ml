@@ -36,6 +36,15 @@ type t = {
   mutable preds : (edge_kind * int) list array;  (* incoming edges per op *)
   fence_scopes : (int, int list) Hashtbl.t;
       (* fence op id -> the locations it orders (absent = all) *)
+  by_kpl : (Op.kind * int * int, int list) Hashtbl.t;
+      (* (kind, proc, loc) -> ids, newest first.  The Table-I rules only
+         ever select candidates by (kind, proc, loc), (kind, loc) or
+         (kind, proc); these indexes make [execute] proportional to the
+         number of matches instead of the history length.  [Init]
+         operations are not indexed: there is exactly one per location
+         (its id IS the location) and it matches any process. *)
+  by_kl : (Op.kind * int, int list) Hashtbl.t;
+  by_kp : (Op.kind * int, int list) Hashtbl.t;
 }
 
 let capacity_grow exec =
@@ -74,7 +83,8 @@ let add_edge exec ~src ~kind ~dst =
 let create ?(init = fun _ -> 0) ~procs ~locs () =
   let exec =
     { procs; locs; ops = [||]; n_ops = 0; succs = [||]; preds = [||];
-      fence_scopes = Hashtbl.create 8 }
+      fence_scopes = Hashtbl.create 8; by_kpl = Hashtbl.create 64;
+      by_kl = Hashtbl.create 64; by_kp = Hashtbl.create 64 }
   in
   for v = 0 to locs - 1 do
     ignore (add_op_raw exec Op.Init ~proc:Op.env_proc ~loc:v ~value:(init v))
@@ -146,6 +156,61 @@ let rules_for (exec : t) (o : Op.t) : (Op.pattern * edge_kind) list =
         (pat ~kind:Op.Release ~proc:p (), Fence) ]
   | Op.Init -> []
 
+(* Index maintenance: a non-[Init] operation is filed under every base
+   kind it acts as, so bucket lookups see exactly what [Op.matches] would
+   accept.  [Init] is left out (see the field comment) and consulted
+   explicitly during candidate collection. *)
+let index_add exec (o : Op.t) =
+  if o.Op.kind <> Op.Init then begin
+    let file k =
+      let push tbl key =
+        Hashtbl.replace tbl key
+          (o.Op.id :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+      in
+      push exec.by_kpl (k, o.Op.proc, o.Op.loc);
+      push exec.by_kl (k, o.Op.loc);
+      push exec.by_kp (k, o.Op.proc)
+    in
+    file o.Op.kind
+  end
+
+(* Previously issued operations matching [pattern], ids ascending.
+   Equivalent to filtering all ops with [Op.matches] — the Table-I rules
+   only use the three indexed pattern shapes (never a value constraint),
+   and the per-location [Init] operation (id = its location, process
+   matching every constraint) is appended by hand where its write/release
+   roles apply. *)
+let candidate_ids exec (pat : Op.pattern) : int list =
+  let find tbl key = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+  match pat.Op.p_kind, pat.Op.p_value with
+  | Some k, None ->
+      let real =
+        match pat.Op.p_proc, pat.Op.p_loc with
+        | Some p, Some v -> find exec.by_kpl (k, p, v)
+        | None, Some v -> find exec.by_kl (k, v)
+        | Some p, None -> find exec.by_kp (k, p)
+        | None, None ->
+            List.concat_map
+              (fun p -> find exec.by_kp (k, p))
+              (List.init exec.procs Fun.id)
+      in
+      let inits =
+        if k = Op.Write || k = Op.Release then
+          match pat.Op.p_loc with
+          | Some v -> [ v ]
+          | None -> List.init exec.locs Fun.id
+        else []
+      in
+      List.sort compare (List.rev_append real inits)
+  | _ ->
+      (* value-constrained or kind-free pattern: not produced by the
+         Table-I rules; fall back to the full scan *)
+      let acc = ref [] in
+      for i = exec.n_ops - 1 downto 0 do
+        if Op.matches pat exec.ops.(i) then acc := i :: !acc
+      done;
+      !acc
+
 (* State transition (Def. 4): append [o] and add the Table-I edges from all
    matching previously issued operations. *)
 let execute exec (kind : Op.kind) ~proc ?(loc = Op.no_loc) ?(value = 0) () :
@@ -168,14 +233,24 @@ let execute exec (kind : Op.kind) ~proc ?(loc = Op.no_loc) ?(value = 0) () :
     | None -> true
     | Some locs -> List.mem o.loc locs
   in
-  for i = 0 to o.id - 1 do
-    let a = exec.ops.(i) in
-    List.iter
-      (fun (pattern, kind) ->
-        if Op.matches pattern a && scope_allows a then
-          add_edge exec ~src:a.id ~kind ~dst:o.id)
-      rules
-  done;
+  (* Collect (src, rule) pairs per rule from the indexes, then add edges
+     in (src id, rule order) order — the same order the original
+     scan-all-ops loop produced, so succ/pred lists are identical. *)
+  let pairs = ref [] in
+  List.iteri
+    (fun ri (pattern, kind) ->
+      List.iter
+        (fun i ->
+          let a = exec.ops.(i) in
+          if scope_allows a then pairs := (i, ri, kind) :: !pairs)
+        (candidate_ids exec pattern))
+    rules;
+  List.iter
+    (fun (i, _, kind) -> add_edge exec ~src:i ~kind ~dst:o.id)
+    (List.sort
+       (fun (i1, r1, _) (i2, r2, _) -> compare (i1, r1) (i2, r2))
+       !pairs);
+  index_add exec o;
   o
 
 (* Convenience wrappers used pervasively by tests and the history checker. *)

@@ -26,6 +26,12 @@ type t = {
   mutable preds : (edge_kind * int) list array;
   fence_scopes : (int, int list) Hashtbl.t;
       (** fence op id → ordered locations; absent = all (plain fence) *)
+  by_kpl : (Op.kind * int * int, int list) Hashtbl.t;
+      (** candidate indexes for {!execute} — (kind, proc, loc),
+          (kind, loc) and (kind, proc) buckets of non-[Init] operation
+          ids, newest first; maintained internally *)
+  by_kl : (Op.kind * int, int list) Hashtbl.t;
+  by_kp : (Op.kind * int, int list) Hashtbl.t;
 }
 
 val create : ?init:(int -> int) -> procs:int -> locs:int -> unit -> t

@@ -115,11 +115,15 @@ let check ?(require_locked_writes = false) ?(init = fun _ -> 0) ~procs ~locs
               let key = (proc, loc) in
               (match Hashtbl.find_opt writes_seen key with
               | Some prev_write_id
-                when List.for_all
-                       (fun (w : Op.t) ->
-                         Order.reaches (Order.View proc) exec w.Op.id
-                           prev_write_id)
-                       ws ->
+                when
+                  (* one backward pass from the previously observed write
+                     answers w ≺ prev for every candidate at once *)
+                  let anc_prev =
+                    Order.ancestors (Order.View proc) exec prev_write_id
+                  in
+                  List.for_all
+                    (fun (w : Op.t) -> anc_prev.(w.Op.id))
+                    ws ->
                   add
                     (Non_monotonic_reads
                        {

@@ -20,22 +20,31 @@ let last_writes ?(view : int option) (exec : Execution.t) (o : Op.t) :
     | None -> if o.Op.proc >= 0 then Order.View o.Op.proc else Order.Global
   in
   let v = o.Op.loc in
-  let ws =
-    List.filter
-      (fun (a : Op.t) ->
-        Op.is_write a && a.loc = v && Order.reaches rel exec a.id o.Op.id)
-      (Execution.ops_list exec)
-  in
-  List.filter
+  (* One backward pass answers "a ≺ o" for every candidate at once. *)
+  let anc = Order.ancestors rel exec o.Op.id in
+  let ws = ref [] in
+  for i = Execution.n_ops exec - 1 downto 0 do
+    let a = Execution.op exec i in
+    if Op.is_write a && a.Op.loc = v && anc.(a.id) then ws := a :: !ws
+  done;
+  let ws = !ws in
+  (* Maximality: drop a if some b in ws has a ≺ b.  Edges point from
+     lower to higher ids, so any dominator of a has a higher id: sweep ws
+     from newest to oldest, accumulating the ancestors of the survivors.
+     A dominated b contributes nothing — its ancestors are a subset of
+     its dominator's (transitivity) — so the union over survivors equals
+     the union over all of ws. *)
+  let covered = Array.make (Execution.n_ops exec) false in
+  let keep = Hashtbl.create 8 in
+  List.iter
     (fun (a : Op.t) ->
-      not
-        (List.exists
-           (fun (b : Op.t) ->
-             b.id <> a.id
-             && Order.reaches rel exec a.id b.id
-             && Order.reaches rel exec b.id o.Op.id)
-           ws))
-    ws
+      if not covered.(a.id) then begin
+        Hashtbl.replace keep a.id ();
+        let anc_a = Order.ancestors rel exec a.id in
+        Array.iteri (fun i c -> if c then covered.(i) <- true) anc_a
+      end)
+    (List.rev ws);
+  List.filter (fun (a : Op.t) -> Hashtbl.mem keep a.id) ws
 
 (* Readable values for a read [o] by its process (Def. 12): the values of
    writes b such that some last write a satisfies a p⪯ b — i.e. b is not
@@ -46,14 +55,25 @@ let readable_writes (exec : Execution.t) (o : Op.t) : Op.t list =
   let rel = Order.View p in
   let lw = last_writes ~view:p exec o in
   let v = o.Op.loc in
-  List.filter
-    (fun (b : Op.t) ->
-      Op.is_write b && b.loc = v
-      && (not (Order.reaches rel exec o.Op.id b.id))
-      && List.exists
-           (fun (a : Op.t) -> a.id = b.id || Order.reaches rel exec a.id b.id)
-           lw)
-    (Execution.ops_list exec)
+  (* Again bulk passes instead of a DFS per candidate: one forward pass
+     from o (writes strictly after o are not readable) and one from each
+     last write (the a ⪯ b test). *)
+  let after_o = Order.descendants rel exec o.Op.id in
+  let n = Execution.n_ops exec in
+  let from_lw = Array.make n false in
+  List.iter
+    (fun (a : Op.t) ->
+      from_lw.(a.id) <- true;
+      let d = Order.descendants rel exec a.id in
+      Array.iteri (fun i c -> if c then from_lw.(i) <- true) d)
+    lw;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    let b = Execution.op exec i in
+    if Op.is_write b && b.Op.loc = v && (not after_o.(b.id)) && from_lw.(b.id)
+    then out := b :: !out
+  done;
+  !out
 
 let readable_values exec o =
   List.sort_uniq compare

@@ -38,6 +38,43 @@ let reaches (rel : relation) (exec : Execution.t) (a : int) (b : int) : bool =
       exec.Execution.succs.(a)
   end
 
+(* Bulk reachability for the history checker's hot path.  Every edge into
+   an operation is created when that operation is issued (edges always
+   point from a lower id to a higher one), so the set of ancestors of an
+   operation is frozen the moment it exists: one backward traversal
+   answers every "does x precede b?" question about a fixed b that
+   [reaches] would, without a DFS per source. *)
+let ancestors (rel : relation) (exec : Execution.t) (b : int) : bool array =
+  let n = Execution.n_ops exec in
+  let anc = Array.make n false in
+  let rec go u =
+    List.iter
+      (fun (k, p) ->
+        if edge_visible rel k && not anc.(p) then begin
+          anc.(p) <- true;
+          go p
+        end)
+      exec.Execution.preds.(u)
+  in
+  go b;
+  anc
+
+(* Forward counterpart: everything a fixed [a] precedes. *)
+let descendants (rel : relation) (exec : Execution.t) (a : int) : bool array =
+  let n = Execution.n_ops exec in
+  let desc = Array.make n false in
+  let rec go u =
+    List.iter
+      (fun (k, v) ->
+        if edge_visible rel k && not desc.(v) then begin
+          desc.(v) <- true;
+          go v
+        end)
+      exec.Execution.succs.(u)
+  in
+  go a;
+  desc
+
 let before rel exec a b = reaches rel exec a b
 let concurrent rel exec a b =
   a <> b && (not (reaches rel exec a b)) && not (reaches rel exec b a)

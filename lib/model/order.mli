@@ -15,6 +15,18 @@ val reaches : relation -> Execution.t -> int -> int -> bool
 val before : relation -> Execution.t -> int -> int -> bool
 (** Alias of {!reaches}. *)
 
+val ancestors : relation -> Execution.t -> int -> bool array
+(** [ancestors rel exec b] — every operation id [a] with
+    [reaches rel exec a b], computed in one backward traversal.  Edges
+    always point from lower to higher ids and all edges into an operation
+    are created when it is issued, so the result for a given [b] never
+    changes as the execution grows. *)
+
+val descendants : relation -> Execution.t -> int -> bool array
+(** [descendants rel exec a] — every id [b] with [reaches rel exec a b],
+    in one forward traversal.  Unlike {!ancestors} this set can grow as
+    later operations are issued. *)
+
 val concurrent : relation -> Execution.t -> int -> int -> bool
 (** Neither reaches the other. *)
 

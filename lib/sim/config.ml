@@ -40,6 +40,21 @@ type t = {
   batched_maint : bool;         (* one SDRAM arbitration per maintenance burst *)
   local_poll_backoff : int;     (* max poll backoff when spinning on a local
                                    replica (polls other tiles never see) *)
+  (* fault injection: the chaos plane (see Fault).  All probabilities are
+     zero by default — with every probability at zero the plane is off and
+     the simulator is bit-identical to the fault-free machine. *)
+  fault_seed : int;             (* seed of the fault plane's hash stream *)
+  noc_drop_prob : float;        (* per delivery attempt, per link *)
+  noc_corrupt_prob : float;     (* checksum-detected payload corruption *)
+  noc_delay_prob : float;       (* transient extra link delay *)
+  noc_delay_max : int;          (* max extra delay cycles per hit *)
+  noc_retry_limit : int;        (* retransmissions before a link is dead *)
+  noc_retry_backoff : int;      (* base backoff, doubles per attempt *)
+  noc_ack_cycles : int;         (* sender-side loss detection turnaround *)
+  sdram_error_prob : float;     (* transient read error per SDRAM access *)
+  sdram_retry_limit : int;      (* consecutive errors before typed failure *)
+  tile_stall_prob : float;      (* transient stall per timed access *)
+  tile_stall_cycles : int;      (* max cycles of one stall *)
   (* simulation *)
   max_cycles : int;             (* watchdog against livelock *)
   seed : int;                   (* PRNG seed for workload randomness *)
@@ -71,6 +86,18 @@ let default =
     dsm_lazy_versions = true;
     batched_maint = true;
     local_poll_backoff = 64;
+    fault_seed = 1;
+    noc_drop_prob = 0.0;
+    noc_corrupt_prob = 0.0;
+    noc_delay_prob = 0.0;
+    noc_delay_max = 64;
+    noc_retry_limit = 6;
+    noc_retry_backoff = 8;
+    noc_ack_cycles = 4;
+    sdram_error_prob = 0.0;
+    sdram_retry_limit = 8;
+    tile_stall_prob = 0.0;
+    tile_stall_cycles = 400;
     max_cycles = 2_000_000_000;
     seed = 42;
   }
@@ -88,6 +115,39 @@ let unbatched t =
     local_poll_backoff = 512;
   }
 
+(* Disarm the fault plane: every probability back to zero.  With the
+   plane off the simulator takes the exact fault-free code paths, so
+   [no_faults (chaos ~seed t)] runs bit-identically to [t]. *)
+let no_faults t =
+  {
+    t with
+    noc_drop_prob = 0.0;
+    noc_corrupt_prob = 0.0;
+    noc_delay_prob = 0.0;
+    sdram_error_prob = 0.0;
+    tile_stall_prob = 0.0;
+  }
+
+let faults_enabled t =
+  t.noc_drop_prob > 0.0 || t.noc_corrupt_prob > 0.0
+  || t.noc_delay_prob > 0.0 || t.sdram_error_prob > 0.0
+  || t.tile_stall_prob > 0.0
+
+(* The standard chaos schedule of the soak harness: every fault class
+   armed, scaled by [intensity] (1.0 = the default mix).  [seed] selects
+   the deterministic fault schedule — same seed, same faults. *)
+let chaos ?(intensity = 1.0) ~seed t =
+  let p base = min 0.9 (base *. intensity) in
+  {
+    t with
+    fault_seed = seed;
+    noc_drop_prob = p 0.03;
+    noc_corrupt_prob = p 0.015;
+    noc_delay_prob = p 0.05;
+    sdram_error_prob = p 0.01;
+    tile_stall_prob = p 0.002;
+  }
+
 (* Number of NoC hops between two tiles: tiles on a bidirectional ring,
    matching the connectionless NoC of the paper's platform [16]. *)
 let hops t ~src ~dst =
@@ -99,3 +159,12 @@ let noc_latency t ~src ~dst ~words =
   + (t.noc_word_cycles * words)
 
 let words_per_line t = t.line_bytes / 4
+
+(* Latency of the degraded SDRAM relay path: when a link's retransmit
+   budget is exhausted, replication data is staged through the shared
+   SDRAM (write burst by the sender's adapter, read burst by the
+   receiver's) instead of crossing the dead link — the SWCC-style
+   fallback.  Mirrors the SPM DMA burst model: one SDRAM latency plus a
+   per-word streaming cost, paid twice. *)
+let relay_latency t ~words =
+  2 * (t.sdram_word_cycles + (2 * words))

@@ -42,6 +42,33 @@ type t = {
           lives in the polling core's local memory (DSM replicas).  Such
           polls disturb no other tile — Section VI-B — so they may poll
           tighter than {!Pmc.Api.poll_until}'s shared-memory default. *)
+  fault_seed : int;
+      (** Seed of the fault plane's deterministic hash stream ({!Fault}):
+          same seed, same fault schedule, bit for bit. *)
+  noc_drop_prob : float;
+      (** Probability that a posted-write delivery attempt is dropped on
+          its link.  All fault probabilities default to zero — with every
+          probability at zero the fault plane is off and the simulator is
+          bit-identical to the fault-free machine. *)
+  noc_corrupt_prob : float;
+      (** Probability of a payload corruption; the per-packet checksum
+          detects it and the packet is retransmitted, so corruption never
+          lands silently. *)
+  noc_delay_prob : float;       (** transient extra link delay *)
+  noc_delay_max : int;          (** max extra delay cycles per hit *)
+  noc_retry_limit : int;
+      (** Retransmissions of one packet before its link is declared dead
+          and deliveries degrade to the SDRAM relay path. *)
+  noc_retry_backoff : int;
+      (** Base retransmit backoff in cycles; doubles per attempt, capped
+          at 64× the base. *)
+  noc_ack_cycles : int;         (** sender-side loss-detection turnaround *)
+  sdram_error_prob : float;     (** transient read error per SDRAM access *)
+  sdram_retry_limit : int;
+      (** Consecutive SDRAM read errors tolerated before the access
+          raises a typed {!Pmc_error.Error}. *)
+  tile_stall_prob : float;      (** transient tile stall per timed access *)
+  tile_stall_cycles : int;      (** max cycles of one stall *)
   max_cycles : int;             (** livelock watchdog *)
   seed : int;                   (** PRNG seed for workload randomness *)
 }
@@ -60,8 +87,29 @@ val unbatched : t -> t
     model used as the reference side of regression benches and of the
     batched/unbatched equivalence tests. *)
 
+val no_faults : t -> t
+(** The same machine with every fault probability at zero.  Because the
+    fault plane takes no code path when disarmed,
+    [no_faults (chaos ~seed t)] runs bit-identically to [t] — the
+    zero-cost-when-off invariant the chaos tests and the [bench-smoke]
+    CI gate assert. *)
+
+val faults_enabled : t -> bool
+(** Whether any fault probability is non-zero. *)
+
+val chaos : ?intensity:float -> seed:int -> t -> t
+(** The soak harness's standard fault schedule: every fault class armed,
+    probabilities scaled by [intensity] (default 1.0), schedule selected
+    by [seed]. *)
+
 val hops : t -> src:int -> dst:int -> int
 (** Ring-topology hop distance between two tiles. *)
 
 val noc_latency : t -> src:int -> dst:int -> words:int -> int
 val words_per_line : t -> int
+
+val relay_latency : t -> words:int -> int
+(** Latency of the degraded SDRAM relay path used once a link's
+    retransmit budget is exhausted: the payload is staged through shared
+    SDRAM (a write burst and a read burst) instead of crossing the dead
+    link. *)

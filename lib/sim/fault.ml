@@ -1,0 +1,147 @@
+(* Deterministic fault-injection plane.
+
+   Every fault decision is a pure hash of (fault_seed, site key): the same
+   seed always produces the same fault schedule regardless of call order,
+   so chaos runs are exactly reproducible and a captured trace can be
+   re-created from its seed alone.  The plane never touches the workload
+   PRNG ([Config.seed]), so arming it perturbs only what it injects.
+
+   When every probability in the config is zero the plane is [enabled =
+   false] and every hook is a single boolean test — the fault-free
+   simulator takes bit-identical code paths (the zero-cost-when-off
+   invariant asserted by the chaos tests and the bench CI gate). *)
+
+type counts = {
+  mutable noc_drops : int;
+  mutable noc_corrupts : int;
+  mutable noc_delays : int;
+  mutable noc_retries : int;       (* retransmissions scheduled by the NoC *)
+  mutable links_dead : int;        (* links whose retry budget ran out *)
+  mutable relay_deliveries : int;  (* packets delivered via the SDRAM relay *)
+  mutable sdram_retries : int;
+  mutable tile_stalls : int;
+  mutable stall_cycles : int;
+  mutable lock_timeouts : int;     (* typed Dlock timeouts (counted always) *)
+}
+
+type t = {
+  cfg : Config.t;
+  enabled : bool;
+  counts : counts;
+  sdram_tick : int array;          (* per-core SDRAM access counter *)
+  stall_tick : int array;          (* per-core timed-access counter *)
+}
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    enabled = Config.faults_enabled cfg;
+    counts =
+      {
+        noc_drops = 0; noc_corrupts = 0; noc_delays = 0; noc_retries = 0;
+        links_dead = 0; relay_deliveries = 0; sdram_retries = 0;
+        tile_stalls = 0; stall_cycles = 0; lock_timeouts = 0;
+      };
+    sdram_tick = Array.make cfg.Config.cores 0;
+    stall_tick = Array.make cfg.Config.cores 0;
+  }
+
+let enabled t = t.enabled
+let counts t = t.counts
+let config t = t.cfg
+
+(* ---------------- the hash stream ---------------- *)
+
+(* splitmix64 finalizer: the site key is folded in word by word, so every
+   (seed, tag, a, b, c, d) tuple draws an independent uniform value. *)
+let mix64 (x : int64) =
+  let x = Int64.logxor x (Int64.shift_right_logical x 33) in
+  let x = Int64.mul x 0xFF51AFD7ED558CCDL in
+  let x = Int64.logxor x (Int64.shift_right_logical x 33) in
+  let x = Int64.mul x 0xC4CEB9FE1A85EC53L in
+  Int64.logxor x (Int64.shift_right_logical x 33)
+
+let fold h v = mix64 (Int64.add h (Int64.of_int v))
+
+let site t ~tag ~a ~b ~c ~d =
+  let h = mix64 (Int64.of_int (t.cfg.Config.fault_seed lxor 0x9E3779B9)) in
+  fold (fold (fold (fold (fold h tag) a) b) c) d
+
+(* Uniform float in [0, 1) from the top 53 bits. *)
+let uniform h =
+  Int64.to_float (Int64.shift_right_logical h 11) *. (1.0 /. 9007199254740992.0)
+
+(* Uniform int in [0, bound) from an independent remix. *)
+let pick h bound =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (mix64 h) 1)
+                       (Int64.of_int bound))
+
+(* ---------------- checksums ---------------- *)
+
+(* FNV-1a over the payload — the per-packet end-to-end checksum. *)
+let checksum (data : Bytes.t) =
+  let h = ref 0xcbf29ce484222325L in
+  Bytes.iter
+    (fun ch ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch)))
+             0x100000001b3L)
+    data;
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
+
+(* ---------------- NoC outcomes ---------------- *)
+
+type outcome = Deliver | Drop | Corrupt | Delay of int
+
+(* Outcome of delivery attempt [attempt] of packet [seq] on link
+   (src, dst).  Drop, corruption and delay are drawn independently so a
+   retransmission of a dropped packet can itself be delayed. *)
+let noc_outcome t ~src ~dst ~seq ~attempt =
+  let cfg = t.cfg in
+  let h = site t ~tag:1 ~a:src ~b:dst ~c:seq ~d:attempt in
+  let u = uniform h in
+  if u < cfg.Config.noc_drop_prob then begin
+    t.counts.noc_drops <- t.counts.noc_drops + 1;
+    Drop
+  end
+  else if u < cfg.Config.noc_drop_prob +. cfg.Config.noc_corrupt_prob then begin
+    t.counts.noc_corrupts <- t.counts.noc_corrupts + 1;
+    Corrupt
+  end
+  else if
+    u < cfg.Config.noc_drop_prob +. cfg.Config.noc_corrupt_prob
+        +. cfg.Config.noc_delay_prob
+  then begin
+    t.counts.noc_delays <- t.counts.noc_delays + 1;
+    Delay (1 + pick h cfg.Config.noc_delay_max)
+  end
+  else Deliver
+
+(* ---------------- SDRAM transient errors ---------------- *)
+
+(* One draw per (core, access); the caller retries until clean or the
+   retry budget runs out.  Each retry is a fresh access (fresh tick). *)
+let sdram_error t ~core =
+  let tick = t.sdram_tick.(core) in
+  t.sdram_tick.(core) <- tick + 1;
+  let hit =
+    uniform (site t ~tag:2 ~a:core ~b:tick ~c:0 ~d:0)
+    < t.cfg.Config.sdram_error_prob
+  in
+  if hit then t.counts.sdram_retries <- t.counts.sdram_retries + 1;
+  hit
+
+(* ---------------- tile stalls ---------------- *)
+
+(* Transient stall of the calling tile, drawn per timed access; 0 = none. *)
+let tile_stall t ~core =
+  let tick = t.stall_tick.(core) in
+  t.stall_tick.(core) <- tick + 1;
+  let h = site t ~tag:3 ~a:core ~b:tick ~c:0 ~d:0 in
+  if uniform h < t.cfg.Config.tile_stall_prob then begin
+    let cycles = 1 + pick h t.cfg.Config.tile_stall_cycles in
+    t.counts.tile_stalls <- t.counts.tile_stalls + 1;
+    t.counts.stall_cycles <- t.counts.stall_cycles + cycles;
+    cycles
+  end
+  else 0

@@ -1,0 +1,50 @@
+(** Deterministic fault-injection plane (the chaos plane).
+
+    Every decision is a pure hash of [(Config.fault_seed, site key)]:
+    the same seed produces the same fault schedule, independent of call
+    order, so chaos runs are exactly reproducible.  The plane never
+    touches the workload PRNG.
+
+    When every fault probability in the config is zero, {!enabled} is
+    [false] and every hook in the NoC and machine reduces to one boolean
+    test — the fault-free simulator is bit-identical to a build without
+    the plane (the zero-cost-when-off invariant). *)
+
+type counts = {
+  mutable noc_drops : int;
+  mutable noc_corrupts : int;
+  mutable noc_delays : int;
+  mutable noc_retries : int;       (** retransmissions scheduled *)
+  mutable links_dead : int;        (** links whose retry budget ran out *)
+  mutable relay_deliveries : int;  (** packets delivered via the SDRAM relay *)
+  mutable sdram_retries : int;
+  mutable tile_stalls : int;
+  mutable stall_cycles : int;
+  mutable lock_timeouts : int;     (** typed {!Pmc_lock.Dlock} timeouts *)
+}
+
+type t
+
+val create : Config.t -> t
+val enabled : t -> bool
+val counts : t -> counts
+val config : t -> Config.t
+
+val checksum : Bytes.t -> int
+(** FNV-1a payload checksum — the end-to-end integrity check carried by
+    every resilient NoC packet. *)
+
+type outcome = Deliver | Drop | Corrupt | Delay of int
+
+val noc_outcome :
+  t -> src:int -> dst:int -> seq:int -> attempt:int -> outcome
+(** Outcome of one delivery attempt of packet [seq] on link (src, dst).
+    Updates {!counts}. *)
+
+val sdram_error : t -> core:int -> bool
+(** Whether this SDRAM access suffers a transient read error (one fresh
+    draw per call; the caller retries). *)
+
+val tile_stall : t -> core:int -> int
+(** Cycles of transient stall injected into the calling tile at this
+    timed access; [0] for none. *)

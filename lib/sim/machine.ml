@@ -27,6 +27,7 @@ type code_state = {
 type t = {
   cfg : Config.t;
   engine : Engine.t;
+  fault : Fault.t;
   sdram : Sdram.t;
   dcaches : Cache.t array;
   icaches : Icache.t array;
@@ -47,6 +48,7 @@ let private_bytes = 16 * 1024
 
 let create (cfg : Config.t) : t =
   let engine = Engine.create cfg in
+  let fault = Fault.create cfg in
   let sdram =
     Sdram.create ~size:cfg.sdram_bytes
       ~word_occupancy:cfg.sdram_word_occupancy
@@ -67,7 +69,7 @@ let create (cfg : Config.t) : t =
   let locals =
     Array.init cfg.cores (fun _ -> Bytes.make cfg.local_mem_bytes '\000')
   in
-  let noc = Noc.create cfg engine locals in
+  let noc = Noc.create cfg fault engine locals in
   let seed_prng = Prng.create cfg.seed in
   let code =
     Array.init cfg.cores (fun _ ->
@@ -79,6 +81,7 @@ let create (cfg : Config.t) : t =
     {
       cfg;
       engine;
+      fault;
       sdram;
       dcaches;
       icaches;
@@ -105,6 +108,8 @@ let create (cfg : Config.t) : t =
 
 let config m = m.cfg
 let engine m = m.engine
+let fault m = m.fault
+let link_dead m ~src ~dst = Noc.link_dead m.noc ~src ~dst
 let stats m = Engine.stats m.engine
 let probe m = Engine.probe m.engine
 let spawn ?start m ~core f = Engine.spawn ?start m.engine ~core f
@@ -119,31 +124,44 @@ let align_up v a = (v + a - 1) / a * a
 (* Shared objects are cache-line aligned and never share a line with
    another object (Section V-B: "All shared objects are aligned to a cache
    line ... and cannot overlap with other objects"). *)
+(* Exhaustion reports what was asked against what was left, so the
+   failing allocation can be sized without a debugger. *)
+let exhausted ?core ~op ~requested ~available () =
+  Pmc_error.raise_error ?core ~op
+    "arena exhausted: requested %d bytes, %d available" requested available
+
 let alloc_cached m ~bytes =
   let a = align_up m.cached_brk m.cfg.line_bytes in
+  if a + align_up bytes m.cfg.line_bytes > m.uncached_base then
+    exhausted ~op:"Machine.alloc_cached" ~requested:bytes
+      ~available:(max 0 (m.uncached_base - a)) ();
   m.cached_brk <- a + align_up bytes m.cfg.line_bytes;
-  if m.cached_brk > m.uncached_base then failwith "cached arena exhausted";
   a
 
 let alloc_uncached m ~bytes =
   let a = align_up m.uncached_brk m.cfg.line_bytes in
+  if a + align_up bytes m.cfg.line_bytes > m.cfg.sdram_bytes then
+    exhausted ~op:"Machine.alloc_uncached" ~requested:bytes
+      ~available:(max 0 (m.cfg.sdram_bytes - a)) ();
   m.uncached_brk <- a + align_up bytes m.cfg.line_bytes;
-  if m.uncached_brk > m.cfg.sdram_bytes then
-    failwith "uncached arena exhausted";
   a
 
 (* DSM objects live at the same offset in every tile's local memory. *)
 let alloc_dsm m ~bytes : int =
   let off = align_up m.dsm_brk 4 in
+  if off + align_up bytes 4 > m.dsm_region_bytes then
+    exhausted ~op:"Machine.alloc_dsm" ~requested:bytes
+      ~available:(max 0 (m.dsm_region_bytes - off)) ();
   m.dsm_brk <- off + align_up bytes 4;
-  if m.dsm_brk > m.dsm_region_bytes then failwith "DSM region exhausted";
   off
 
 (* SPM stack allocation in the upper half of the local memory. *)
 let spm_alloc m ~core ~bytes : int =
   let off = m.spm_sp.(core) in
   let next = align_up (off + bytes) 4 in
-  if next > m.cfg.local_mem_bytes then failwith "SPM arena exhausted";
+  if next > m.cfg.local_mem_bytes then
+    exhausted ~core ~op:"Machine.spm_alloc" ~requested:bytes
+      ~available:(max 0 (m.cfg.local_mem_bytes - off)) ();
   m.spm_sp.(core) <- next;
   off
 
@@ -196,15 +214,50 @@ exception Remote_read of { core : int; tile : int }
 (* reading another tile's local memory is impossible on the write-only
    interconnect *)
 
+(* Transient tile stall (the chaos plane): drawn per timed-access entry
+   point; pure waiting — the tile is frozen, not working — so the cycles
+   are idled, not attributed to a stall category. *)
+let maybe_stall m ~core =
+  if Fault.enabled m.fault then begin
+    let cycles = Fault.tile_stall m.fault ~core in
+    if cycles > 0 then begin
+      Probe.emit (probe m) ~time:(now m)
+        (Probe.Fault (Probe.F_tile_stall { core; cycles }));
+      Engine.idle m.engine cycles
+    end
+  end
+
+(* Transient SDRAM read errors (the chaos plane): each detected error
+   costs one extra word round-trip to re-read; after [sdram_retry_limit]
+   consecutive errors the access fails with a typed error rather than
+   returning bad data. *)
+let sdram_read_faults m ~core ~cat =
+  if Fault.enabled m.fault then begin
+    let attempt = ref 0 in
+    while Fault.sdram_error m.fault ~core do
+      incr attempt;
+      Probe.emit (probe m) ~time:(now m)
+        (Probe.Fault (Probe.F_sdram_retry { core; attempt = !attempt }));
+      if !attempt > m.cfg.sdram_retry_limit then
+        Pmc_error.raise_error ~core ~op:"Machine.sdram_read"
+          "transient SDRAM read error persisted after %d retries"
+          m.cfg.sdram_retry_limit;
+      Engine.consume m.engine cat m.cfg.sdram_word_cycles
+    done
+  end
+
 let load_u32 m ~shared addr : int32 =
   let core = core_id m in
+  maybe_stall m ~core;
   match decode m addr with
   | Cached_sdram a ->
       let v, oc = Cache.load_u32 m.dcaches.(core) a in
       count_dcache m core oc;
       Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
-      if not oc.Cache.hit then
-        Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc)
+      if not oc.Cache.hit then begin
+        Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc);
+        sdram_read_faults m ~core ~cat:(read_stall_cat ~shared)
+      end
       else if oc.Cache.wrote_back then
         Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc);
       v
@@ -212,6 +265,7 @@ let load_u32 m ~shared addr : int32 =
       let wait = Sdram.contend_word m.sdram ~now:(now m) in
       Engine.consume m.engine (read_stall_cat ~shared)
         (wait + m.cfg.sdram_word_cycles);
+      sdram_read_faults m ~core ~cat:(read_stall_cat ~shared);
       Sdram.read_u32 m.sdram a
   | Local { tile; off } ->
       if tile <> core then raise (Remote_read { core; tile });
@@ -251,18 +305,22 @@ let store_u32 m ~shared:_ addr (v : int32) : unit =
 
 let load_u8 m ~shared addr : int =
   let core = core_id m in
+  maybe_stall m ~core;
   match decode m addr with
   | Cached_sdram a ->
       let v, oc = Cache.load_u8 m.dcaches.(core) a in
       count_dcache m core oc;
       Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
-      if not oc.Cache.hit then
+      if not oc.Cache.hit then begin
         Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc);
+        sdram_read_faults m ~core ~cat:(read_stall_cat ~shared)
+      end;
       v
   | Uncached_sdram a ->
       let wait = Sdram.contend_word m.sdram ~now:(now m) in
       Engine.consume m.engine (read_stall_cat ~shared)
         (wait + m.cfg.sdram_word_cycles);
+      sdram_read_faults m ~core ~cat:(read_stall_cat ~shared);
       Sdram.read_u8 m.sdram a
   | Local { tile; off } ->
       if tile <> core then raise (Remote_read { core; tile });
@@ -362,11 +420,21 @@ let blit_local_to_sdram m ~core ~off ~sdram ~len =
    staging model used when [Config.batched_maint] is off. *)
 let sdram_word_wait m = Sdram.contend_word m.sdram ~now:(now m)
 
-(* Wait until all of this core's posted NoC writes have landed. *)
+(* Wait until all of this core's posted NoC writes have landed.  Under
+   faults a retransmission drawn at a future delivery attempt can push
+   the horizon past what [drain_wait] promised, so the drain loops until
+   nothing of this core's is in flight — retries and relay deliveries
+   included.  With the fault plane off, the first wait is exact and the
+   loop is never entered. *)
 let noc_drain m =
   let core = core_id m in
   Engine.consume m.engine Stats.Write_stall
-    (Noc.drain_wait m.noc ~src:core)
+    (Noc.drain_wait m.noc ~src:core);
+  if Fault.enabled m.fault then
+    while Noc.outstanding m.noc ~src:core > 0 do
+      Engine.consume m.engine Stats.Write_stall
+        (max 1 (Noc.drain_wait m.noc ~src:core))
+    done
 
 (* ---------------- cache maintenance ---------------- *)
 
@@ -431,6 +499,7 @@ let set_code m ~core ~footprint ~jump_prob =
 let instr m n =
   if n > 0 then begin
     let core = core_id m in
+    maybe_stall m ~core;
     let c = m.code.(core) in
     let ic = m.icaches.(core) in
     let s = Stats.core (stats m) core in

@@ -20,6 +20,16 @@ val create : Config.t -> t
 
 val config : t -> Config.t
 val engine : t -> Engine.t
+
+val fault : t -> Fault.t
+(** The machine's fault plane — counters, configuration, and the draws
+    the NoC and timed accesses consult (see {!Fault}). *)
+
+val link_dead : t -> src:int -> dst:int -> bool
+(** Whether the (src, dst) NoC link has exhausted its retry budget and
+    degraded to the SDRAM relay path (always [false] with the fault
+    plane off) — back-ends consult this to pick degraded protocols. *)
+
 val stats : t -> Stats.t
 
 val probe : t -> Probe.t
@@ -95,7 +105,10 @@ val noc_push_multi :
     across destinations ([now] if there are none). *)
 
 val noc_drain : t -> unit
-(** Stall until all of this core's posted writes have landed. *)
+(** Stall until all of this core's posted writes have landed — under
+    faults this includes retransmissions and relay deliveries scheduled
+    while waiting; the drain loops until {!Noc.outstanding} reaches
+    zero. *)
 
 (** {1 DMA staging (SPM back-end)} *)
 

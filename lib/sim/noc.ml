@@ -7,26 +7,72 @@
    NoC of the paper's platform [16].  [post_write_at] bypasses the FIFO and
    lets the caller pick the arrival time; it models the Fig. 1 architecture
    where two memories sit behind paths of different latency, and is what
-   the broken-flag demonstration uses. *)
+   the broken-flag demonstration uses.
+
+   Resilient transport (the chaos plane).  When the fault plane is armed,
+   every posted write becomes a sequenced, checksummed packet on its
+   (src, dst) link and delivery runs through a per-link worker:
+
+     - each link serves its packet queue strictly in order, so FIFO
+       delivery survives retransmission — a retried packet can never be
+       overtaken by a later write on the same link, which the DSM's
+       narrow flushes depend on;
+     - a dropped attempt is detected by the sender after an ack timeout
+       and retransmitted under capped exponential backoff; a corrupted
+       attempt is caught by the packet checksum at the receiver and
+       retransmitted the same way, so corruption never lands silently;
+     - a transiently delayed attempt just lands late;
+     - after [noc_retry_limit] failed retransmissions the link is
+       declared dead and every packet for it — queued and future — is
+       staged through the shared SDRAM instead (the relay path,
+       [Config.relay_latency]); data still always arrives, only slower.
+
+   When the fault plane is disarmed every post takes the plain path below,
+   bit-identical to the transport without the plane. *)
+
+(* One posted write on the resilient path. *)
+type packet = {
+  seq : int;               (* per-link sequence number *)
+  off : int;               (* destination local-memory offset *)
+  data : Bytes.t;
+  csum : int;              (* Fault.checksum of [data] *)
+  nominal : int;           (* fault-free arrival time *)
+  mutable attempts : int;  (* transmissions so far (1 = original) *)
+}
+
+type link = {
+  q : packet Queue.t;      (* head is in service *)
+  mutable busy : bool;     (* a worker event is scheduled for this link *)
+  mutable dead : bool;     (* retry budget exhausted; relay path only *)
+  mutable next_seq : int;
+}
 
 type t = {
   cfg : Config.t;
   engine : Engine.t;
+  fault : Fault.t;
   locals : Bytes.t array;                  (* per-tile local memories *)
   outstanding : int array;                 (* in-flight writes per source *)
   last_arrival : int array;                (* latest arrival time per source *)
   link_last : int array array;             (* per (src, dst) FIFO ordering *)
+  links : link array array;                (* resilient path, per (src, dst) *)
   mutable total_writes : int;
 }
 
-let create (cfg : Config.t) (engine : Engine.t) (locals : Bytes.t array) =
+let create (cfg : Config.t) (fault : Fault.t) (engine : Engine.t)
+    (locals : Bytes.t array) =
   {
     cfg;
     engine;
+    fault;
     locals;
     outstanding = Array.make cfg.cores 0;
     last_arrival = Array.make cfg.cores 0;
     link_last = Array.make_matrix cfg.cores cfg.cores 0;
+    links =
+      Array.init cfg.cores (fun _ ->
+          Array.init cfg.cores (fun _ ->
+              { q = Queue.create (); busy = false; dead = false; next_seq = 0 }));
     total_writes = 0;
   }
 
@@ -34,24 +80,150 @@ let deliver t ~src ~dst ~off (data : Bytes.t) () =
   Bytes.blit data 0 t.locals.(dst) off (Bytes.length data);
   t.outstanding.(src) <- t.outstanding.(src) - 1
 
+let emit_fault t ~time f =
+  Probe.emit (Engine.probe t.engine) ~time (Probe.Fault f)
+
+(* ---------------- resilient per-link delivery ---------------- *)
+
+(* The engine gives event closures no ambient clock, so every worker step
+   carries its own scheduled [time]. *)
+
+(* Deliver the head packet's payload at [time], then serve the next. *)
+let rec complete t ~src ~dst link ~time () =
+  let p = Queue.pop link.q in
+  assert (Fault.checksum p.data = p.csum);
+  Bytes.blit p.data 0 t.locals.(dst) p.off (Bytes.length p.data);
+  t.outstanding.(src) <- t.outstanding.(src) - 1;
+  next t ~src ~dst link ~time
+
+(* Arm the worker for the new head packet, if any: not before the packet's
+   nominal arrival, and strictly after the previous delivery. *)
+and next t ~src ~dst link ~time =
+  match Queue.peek_opt link.q with
+  | None -> link.busy <- false
+  | Some p ->
+      let at = max (time + 1) p.nominal in
+      t.last_arrival.(src) <- max t.last_arrival.(src) at;
+      Engine.at t.engine ~time:at (service t ~src ~dst link ~time:at)
+
+(* One worker step: attempt (or relay) delivery of the head packet. *)
+and service t ~src ~dst link ~time () =
+  match Queue.peek_opt link.q with
+  | None -> link.busy <- false
+  | Some p ->
+      if link.dead then begin
+        (* Degraded path: stage the payload through the shared SDRAM
+           instead of the dead link.  Serialized like the link itself so
+           ordering is preserved. *)
+        let words = (Bytes.length p.data + 3) / 4 in
+        let at = time + Config.relay_latency t.cfg ~words in
+        let counts = Fault.counts t.fault in
+        counts.Fault.relay_deliveries <- counts.Fault.relay_deliveries + 1;
+        emit_fault t ~time (Probe.F_noc_degraded { src; dst; seq = p.seq });
+        t.last_arrival.(src) <- max t.last_arrival.(src) at;
+        Engine.at t.engine ~time:at (complete t ~src ~dst link ~time:at)
+      end
+      else begin
+        p.attempts <- p.attempts + 1;
+        match
+          Fault.noc_outcome t.fault ~src ~dst ~seq:p.seq ~attempt:p.attempts
+        with
+        | Fault.Deliver -> complete t ~src ~dst link ~time ()
+        | Fault.Delay d ->
+            emit_fault t ~time
+              (Probe.F_noc_delay { src; dst; seq = p.seq; cycles = d });
+            let at = time + d in
+            t.last_arrival.(src) <- max t.last_arrival.(src) at;
+            Engine.at t.engine ~time:at (complete t ~src ~dst link ~time:at)
+        | (Fault.Drop | Fault.Corrupt) as failure ->
+            emit_fault t ~time
+              (match failure with
+              | Fault.Drop ->
+                  Probe.F_noc_drop { src; dst; seq = p.seq; attempt = p.attempts }
+              | _ ->
+                  Probe.F_noc_corrupt
+                    { src; dst; seq = p.seq; attempt = p.attempts });
+            if p.attempts > t.cfg.Config.noc_retry_limit then begin
+              (* Retry budget exhausted: the link is dead from here on;
+                 this and all queued packets degrade to the relay. *)
+              link.dead <- true;
+              let counts = Fault.counts t.fault in
+              counts.Fault.links_dead <- counts.Fault.links_dead + 1;
+              emit_fault t ~time (Probe.F_link_dead { src; dst });
+              service t ~src ~dst link ~time ()
+            end
+            else begin
+              (* Loss detected after the ack turnaround; retransmit under
+                 capped exponential backoff. *)
+              let base = t.cfg.Config.noc_retry_backoff in
+              let backoff =
+                min (base lsl (p.attempts - 1)) (base * 64)
+              in
+              let at = time + t.cfg.Config.noc_ack_cycles + backoff in
+              let counts = Fault.counts t.fault in
+              counts.Fault.noc_retries <- counts.Fault.noc_retries + 1;
+              emit_fault t ~time
+                (Probe.F_noc_retry
+                   { src; dst; seq = p.seq; attempt = p.attempts; at });
+              t.last_arrival.(src) <- max t.last_arrival.(src) at;
+              Engine.at t.engine ~time:at (service t ~src ~dst link ~time:at)
+            end
+      end
+
+(* Enqueue one packet on the resilient path.  Returns the nominal
+   (fault-free) arrival time; the actual landing may be later. *)
+let post_resilient t ~now ~src ~dst ~off (data : Bytes.t) : int =
+  let words = (Bytes.length data + 3) / 4 in
+  let latency = Config.noc_latency t.cfg ~src ~dst ~words in
+  let nominal = max (now + latency) (t.link_last.(src).(dst) + 1) in
+  t.link_last.(src).(dst) <- nominal;
+  let link = t.links.(src).(dst) in
+  let p =
+    {
+      seq = link.next_seq;
+      off;
+      data = Bytes.copy data;
+      csum = Fault.checksum data;
+      nominal;
+      attempts = 0;
+    }
+  in
+  link.next_seq <- link.next_seq + 1;
+  Queue.push p link.q;
+  t.outstanding.(src) <- t.outstanding.(src) + 1;
+  t.last_arrival.(src) <- max t.last_arrival.(src) nominal;
+  t.total_writes <- t.total_writes + 1;
+  Probe.emit (Engine.probe t.engine) ~time:now
+    (Probe.Noc_post { src; dst; off; bytes = Bytes.length data; arrival = nominal });
+  if not link.busy then begin
+    link.busy <- true;
+    Engine.at t.engine ~time:nominal (service t ~src ~dst link ~time:nominal)
+  end;
+  nominal
+
+(* ---------------- public posting interface ---------------- *)
+
 (* Post [data] to offset [off] of tile [dst]'s local memory.  Returns the
    arrival time.  The caller charges the injection cost. *)
 let post_write t ~src ~dst ~off (data : Bytes.t) : int =
   if src = dst then invalid_arg "Noc.post_write: src = dst";
   let now = Engine.now t.engine in
-  let words = (Bytes.length data + 3) / 4 in
-  let latency = Config.noc_latency t.cfg ~src ~dst ~words in
-  (* FIFO per link: never deliver before an earlier write on this link *)
-  let arrival = max (now + latency) (t.link_last.(src).(dst) + 1) in
-  t.link_last.(src).(dst) <- arrival;
-  t.outstanding.(src) <- t.outstanding.(src) + 1;
-  t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
-  t.total_writes <- t.total_writes + 1;
-  Probe.emit (Engine.probe t.engine) ~time:now
-    (Probe.Noc_post { src; dst; off; bytes = Bytes.length data; arrival });
-  Engine.at t.engine ~time:arrival
-    (deliver t ~src ~dst ~off (Bytes.copy data));
-  arrival
+  if Fault.enabled t.fault then post_resilient t ~now ~src ~dst ~off data
+  else begin
+    let words = (Bytes.length data + 3) / 4 in
+    let latency = Config.noc_latency t.cfg ~src ~dst ~words in
+    (* FIFO per link: never deliver before an earlier write on this link *)
+    let arrival = max (now + latency) (t.link_last.(src).(dst) + 1) in
+    t.link_last.(src).(dst) <- arrival;
+    t.outstanding.(src) <- t.outstanding.(src) + 1;
+    t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
+    t.total_writes <- t.total_writes + 1;
+    Probe.emit (Engine.probe t.engine) ~time:now
+      (Probe.Noc_post { src; dst; off; bytes = Bytes.length data; arrival });
+    Engine.at t.engine ~time:arrival
+      (deliver t ~src ~dst ~off (Bytes.copy data));
+    arrival
+  end
 
 (* Multicast burst: one injection delivers the same payload to several
    tiles.  The sender frames a single burst (one header flit plus the
@@ -59,29 +231,40 @@ let post_write t ~src ~dst ~off (data : Bytes.t) : int =
    destination still receives its copy after its own link latency and the
    per-link FIFO is preserved, so delivery semantics are identical to a
    sequence of unicast posts — only the injection side is cheaper.
-   Returns the latest arrival time. *)
+   Under faults each destination's copy fails and retries independently.
+   Returns the latest nominal arrival time. *)
 let post_multicast t ~src ~dsts ~off (data : Bytes.t) : int =
   let now = Engine.now t.engine in
   let words = (Bytes.length data + 3) / 4 in
   let last = ref now in
+  let faulty = Fault.enabled t.fault in
   List.iter
     (fun dst ->
       if dst = src then invalid_arg "Noc.post_multicast: src in dsts";
-      let latency = Config.noc_latency t.cfg ~src ~dst ~words in
-      let arrival = max (now + latency) (t.link_last.(src).(dst) + 1) in
-      t.link_last.(src).(dst) <- arrival;
-      t.outstanding.(src) <- t.outstanding.(src) + 1;
-      t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
-      t.total_writes <- t.total_writes + 1;
-      Probe.emit (Engine.probe t.engine) ~time:now
-        (Probe.Noc_post { src; dst; off; bytes = Bytes.length data; arrival });
-      Engine.at t.engine ~time:arrival
-        (deliver t ~src ~dst ~off (Bytes.copy data));
+      let arrival =
+        if faulty then post_resilient t ~now ~src ~dst ~off data
+        else begin
+          let latency = Config.noc_latency t.cfg ~src ~dst ~words in
+          let arrival = max (now + latency) (t.link_last.(src).(dst) + 1) in
+          t.link_last.(src).(dst) <- arrival;
+          t.outstanding.(src) <- t.outstanding.(src) + 1;
+          t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
+          t.total_writes <- t.total_writes + 1;
+          Probe.emit (Engine.probe t.engine) ~time:now
+            (Probe.Noc_post
+               { src; dst; off; bytes = Bytes.length data; arrival });
+          Engine.at t.engine ~time:arrival
+            (deliver t ~src ~dst ~off (Bytes.copy data));
+          arrival
+        end
+      in
       last := max !last arrival)
     dsts;
   !last
 
-(* Unordered variant with caller-chosen latency (Fig. 1 machine). *)
+(* Unordered variant with caller-chosen latency (Fig. 1 machine).  This
+   models a raw memory path, not the sequenced link protocol, so the
+   fault plane does not apply to it. *)
 let post_write_at t ~src ~dst ~off ~latency (data : Bytes.t) : int =
   let now = Engine.now t.engine in
   let arrival = now + latency in
@@ -98,9 +281,24 @@ let injection_cost t (data : Bytes.t) =
   let words = (Bytes.length data + 3) / 4 in
   t.cfg.Config.noc_word_cycles * words
 
-(* Cycles the source must wait for all of its posted writes to land. *)
+(* Cycles the source must wait for all of its posted writes to land.
+
+   [last_arrival] is extended every time a retransmission or relay
+   delivery is scheduled, so under faults this covers retries currently
+   in flight — but a retry scheduled *after* this call (a failure drawn
+   at a future attempt) can extend it again.  A full drain therefore
+   re-checks [outstanding] after waiting (see [Machine.noc_drain]); the
+   wait returned here is exact only when the fault plane is off. *)
 let drain_wait t ~src =
   if t.outstanding.(src) = 0 then 0
   else max 0 (t.last_arrival.(src) - Engine.now t.engine)
 
+(* In-flight posted writes of [src], counting packets queued for
+   retransmission and relay deliveries — a packet stays outstanding until
+   its payload actually lands in the destination memory. *)
 let outstanding t ~src = t.outstanding.(src)
+
+let link_dead t ~src ~dst =
+  Fault.enabled t.fault && t.links.(src).(dst).dead
+
+let fault t = t.fault

@@ -3,37 +3,67 @@
     the sender pays only the injection cost; delivery happens after the
     link latency via an engine event.  Delivery is FIFO per
     (source, destination) link, like the connectionless NoC of the
-    paper's platform. *)
+    paper's platform.
+
+    When the fault plane ({!Fault}) is armed, every posted write becomes
+    a sequenced, checksummed packet served strictly in order by its
+    link: drops and checksum-caught corruptions are retransmitted under
+    capped exponential backoff, transient delays land late, and a link
+    whose retry budget is exhausted is declared dead — its packets
+    degrade to a staging path through the shared SDRAM
+    ({!Config.relay_latency}).  Data always eventually lands; FIFO order
+    per link is preserved across retries.  With the plane disarmed the
+    transport is bit-identical to the fault-free one. *)
 
 type t
 
-val create : Config.t -> Engine.t -> Bytes.t array -> t
-(** [create cfg engine locals] — [locals] are the per-tile memories the
-    NoC delivers into. *)
+val create : Config.t -> Fault.t -> Engine.t -> Bytes.t array -> t
+(** [create cfg fault engine locals] — [locals] are the per-tile
+    memories the NoC delivers into; [fault] is the machine's fault
+    plane. *)
 
 val post_write : t -> src:int -> dst:int -> off:int -> Bytes.t -> int
-(** Post [data] to tile [dst] at offset [off]; returns the arrival time.
-    The caller charges {!injection_cost}. *)
+(** Post [data] to tile [dst] at offset [off]; returns the nominal
+    arrival time (under faults the actual landing may be later).  The
+    caller charges {!injection_cost}. *)
 
 val post_multicast : t -> src:int -> dsts:int list -> off:int -> Bytes.t -> int
 (** One injected burst delivers the same payload to every tile in [dsts]
     (the coalesced DSM flush).  Per-destination arrival times and the
     per-link FIFO are identical to a sequence of {!post_write}s — only
     the sender's injection cost changes, which the caller charges once
-    per burst instead of once per destination.  Returns the latest
-    arrival time. *)
+    per burst instead of once per destination.  Under faults each
+    destination's copy fails and retries independently.  Returns the
+    latest nominal arrival time. *)
 
 val post_write_at :
   t -> src:int -> dst:int -> off:int -> latency:int -> Bytes.t -> int
 (** Unordered variant with caller-chosen latency — the Fig. 1 machine,
-    where different memories sit behind paths of different latency. *)
+    where different memories sit behind paths of different latency.
+    Models a raw memory path, not the link protocol: the fault plane
+    does not apply. *)
 
 val injection_cost : t -> Bytes.t -> int
 (** Cycles the sender stalls to inject a payload (per-word cost; the
     network latency is paid by the in-flight write, not the sender). *)
 
 val drain_wait : t -> src:int -> int
-(** Cycles until all of [src]'s posted writes have landed. *)
+(** Cycles until every posted write of [src] currently scheduled —
+    including retransmissions and relay deliveries in flight — has
+    landed.  Exact when the fault plane is off.  Under faults a
+    retransmission scheduled after this call can push the horizon out,
+    so a full drain must re-check {!outstanding} after waiting (which
+    [Machine.noc_drain] does). *)
 
 val outstanding : t -> src:int -> int
-(** Number of [src]'s posted writes still in flight. *)
+(** Number of [src]'s posted writes still in flight.  A write counts
+    until its payload lands in the destination memory — packets queued
+    for retransmission or relay delivery are still outstanding. *)
+
+val link_dead : t -> src:int -> dst:int -> bool
+(** Whether the (src, dst) link has exhausted its retry budget and
+    degraded to the SDRAM relay path.  Always [false] with the fault
+    plane off. *)
+
+val fault : t -> Fault.t
+(** The machine's fault plane (for counters and configuration). *)

@@ -1,0 +1,33 @@
+(* Typed runtime error of the simulated platform.
+
+   Every "impossible" condition the runtime, lock and back-end layers used
+   to report with a bare [failwith] now raises [Error] with a structured
+   context: which core, which shared object (by name), which operation,
+   and a human-readable detail line.  Tooling (the chaos harness, the
+   CLIs) can match on the exception and classify the failure instead of
+   string-matching [Failure] payloads. *)
+
+type context = {
+  core : int;     (* simulated core, -1 when raised outside a task *)
+  obj : string;   (* shared-object name, "" when no object is involved *)
+  op : string;    (* operation that failed, e.g. "Dlock.release" *)
+  detail : string;
+}
+
+exception Error of context
+
+let pp ppf (c : context) =
+  Fmt.pf ppf "%s: %s%s%s" c.op c.detail
+    (if c.core >= 0 then Printf.sprintf " (core %d)" c.core else "")
+    (if c.obj = "" then "" else Printf.sprintf " (object %s)" c.obj)
+
+let to_string c = Fmt.str "%a" pp c
+
+let raise_error ?(core = -1) ?(obj = "") ~op fmt =
+  Fmt.kstr (fun detail -> raise (Error { core; obj; op; detail })) fmt
+
+(* Install a printer so an uncaught [Error] prints its context. *)
+let () =
+  Printexc.register_printer (function
+    | Error c -> Some ("Pmc_error.Error: " ^ to_string c)
+    | _ -> None)

@@ -1,0 +1,24 @@
+(** Typed runtime error of the simulated platform.
+
+    Replaces the bare [failwith]s of the runtime, lock and back-end
+    layers: the exception carries the core, the shared object's name and
+    the failing operation, so tools (the chaos soak harness, the CLIs)
+    can classify failures instead of string-matching [Failure]. *)
+
+type context = {
+  core : int;     (** simulated core, [-1] when raised outside a task *)
+  obj : string;   (** shared-object name, [""] when none is involved *)
+  op : string;    (** operation that failed, e.g. ["Dlock.release"] *)
+  detail : string;
+}
+
+exception Error of context
+
+val raise_error :
+  ?core:int -> ?obj:string -> op:string ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [raise_error ~core ~obj ~op fmt ...] raises {!Error} with the
+    formatted detail string. *)
+
+val pp : Format.formatter -> context -> unit
+val to_string : context -> string

@@ -12,6 +12,20 @@ type lock_op = Acquire | Release | Acquire_ro | Release_ro
 type maint_op = Wb_inval | Inval
 type task_op = Spawn | Finish
 
+(* Injected faults and the resilient protocol's reactions to them, so a
+   chaos run's trace tells the full story: what was injected, what the
+   transport did about it, and where service degraded. *)
+type fault =
+  | F_noc_drop of { src : int; dst : int; seq : int; attempt : int }
+  | F_noc_corrupt of { src : int; dst : int; seq : int; attempt : int }
+  | F_noc_delay of { src : int; dst : int; seq : int; cycles : int }
+  | F_noc_retry of { src : int; dst : int; seq : int; attempt : int; at : int }
+  | F_link_dead of { src : int; dst : int }
+  | F_noc_degraded of { src : int; dst : int; seq : int }
+  | F_sdram_retry of { core : int; attempt : int }
+  | F_tile_stall of { core : int; cycles : int }
+  | F_lock_timeout of { core : int; lock : int; waited : int }
+
 type event =
   | Noc_post of {
       src : int;
@@ -35,6 +49,7 @@ type event =
       transferred : bool;        (* handover arrived from another tile *)
     }
   | Task of { core : int; op : task_op }
+  | Fault of fault
 
 type sink = time:int -> event -> unit
 

@@ -12,6 +12,29 @@ type lock_op = Acquire | Release | Acquire_ro | Release_ro
 type maint_op = Wb_inval | Inval
 type task_op = Spawn | Finish
 
+(** Injected faults and the resilient protocol's reactions.  [attempt]
+    counts transmissions of one packet (1 = the original), [seq] is the
+    per-link packet sequence number. *)
+type fault =
+  | F_noc_drop of { src : int; dst : int; seq : int; attempt : int }
+      (** Delivery attempt lost on the link. *)
+  | F_noc_corrupt of { src : int; dst : int; seq : int; attempt : int }
+      (** Payload corrupted in flight; caught by the packet checksum. *)
+  | F_noc_delay of { src : int; dst : int; seq : int; cycles : int }
+      (** Transient extra link delay on a successful delivery. *)
+  | F_noc_retry of { src : int; dst : int; seq : int; attempt : int; at : int }
+      (** Retransmission scheduled at time [at] after a loss. *)
+  | F_link_dead of { src : int; dst : int }
+      (** Retry budget exhausted; the link degrades to the SDRAM relay. *)
+  | F_noc_degraded of { src : int; dst : int; seq : int }
+      (** A packet delivered through the SDRAM relay path. *)
+  | F_sdram_retry of { core : int; attempt : int }
+      (** Transient SDRAM read error; the access is retried. *)
+  | F_tile_stall of { core : int; cycles : int }
+      (** Transient stall injected into a tile. *)
+  | F_lock_timeout of { core : int; lock : int; waited : int }
+      (** A bounded lock acquisition gave up after [waited] cycles. *)
+
 type event =
   | Noc_post of {
       src : int;
@@ -30,6 +53,7 @@ type event =
     }
   | Lock of { core : int; lock : int; op : lock_op; transferred : bool }
   | Task of { core : int; op : task_op }
+  | Fault of fault  (** An injected fault or the protocol's reaction. *)
 
 type sink = time:int -> event -> unit
 (** Receives every event with its emission time. *)

@@ -20,6 +20,20 @@ type lock_op = Acquire | Release | Acquire_ro | Release_ro
 type maint_op = Wb_inval | Inval
 type task_op = Spawn | Finish
 
+(* Fault classes of the chaos plane ([Pmc_sim.Fault]); the variant keys
+   tooling (export categories, soak summaries), the detail string keeps
+   the record plain data without replicating every payload shape. *)
+type fault_kind =
+  | Noc_drop
+  | Noc_corrupt
+  | Noc_delay
+  | Noc_retry
+  | Link_dead
+  | Noc_degraded
+  | Sdram_retry
+  | Tile_stall
+  | Lock_timeout
+
 type kind =
   | Annot of { ann : annot; obj : obj option }
       (* [obj = None] for fences, which span all locations *)
@@ -39,6 +53,7 @@ type kind =
       lines_written_back : int;
     }
   | Task of { op : task_op }
+  | Fault of { kind : fault_kind; detail : string }
 
 type t = {
   seq : int;   (* global emission index: issue order, survives ring drops *)
@@ -68,6 +83,17 @@ let lock_op_name = function
 let maint_op_name = function Wb_inval -> "wb_inval" | Inval -> "inval"
 let task_op_name = function Spawn -> "spawn" | Finish -> "finish"
 
+let fault_kind_name = function
+  | Noc_drop -> "noc_drop"
+  | Noc_corrupt -> "noc_corrupt"
+  | Noc_delay -> "noc_delay"
+  | Noc_retry -> "noc_retry"
+  | Link_dead -> "link_dead"
+  | Noc_degraded -> "noc_degraded"
+  | Sdram_retry -> "sdram_retry"
+  | Tile_stall -> "tile_stall"
+  | Lock_timeout -> "lock_timeout"
+
 let pp_kind ppf = function
   | Annot { ann; obj = None } -> Fmt.pf ppf "%s" (annot_name ann)
   | Annot { ann; obj = Some o } ->
@@ -91,6 +117,8 @@ let pp_kind ppf = function
       Fmt.pf ppf "%s [%#x,+%d) wb=%d" (maint_op_name op) addr len
         lines_written_back
   | Task { op } -> Fmt.pf ppf "task %s" (task_op_name op)
+  | Fault { kind; detail } ->
+      Fmt.pf ppf "fault %s %s" (fault_kind_name kind) detail
 
 let pp ppf (e : t) =
   Fmt.pf ppf "@[t=%-8d c%-3d %a@]" e.time e.core pp_kind e.kind

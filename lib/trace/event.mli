@@ -16,6 +16,18 @@ type lock_op = Acquire | Release | Acquire_ro | Release_ro
 type maint_op = Wb_inval | Inval
 type task_op = Spawn | Finish
 
+(** Fault classes of the chaos plane ({!Pmc_sim.Fault}). *)
+type fault_kind =
+  | Noc_drop
+  | Noc_corrupt
+  | Noc_delay
+  | Noc_retry
+  | Link_dead
+  | Noc_degraded
+  | Sdram_retry
+  | Tile_stall
+  | Lock_timeout
+
 type kind =
   | Annot of { ann : annot; obj : obj option }
       (** An annotation; [obj = None] for fences. *)
@@ -35,6 +47,9 @@ type kind =
       lines_written_back : int;
     }
   | Task of { op : task_op }
+  | Fault of { kind : fault_kind; detail : string }
+      (** An injected fault or the resilient protocol's reaction to one
+          (chaos runs only; never present with the fault plane off). *)
 
 type t = {
   seq : int;   (** global emission index — issue order, survives ring drops *)
@@ -49,6 +64,7 @@ val annot_name : annot -> string
 val lock_op_name : lock_op -> string
 val maint_op_name : maint_op -> string
 val task_op_name : task_op -> string
+val fault_kind_name : fault_kind -> string
 
 val pp_kind : Format.formatter -> kind -> unit
 val pp : Format.formatter -> t -> unit

@@ -201,7 +201,13 @@ let to_buffer ?stats (b : Buffer.t) (events : Event.t list) : unit =
             ()
       | Event.Task { op } ->
           instant e ~name:("task " ^ Event.task_op_name op) ~cat:"task" ~ts
-            ~tid ())
+            ~tid ()
+      | Event.Fault { kind; detail } ->
+          instant e
+            ~name:("fault " ^ Event.fault_kind_name kind)
+            ~cat:"fault" ~ts ~tid
+            ~extra:[ ("detail", str detail) ]
+            ())
     events;
   (* leftover open scopes (exit lost to a ring drop, or trace cut short) *)
   Hashtbl.iter

@@ -208,9 +208,12 @@ let feed t (e : Event.t) =
     | Event.Init _ ->
         (* untimed pre-run initialization, ordered before every task *)
         ()
-    | Event.Lock _ | Event.Noc_post _ | Event.Cache_maint _ | Event.Task _ ->
+    | Event.Lock _ | Event.Noc_post _ | Event.Cache_maint _ | Event.Task _
+    | Event.Fault _ ->
         (* back-end-level events; synchronization is derived from the
-           architecture-independent annotation events above *)
+           architecture-independent annotation events above.  Faults in
+           particular are transport-level noise the resilient protocol
+           hides from the memory model. *)
         ()
 
 let races t = List.rev t.races

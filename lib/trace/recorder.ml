@@ -113,6 +113,39 @@ let probe_sink t ~time (ev : Probe.event) =
         match op with Probe.Spawn -> Event.Spawn | Probe.Finish -> Event.Finish
       in
       push t ~core ~time (Event.Task { op })
+  | Probe.Fault f ->
+      (* NoC faults are attributed to the sending core (the side that
+         owns the retransmission protocol), the rest to the faulting
+         core itself. *)
+      let core, kind, detail =
+        match f with
+        | Probe.F_noc_drop { src; dst; seq; attempt } ->
+            ( src, Event.Noc_drop,
+              Printf.sprintf "%d>%d seq=%d attempt=%d" src dst seq attempt )
+        | Probe.F_noc_corrupt { src; dst; seq; attempt } ->
+            ( src, Event.Noc_corrupt,
+              Printf.sprintf "%d>%d seq=%d attempt=%d" src dst seq attempt )
+        | Probe.F_noc_delay { src; dst; seq; cycles } ->
+            ( src, Event.Noc_delay,
+              Printf.sprintf "%d>%d seq=%d +%d" src dst seq cycles )
+        | Probe.F_noc_retry { src; dst; seq; attempt; at } ->
+            ( src, Event.Noc_retry,
+              Printf.sprintf "%d>%d seq=%d attempt=%d at=%d" src dst seq
+                attempt at )
+        | Probe.F_link_dead { src; dst } ->
+            (src, Event.Link_dead, Printf.sprintf "%d>%d" src dst)
+        | Probe.F_noc_degraded { src; dst; seq } ->
+            ( src, Event.Noc_degraded,
+              Printf.sprintf "%d>%d seq=%d" src dst seq )
+        | Probe.F_sdram_retry { core; attempt } ->
+            (core, Event.Sdram_retry, Printf.sprintf "attempt=%d" attempt)
+        | Probe.F_tile_stall { core; cycles } ->
+            (core, Event.Tile_stall, Printf.sprintf "+%d" cycles)
+        | Probe.F_lock_timeout { core; lock; waited } ->
+            ( core, Event.Lock_timeout,
+              Printf.sprintf "lock#%d waited=%d" lock waited )
+      in
+      push t ~core ~time (Event.Fault { kind; detail })
 
 let attach ?(capacity = default_capacity) (api : Pmc.Api.t) : t =
   if capacity <= 0 then invalid_arg "Recorder.attach: capacity must be > 0";

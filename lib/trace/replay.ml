@@ -87,7 +87,7 @@ let lower (trace : Event.t list) : lowering =
           Hashtbl.replace inits (loc_of obj word) (Int32.to_int value)
       | Event.Annot _ -> ()
       | Event.Read8 _ | Event.Write8 _ | Event.Lock _ | Event.Noc_post _
-      | Event.Cache_maint _ | Event.Task _ ->
+      | Event.Cache_maint _ | Event.Task _ | Event.Fault _ ->
           incr skipped)
     trace;
   let init loc = Option.value ~default:0 (Hashtbl.find_opt inits loc) in

@@ -20,4 +20,5 @@ let () =
       Test_apps.suite;
       Test_trace.suite;
       Test_bench.suite;
+      Test_chaos.suite;
     ]

@@ -146,7 +146,7 @@ let test_double_acquire_rejected () =
   let failed = ref false in
   Machine.spawn m ~core:0 (fun () ->
       Dlock.acquire l;
-      (try Dlock.acquire l with Failure _ -> failed := true);
+      (try Dlock.acquire l with Pmc_error.Error _ -> failed := true);
       Dlock.release l);
   Machine.run m;
   Alcotest.(check bool) "re-entrant acquire fails" true !failed
