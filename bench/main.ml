@@ -420,11 +420,11 @@ module Ablations = struct
       Machine.run m;
       Engine.wall_time (Machine.engine m)
     in
-    Pmc.Shared.atomic_threshold := 4;
+    Pmc.Shared.set_atomic_threshold 4;
     let fast = fifo_wall () in
-    Pmc.Shared.atomic_threshold := 0;
+    Pmc.Shared.set_atomic_threshold 0;
     let locked = fifo_wall () in
-    Pmc.Shared.atomic_threshold := 4;
+    Pmc.Shared.set_atomic_threshold 4;
     Fmt.pr "word-atomic polls: %d cycles;  lock-every-entry_ro: %d cycles \
             (%.2fx slower)@."
       fast locked

@@ -9,15 +9,16 @@
 open Cmdliner
 open Pmc_model
 
-let print_programs () =
-  List.iter
-    (fun p ->
+let print_programs pool =
+  (* the (program × model) matrix fans out over the pool; rows come back
+     in program order, so the printout is identical at any width *)
+  List.iter2
+    (fun p row ->
       Fmt.pr "--- %s ---@." p.Lprog.name;
-      List.iter
-        (fun r -> Fmt.pr "%a@." Litmus.pp_result r)
-        (Litmus.compare_models p);
+      List.iter (fun r -> Fmt.pr "%a@." Litmus.pp_result r) row;
       Fmt.pr "@.")
     Lprog.all_standard
+    (Litmus.enumerate_matrix ~pool Lprog.all_standard)
 
 let print_graph title exec =
   Fmt.pr "--- %s ---@." title;
@@ -69,15 +70,22 @@ let print_figures () =
   ignore (Execution.release e ~proc:1 ~loc:0);
   print_graph "Fig. 5: multi-core communication (v0 = X, v1 = f)" e
 
-let print_drf () =
-  List.iter
-    (fun p ->
-      match Drf.find_race p with
-      | None ->
-          Fmt.pr "%-32s data-race free; PMC == SC: %b@." p.Lprog.name
-            (Drf.sc_equivalent p)
-      | Some r -> Fmt.pr "%-32s racy: %a@." p.Lprog.name Drf.pp_race r)
-    Lprog.all_standard
+let print_drf pool =
+  (* race analysis per program is independent work: compute in parallel,
+     print in program order *)
+  let results =
+    Pmc_par.Pool.map_list_ordered pool Lprog.all_standard ~f:(fun p ->
+        match Drf.find_race p with
+        | None -> `Drf (Drf.sc_equivalent p)
+        | Some r -> `Racy r)
+  in
+  List.iter2
+    (fun p result ->
+      match result with
+      | `Drf sc_eq ->
+          Fmt.pr "%-32s data-race free; PMC == SC: %b@." p.Lprog.name sc_eq
+      | `Racy r -> Fmt.pr "%-32s racy: %a@." p.Lprog.name Drf.pp_race r)
+    Lprog.all_standard results
 
 let print_dot () =
   let e = Execution.create ~procs:2 ~locs:2 () in
@@ -95,11 +103,12 @@ let print_dot () =
   ignore (Execution.release e ~proc:1 ~loc:0);
   print_string (Dot.of_execution e)
 
-let main figures drf dot =
+let main figures drf dot jobs =
   if figures then print_figures ()
-  else if drf then print_drf ()
   else if dot then print_dot ()
-  else print_programs ()
+  else
+    Pmc_par.Pool.with_pool ~jobs (fun pool ->
+        if drf then print_drf pool else print_programs pool)
 
 let cmd =
   Cmd.v
@@ -108,6 +117,12 @@ let cmd =
       const main
       $ Arg.(value & flag & info [ "figures" ] ~doc:"Print Fig. 2-5 graphs.")
       $ Arg.(value & flag & info [ "drf" ] ~doc:"Data-race analysis.")
-      $ Arg.(value & flag & info [ "dot" ] ~doc:"Fig. 5 as Graphviz dot."))
+      $ Arg.(value & flag & info [ "dot" ] ~doc:"Fig. 5 as Graphviz dot.")
+      $ Arg.(
+          value & opt int 1
+          & info [ "jobs"; "j" ] ~docv:"N"
+              ~doc:
+                "Enumerate on N domains (0 = recommended count).  Output \
+                 is identical at any width."))
 
 let () = exit (Cmd.eval cmd)

@@ -21,7 +21,7 @@ let load_report path =
 
 (* ---------------- run ---------------- *)
 
-let run_cmd suite_name label out unbatched warmup repeat quiet =
+let run_cmd suite_name label out unbatched warmup repeat jobs quiet =
   match
     Pmc_bench.Spec.suite ~label ~unbatched ~warmup ~repeat suite_name
   with
@@ -30,7 +30,10 @@ let run_cmd suite_name label out unbatched warmup repeat quiet =
         (String.concat ", " Pmc_bench.Spec.suite_names);
       exit 1
   | Some spec ->
-      let report = Pmc_bench.Report.run spec in
+      let report =
+        Pmc_par.Pool.with_pool ~jobs (fun pool ->
+            Pmc_bench.Report.run ~pool spec)
+      in
       if not quiet then Fmt.pr "%a" Pmc_bench.Report.pp report;
       (match out with
       | None -> ()
@@ -94,13 +97,23 @@ let repeat_t =
            across repeats (the simulator is deterministic); host time is \
            outlier-trimmed and averaged.")
 
+let jobs_t =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Measure cases on $(docv) domains.  1 (the default) is the \
+           exact sequential behaviour; 0 uses the recommended domain \
+           count.  Architectural metrics are identical at any width — \
+           only wall-clock time and $(b,host_s) change.")
+
 let quiet_t =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only write the report.")
 
 let run_term =
   Term.(
     const run_cmd $ suite_t $ label_t $ out_t $ unbatched_t $ warmup_t
-    $ repeat_t $ quiet_t)
+    $ repeat_t $ jobs_t $ quiet_t)
 
 let run_info =
   Cmd.info "run" ~doc:"Measure a benchmark suite and emit a JSON report"

@@ -40,7 +40,7 @@ let smoke_apps = [ "histogram"; "reduce"; "stencil" ]
 (* ---------------- soak ---------------- *)
 
 let soak_cmd app backend cores scale seeds seed_base intensity smoke
-    no_model_check replay_budget quiet =
+    no_model_check replay_budget jobs quiet =
   let backend = parse_backend backend in
   (* smoke geometry: small enough that every trace fits the replay
      budget and the model checker runs on every completed seed *)
@@ -59,8 +59,10 @@ let soak_cmd app backend cores scale seeds seed_base intensity smoke
     if not quiet then Fmt.pr "%a@." Pmc_apps.Chaos.pp_report r
   in
   let s =
-    Pmc_apps.Chaos.soak ~intensity ~model_check:(not no_model_check)
-      ?replay_budget ~progress ~apps ~backend ~cores ~scale ~seeds ()
+    Pmc_par.Pool.with_pool ~jobs (fun pool ->
+        Pmc_apps.Chaos.soak ~intensity ~model_check:(not no_model_check)
+          ?replay_budget ~progress ~pool ~apps ~backend ~cores ~scale ~seeds
+          ())
   in
   Fmt.pr "%a@." Pmc_apps.Chaos.pp_soak s;
   if not (Pmc_apps.Chaos.ok s) then begin
@@ -240,6 +242,15 @@ let no_model_check_t =
     & info [ "no-model-check" ]
         ~doc:"Skip the PMC model replay of completed runs.")
 
+let jobs_t =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run the wall of seeds on $(docv) domains.  1 (the default) is \
+           the exact sequential behaviour; 0 uses the recommended domain \
+           count.  Verdicts and output are identical at any width.")
+
 let quiet_t =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the summary.")
 
@@ -278,7 +289,7 @@ let soak_c =
     Term.(
       const soak_cmd $ app_opt_t $ backend_t $ cores_t $ scale_t $ seeds_t
       $ seed_base_t $ intensity_t $ smoke_t $ no_model_check_t
-      $ replay_budget_t $ quiet_t)
+      $ replay_budget_t $ jobs_t $ quiet_t)
 
 let run_c =
   Cmd.v (Cmd.info "run" ~doc:"One seeded chaos run with a full report")

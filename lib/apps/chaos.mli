@@ -72,11 +72,16 @@ type soak = {
 
 val soak :
   ?intensity:float -> ?model_check:bool -> ?replay_budget:int ->
-  ?capacity:int -> ?progress:(report -> unit) ->
+  ?capacity:int -> ?progress:(report -> unit) -> ?pool:Pmc_par.Pool.t ->
   apps:Runner.app list -> backend:Pmc.Backends.kind -> cores:int ->
   scale:int -> seeds:int list -> unit -> soak
-(** The wall of seeds: every app × every seed, with [progress] called
-    after each run. *)
+(** The wall of seeds: every app × every seed.  With a [pool] wider than
+    one domain the wall fans out in parallel; every verdict, the report
+    order and the counters are identical to the sequential soak (each
+    run is an independent deterministic universe), and [progress] is
+    then called in report order after the wall drains instead of live.
+    Without a pool (or at width 1) [progress] fires after each run, as
+    before. *)
 
 val ok : soak -> bool
 (** No unacceptable verdicts. *)

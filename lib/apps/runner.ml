@@ -34,6 +34,13 @@ type result = {
 let ok r = r.checksum = r.reference
 
 let run ?(cfg = Config.default) ?on_api (a : app) ~backend ~scale : result =
+  (* Each run is an independent universe: restart the domain-local
+     handle/lock id counters so ids — which appear in traces and replay
+     keys — are a pure function of (app, backend, cfg, scale), identical
+     whether the run executes alone, after other runs, or concurrently
+     with them on another domain of a [Pmc_par.Pool]. *)
+  Pmc.Shared.reset_ids ();
+  Pmc_lock.Dlock.reset_ids ();
   let m = Machine.create cfg in
   for core = 0 to cfg.Config.cores - 1 do
     Machine.set_code m ~core ~footprint:a.code_footprint

@@ -21,12 +21,27 @@ type row = {
   verdict : verdict;
 }
 
+(* Host wall time per case, shown so a parallel (--jobs) win is visible
+   in CI logs.  Informational only: host time is the one noisy,
+   machine-dependent quantity in a report, so it never gates. *)
+type host_row = {
+  host_case_id : string;
+  host_base : float;   (* seconds per run, baseline report *)
+  host_cur : float;
+  speedup : float;     (* base / cur; > 1 means the current run is faster *)
+}
+
 type outcome = {
   rows : row list;
+  hosts : host_row list;  (* cases present in both reports *)
   missing : string list;  (* cases in base absent from current *)
   added : string list;    (* cases in current absent from base *)
   broken : string list;   (* checksum or determinism failures in current *)
 }
+
+(* Speedups within ±[host_band] of 1.0 are reported as noise ("~"), not
+   as a win or a loss. *)
+let host_band = 0.10
 
 (* The architectural metrics worth gating, and how much drift to accept.
    The simulator is deterministic, so these tolerances absorb benign
@@ -94,7 +109,22 @@ let run ?(tolerances = default_tolerances) ~(base : Report.t)
               tolerances)
       bi
   in
-  { rows; missing; added; broken }
+  let hosts =
+    List.filter_map
+      (fun (id, (b : Measure.sample)) ->
+        match List.assoc_opt id ci with
+        | None -> None
+        | Some c ->
+            let hb = b.Measure.host_s and hc = c.Measure.host_s in
+            let speedup =
+              if hc > 0.0 then hb /. hc
+              else if hb = 0.0 then 1.0
+              else infinity
+            in
+            Some { host_case_id = id; host_base = hb; host_cur = hc; speedup })
+      bi
+  in
+  { rows; hosts; missing; added; broken }
 
 let regressions (o : outcome) =
   List.filter (fun r -> r.verdict = Regressed) o.rows
@@ -116,6 +146,19 @@ let pp ppf (o : outcome) =
         r.metric r.base r.cur (100.0 *. r.delta) (100.0 *. r.tol) pp_verdict
         r.verdict)
     o.rows;
+  if o.hosts <> [] then begin
+    Fmt.pf ppf "@.%-26s %12s %12s %9s  (host wall time; informational, \
+                never gated)@."
+      "case" "base s" "current s" "speedup";
+    List.iter
+      (fun h ->
+        Fmt.pf ppf "%-26s %12.4f %12.4f %8.2fx  %s@." h.host_case_id
+          h.host_base h.host_cur h.speedup
+          (if h.speedup >= 1.0 +. host_band then "faster"
+           else if h.speedup <= 1.0 -. host_band then "slower"
+           else "~"))
+      o.hosts
+  end;
   List.iter (fun id -> Fmt.pf ppf "MISSING from current report: %s@." id)
     o.missing;
   List.iter (fun id -> Fmt.pf ppf "new case (no baseline): %s@." id) o.added;

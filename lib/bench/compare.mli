@@ -19,12 +19,26 @@ type row = {
   verdict : verdict;
 }
 
+type host_row = {
+  host_case_id : string;
+  host_base : float;  (** host seconds per run in the baseline report *)
+  host_cur : float;
+  speedup : float;    (** [host_base /. host_cur]; > 1 = current faster *)
+}
+
 type outcome = {
   rows : row list;
+  hosts : host_row list;
+      (** Host wall time of cases present in both reports, with the
+          speedup shown by [pp] (e.g. the [--jobs N] win in CI logs).
+          Informational only — host time never gates. *)
   missing : string list;
   added : string list;
   broken : string list;
 }
+
+val host_band : float
+(** Fractional band around 1.0 inside which a speedup prints as noise. *)
 
 val default_tolerances : (string * float) list
 (** [cycles]/[noc_flits]/[flushes] at 2%, [lock_transfers] at 10% —

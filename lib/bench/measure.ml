@@ -73,11 +73,16 @@ let run_case ~unbatched ~warmup ~repeat (c : Spec.case) : sample =
     let base = { Config.default with cores = c.Spec.cores } in
     if unbatched then Config.unbatched base else base
   in
+  (* Monotonic-enough wall clock.  [Sys.time] is process-wide CPU time:
+     it over-counts whenever anything else runs in the process, and under
+     a parallel fan-out it would charge every case with the CPU burn of
+     all concurrently running cases.  Per-case wall time is the quantity
+     that stays meaningful at any [--jobs]. *)
   let once () =
-    let t0 = Sys.time () in
+    let t0 = Unix.gettimeofday () in
     let r = Pmc_apps.Runner.run ~cfg app ~backend:c.Spec.backend
         ~scale:c.Spec.scale in
-    let t1 = Sys.time () in
+    let t1 = Unix.gettimeofday () in
     (r, t1 -. t0)
   in
   for _ = 1 to warmup do
@@ -101,9 +106,13 @@ let run_case ~unbatched ~warmup ~repeat (c : Spec.case) : sample =
     host_s = trimmed_mean times;
   }
 
-(* ---------------- JSON (schema v1) ---------------- *)
+(* ---------------- JSON (schema v2) ----------------
 
-let schema_version = 1
+   v2 (this build): v1 plus a [jobs] field in the report header and
+   host_s measured as wall time.  v1 reports still load ([jobs]
+   defaults to 1). *)
+
+let schema_version = 2
 
 let metrics_to_json (m : metrics) : Json.t =
   Json.Obj

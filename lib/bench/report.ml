@@ -8,24 +8,35 @@ type t = {
   label : string;
   suite : string;
   unbatched : bool;
+  jobs : int;  (* pool width the suite was measured with (schema >= 2) *)
   samples : Measure.sample list;
 }
 
-let make ~(spec : Spec.t) samples =
+let make ?(jobs = 1) ~(spec : Spec.t) samples =
   {
     schema = Measure.schema_version;
     label = spec.Spec.label;
     suite = spec.Spec.suite;
     unbatched = spec.Spec.unbatched;
+    jobs;
     samples;
   }
 
-let run (spec : Spec.t) : t =
-  make ~spec
-    (List.map
-       (Measure.run_case ~unbatched:spec.Spec.unbatched
-          ~warmup:spec.Spec.warmup ~repeat:spec.Spec.repeat)
-       spec.Spec.cases)
+(* Cases are measured independently (one fresh machine per run), so the
+   suite fans out over the pool; [Pool.map_ordered] keeps the report's
+   sample order equal to the spec's case order at any width.  Only
+   [host_s] may differ from a sequential run — every architectural
+   metric is deterministic per case. *)
+let run ?pool (spec : Spec.t) : t =
+  let measure =
+    Measure.run_case ~unbatched:spec.Spec.unbatched ~warmup:spec.Spec.warmup
+      ~repeat:spec.Spec.repeat
+  in
+  match pool with
+  | None -> make ~spec (List.map measure spec.Spec.cases)
+  | Some pool ->
+      make ~jobs:(Pmc_par.Pool.jobs pool) ~spec
+        (Pmc_par.Pool.map_list_ordered pool spec.Spec.cases ~f:measure)
 
 let to_json (t : t) : Json.t =
   Json.Obj
@@ -34,26 +45,30 @@ let to_json (t : t) : Json.t =
       ("label", Json.Str t.label);
       ("suite", Json.Str t.suite);
       ("unbatched", Json.Bool t.unbatched);
+      ("jobs", Json.int t.jobs);
       ("results", Json.List (List.map Measure.sample_to_json t.samples));
     ]
 
 let fail msg = failwith ("Pmc_bench.Report: " ^ msg)
 
+(* Reads the current schema and, for backward compatibility, v1 (no
+   [jobs] field — those reports were sequential by construction). *)
 let of_json (j : Json.t) : t =
   let schema =
     match Json.get_int "schema" j with
     | Some v -> v
     | None -> fail "missing schema field"
   in
-  if schema <> Measure.schema_version then
+  if schema < 1 || schema > Measure.schema_version then
     fail
-      (Printf.sprintf "schema %d not supported (this build reads %d)" schema
-         Measure.schema_version);
+      (Printf.sprintf "schema %d not supported (this build reads 1..%d)"
+         schema Measure.schema_version);
   {
     schema;
     label = Option.value ~default:"" (Json.get_str "label" j);
     suite = Option.value ~default:"" (Json.get_str "suite" j);
     unbatched = Option.value ~default:false (Json.get_bool "unbatched" j);
+    jobs = Option.value ~default:1 (Json.get_int "jobs" j);
     samples =
       (match Json.get_list "results" j with
       | Some l -> List.map Measure.sample_of_json l

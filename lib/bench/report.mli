@@ -7,18 +7,25 @@ type t = {
   label : string;
   suite : string;
   unbatched : bool;
+  jobs : int;
+      (** Pool width the suite was measured with.  Architectural metrics
+          are identical at any width; only [host_s] is affected.  1 for
+          schema-v1 reports. *)
   samples : Measure.sample list;
 }
 
-val make : spec:Spec.t -> Measure.sample list -> t
+val make : ?jobs:int -> spec:Spec.t -> Measure.sample list -> t
 
-val run : Spec.t -> t
-(** Measure every case of the suite, in order. *)
+val run : ?pool:Pmc_par.Pool.t -> Spec.t -> t
+(** Measure every case of the suite.  With a pool, cases fan out over
+    its domains; the sample order (and every metric except [host_s]) is
+    identical to the sequential run. *)
 
 val to_json : t -> Json.t
 
 val of_json : Json.t -> t
-(** @raise Failure on malformed input or an unsupported schema
+(** Reads schema 2 (current) and schema 1 (loads with [jobs = 1]).
+    @raise Failure on malformed input or an unsupported schema
     version. *)
 
 val save : string -> t -> unit

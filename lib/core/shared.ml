@@ -37,19 +37,30 @@ type t = {
   mutable dirty_hi : int;
 }
 
-(* Objects of at most [!atomic_threshold] bytes are treated as atomic for
-   entry_ro (no locking).  4 = platform word (the default); 1 = the
+(* Objects of at most [atomic_threshold ()] bytes are treated as atomic
+   for entry_ro (no locking).  4 = platform word (the default); 1 = the
    paper's conservative byte rule; 0 = lock on every read-only entry.
-   Exposed as a knob for the ablation bench. *)
-let atomic_threshold = ref 4
+   Exposed as a knob for the ablation bench.
 
-let is_atomic_sized o = o.size <= !atomic_threshold
+   The knob and the id counter are domain-local: each domain of a
+   parallel fan-out ([Pmc_par.Pool]) gets an independent copy, so two
+   concurrent simulator runs can never cross-contaminate each other's
+   handle ids or locking rule. *)
+let atomic_threshold_key = Domain.DLS.new_key (fun () -> 4)
+
+let atomic_threshold () = Domain.DLS.get atomic_threshold_key
+let set_atomic_threshold n = Domain.DLS.set atomic_threshold_key n
+
+let is_atomic_sized o = o.size <= atomic_threshold ()
 
 let words o = (o.size + 3) / 4
 
-let next_id = ref 0
+let next_id = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_ids () = Domain.DLS.get next_id := 0
 
 let make ~name ~size ~lock =
+  let next_id = Domain.DLS.get next_id in
   let id = !next_id in
   incr next_id;
   { id; name; size; lock; sdram_addr = -1; dsm_off = -1; last_writer = -1;

@@ -28,15 +28,25 @@ type t = {
   mutable dirty_hi : int;      (** dirty byte range, exclusive end *)
 }
 
-val atomic_threshold : int ref
+val atomic_threshold : unit -> int
 (** Objects of at most this many bytes are atomic for entry_ro (no
     locking).  4 = the platform word (default); 1 = the paper's
-    conservative byte rule; 0 = always lock.  See DESIGN.md and the
+    conservative byte rule; 0 = always lock.  Domain-local: a setting
+    applies only to runs in the calling domain.  See DESIGN.md and the
     [ablate] bench. *)
+
+val set_atomic_threshold : int -> unit
 
 val is_atomic_sized : t -> bool
 val words : t -> int
 val make : name:string -> size:int -> lock:Pmc_lock.Dlock.t -> t
+
+val reset_ids : unit -> unit
+(** Restart handle-id allocation at 0 in the calling domain.  Ids are
+    domain-local; resetting at the start of every independent simulator
+    run ({!Pmc_apps.Runner.run} does) makes each run's ids — and hence
+    its trace — a pure function of the run, independent of what ran
+    before it or concurrently with it. *)
 
 val dsm_track : t -> cores:int -> unit
 (** Adopt the object for DSM version tracking: every replica starts at

@@ -32,9 +32,15 @@ type t = {
   mutable last_transfer_from : int;
 }
 
-let next_id = ref 0
+(* Domain-local so two concurrent runs in a parallel fan-out allocate
+   independent, per-domain-deterministic lock ids (they appear in traces
+   and replay keys). *)
+let next_id = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_ids () = Domain.DLS.get next_id := 0
 
 let create (m : Machine.t) : t =
+  let next_id = Domain.DLS.get next_id in
   let id = !next_id in
   incr next_id;
   {

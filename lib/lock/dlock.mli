@@ -13,6 +13,12 @@ type t
 
 val create : Pmc_sim.Machine.t -> t
 
+val reset_ids : unit -> unit
+(** Restart lock-id allocation at 0 in the calling domain.  Ids are
+    domain-local (they appear in traces and replay keys); resetting at
+    the start of every independent run makes a run's trace a pure
+    function of the run.  {!Pmc_apps.Runner.run} does this. *)
+
 val acquire : t -> unit
 (** Take the lock exclusively; FIFO among exclusive waiters.
     @raise Pmc_sim.Pmc_error.Error on re-entrant acquisition. *)

@@ -69,20 +69,57 @@ let pp_result ppf r =
        Printf.sprintf ", %d STUCK" r.stuck_states
      else "")
 
+(* Enumerate [programs × models], optionally fanning the independent
+   explorations out over a domain pool.  Each enumeration owns all its
+   state (memo table, queue), so the pool only changes wall-clock time;
+   results come back grouped per program, in [models] order — exactly the
+   sequential nesting. *)
+let enumerate_matrix ?limit ?pool ?(models = Models.all)
+    (programs : Lprog.t list) : result list list =
+  let pairs =
+    List.concat_map (fun p -> List.map (fun m -> (p, m)) models) programs
+  in
+  let f (p, m) = enumerate ?limit m p in
+  let flat =
+    match pool with
+    | Some pool -> Pmc_par.Pool.map_list_ordered pool pairs ~f
+    | None -> List.map f pairs
+  in
+  let per_program = List.length models in
+  let rec regroup = function
+    | [] -> []
+    | flat ->
+        let rec take n l =
+          if n = 0 then ([], l)
+          else
+            match l with
+            | [] -> invalid_arg "enumerate_matrix: short row"
+            | x :: rest ->
+                let row, rest = take (n - 1) rest in
+                (x :: row, rest)
+        in
+        let row, rest = take per_program flat in
+        row :: regroup rest
+  in
+  regroup flat
+
 (* Run one program under every model. *)
-let compare_models ?limit (p : Lprog.t) : result list =
-  List.map (fun m -> enumerate ?limit m p) Models.all
+let compare_models ?limit ?pool (p : Lprog.t) : result list =
+  match enumerate_matrix ?limit ?pool [ p ] with
+  | [ row ] -> row
+  | _ -> assert false
 
 (* The ordering-strength claims of Section IV-E, as checkable predicates
    over a set of *uniform* (read/write-only) programs:
    SC ⊆ PC ⊆ CC ⊆ Slow (each weaker model allows at least the stronger
    model's outcomes). *)
-let strength_chain_holds ?limit (programs : Lprog.t list) : bool =
-  List.for_all
-    (fun p ->
-      let sc = enumerate ?limit (module Models.Sc) p in
-      let pc = enumerate ?limit (module Models.Pc) p in
-      let cc = enumerate ?limit (module Models.Cc) p in
-      let slow = enumerate ?limit (module Models.Slow) p in
-      subset_of sc pc && subset_of pc cc && subset_of cc slow)
-    programs
+let strength_chain_holds ?limit ?pool (programs : Lprog.t list) : bool =
+  let models : (module Models.SEM) list =
+    [ (module Models.Sc); (module Models.Pc); (module Models.Cc);
+      (module Models.Slow) ]
+  in
+  enumerate_matrix ?limit ?pool ~models programs
+  |> List.for_all (function
+       | [ sc; pc; cc; slow ] ->
+           subset_of sc pc && subset_of pc cc && subset_of cc slow
+       | _ -> assert false)

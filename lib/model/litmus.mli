@@ -30,9 +30,19 @@ val subset_of : result -> result -> bool
 
 val pp_result : Format.formatter -> result -> unit
 
-val compare_models : ?limit:int -> Lprog.t -> result list
+val enumerate_matrix :
+  ?limit:int -> ?pool:Pmc_par.Pool.t -> ?models:(module Models.SEM) list ->
+  Lprog.t list -> result list list
+(** Enumerate every given program under every model (default
+    {!Models.all}), one row per program in [models] order.  Each
+    enumeration is independent, so with a [pool] the matrix fans out
+    over its domains; the results — outcome sets, state counts — are
+    identical to the sequential run at any width. *)
+
+val compare_models : ?limit:int -> ?pool:Pmc_par.Pool.t -> Lprog.t -> result list
 (** One result per model in {!Models.all}. *)
 
-val strength_chain_holds : ?limit:int -> Lprog.t list -> bool
+val strength_chain_holds :
+  ?limit:int -> ?pool:Pmc_par.Pool.t -> Lprog.t list -> bool
 (** outcomes(SC) ⊆ outcomes(PC) ⊆ outcomes(CC) ⊆ outcomes(Slow) on every
     given program. *)

@@ -21,4 +21,5 @@ let () =
       Test_trace.suite;
       Test_bench.suite;
       Test_chaos.suite;
+      Test_par.suite;
     ]

@@ -99,6 +99,7 @@ let mk_report samples =
     label = "t";
     suite = "synthetic";
     unbatched = false;
+    jobs = 1;
     samples;
   }
 
