@@ -2,23 +2,20 @@
    semantics of each memory model, and print the dependency graphs of the
    paper's figures.
 
-     litmus_run                  # all standard programs, all models
-     litmus_run --figures        # Fig. 2-5 dependency graphs
-     litmus_run --drf            # data-race-freedom analysis *)
+     litmus_run                   # all standard programs, all models
+     litmus_run -p mp_fence       # one program (repeatable)
+     litmus_run --figures         # Fig. 2-5 dependency graphs
+     litmus_run --drf             # data-race-freedom analysis
+
+   Enumeration goes through the shared Pmc_jobs layer — the same code
+   path the pmc_serve daemon runs — so this CLI and a daemon answer are
+   byte-identical.  Exit codes follow the documented convention:
+   0 success; 2 input, budget or runtime error; 3 property failure;
+   4 formal PMC-model inconsistency (the latter two do not arise from
+   pure enumeration). *)
 
 open Cmdliner
 open Pmc_model
-
-let print_programs pool =
-  (* the (program × model) matrix fans out over the pool; rows come back
-     in program order, so the printout is identical at any width *)
-  List.iter2
-    (fun p row ->
-      Fmt.pr "--- %s ---@." p.Lprog.name;
-      List.iter (fun r -> Fmt.pr "%a@." Litmus.pp_result r) row;
-      Fmt.pr "@.")
-    Lprog.all_standard
-    (Litmus.enumerate_matrix ~pool Lprog.all_standard)
 
 let print_graph title exec =
   Fmt.pr "--- %s ---@." title;
@@ -103,26 +100,74 @@ let print_dot () =
   ignore (Execution.release e ~proc:1 ~loc:0);
   print_string (Dot.of_execution e)
 
-let main figures drf dot jobs =
-  if figures then print_figures ()
-  else if dot then print_dot ()
+(* The default mode: one Pmc_jobs litmus job per program (all models),
+   fanned over the pool; sections print in program order, so the output
+   is identical at any width — and to the pmc_serve daemon's answers. *)
+let print_programs pool programs =
+  let jobs =
+    List.map
+      (fun (p : Lprog.t) ->
+        Pmc_jobs.Job.Litmus
+          { Pmc_jobs.Job.program = p.Lprog.name; models = []; limit = None })
+      programs
+  in
+  let results = Pmc_jobs.Run.run_all ~pool jobs in
+  List.iter (fun r -> Fmt.pr "%a" Pmc_jobs.Result.pp r) results;
+  Pmc_jobs.Result.exit_code_all results
+
+let main figures drf dot programs jobs =
+  if figures then (print_figures (); 0)
+  else if dot then (print_dot (); 0)
   else
-    Pmc_par.Pool.with_pool ~jobs (fun pool ->
-        if drf then print_drf pool else print_programs pool)
+    let selection =
+      match programs with
+      | [] -> Ok Lprog.all_standard
+      | names ->
+          let missing =
+            List.filter
+              (fun n -> Pmc_jobs.Run.find_program n = None)
+              names
+          in
+          if missing <> [] then Error missing
+          else Ok (List.filter_map Pmc_jobs.Run.find_program names)
+    in
+    match selection with
+    | Error missing ->
+        List.iter
+          (fun n ->
+            Fmt.epr "unknown program %S (known: %s)@." n
+              (String.concat ", " Pmc_jobs.Run.program_names))
+          missing;
+        2
+    | Ok selected ->
+        Pmc_par.Pool.with_pool ~jobs (fun pool ->
+            if drf then (print_drf pool; 0)
+            else print_programs pool selected)
 
 let cmd =
   Cmd.v
-    (Cmd.info "litmus_run" ~doc:"Memory-model litmus tests and figures")
+    (Cmd.info "litmus_run" ~doc:"Memory-model litmus tests and figures"
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"enumeration (or analysis) succeeded.";
+           Cmd.Exit.info 2
+             ~doc:"input error: unknown program name or exhausted budget.";
+           Cmd.Exit.info 3 ~doc:"property failure (reserved; unused here).";
+           Cmd.Exit.info 4
+             ~doc:"formal PMC-model inconsistency (reserved; unused here).";
+         ])
     Term.(
       const main
       $ Arg.(value & flag & info [ "figures" ] ~doc:"Print Fig. 2-5 graphs.")
       $ Arg.(value & flag & info [ "drf" ] ~doc:"Data-race analysis.")
       $ Arg.(value & flag & info [ "dot" ] ~doc:"Fig. 5 as Graphviz dot.")
       $ Arg.(
-          value & opt int 1
-          & info [ "jobs"; "j" ] ~docv:"N"
+          value & opt_all string []
+          & info [ "program"; "p" ] ~docv:"NAME"
               ~doc:
-                "Enumerate on N domains (0 = recommended count).  Output \
-                 is identical at any width."))
+                "Enumerate only $(docv) (repeatable).  Slugs like \
+                 $(b,mp_fence), $(b,sb), $(b,iriw) or full descriptive \
+                 names; default: every standard program.")
+      $ Pmc_par.Cli.term ~action:"Enumerate" ())
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -97,15 +97,7 @@ let repeat_t =
            across repeats (the simulator is deterministic); host time is \
            outlier-trimmed and averaged.")
 
-let jobs_t =
-  Arg.(
-    value & opt int 1
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Measure cases on $(docv) domains.  1 (the default) is the \
-           exact sequential behaviour; 0 uses the recommended domain \
-           count.  Architectural metrics are identical at any width — \
-           only wall-clock time and $(b,host_s) change.")
+let jobs_t = Pmc_par.Cli.term ~action:"Measure cases" ()
 
 let quiet_t =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only write the report.")

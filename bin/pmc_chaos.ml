@@ -3,8 +3,8 @@
      pmc_chaos soak --seeds 20 --backend dsm
          run every registered app under 20 seeded fault schedules;
          each run must complete correctly or fail with a typed error —
-         a silent wrong answer or a PMC-inconsistent trace fails the
-         soak (exit 1);
+         a silent wrong answer (exit 3) or a PMC-inconsistent trace
+         (exit 4) fails the soak;
      pmc_chaos soak --seeds 20 --smoke
          the CI gate: three kernels at a small geometry;
      pmc_chaos run --app stencil --seed 7 --intensity 2.0
@@ -13,7 +13,12 @@
          assert the zero-cost-when-off invariant: disarmed chaos
          machines ([Config.no_faults (Config.chaos ...)]) reproduce the
          fault-free runs bit for bit, including the committed benchmark
-         baseline's architectural metrics. *)
+         baseline's architectural metrics.
+
+   Seeded runs go through the shared Pmc_jobs layer — the same code
+   path the pmc_serve daemon runs.  Exit codes follow the documented
+   convention: 0 success; 2 input error; 3 property failure (wrong
+   result, zerocost difference); 4 formal PMC-model inconsistency. *)
 
 open Cmdliner
 open Pmc_sim
@@ -23,7 +28,7 @@ let parse_backend s =
   | Some b -> b
   | None ->
       Fmt.epr "unknown backend %S (seqcst|nocc|swcc|dsm|spm)@." s;
-      exit 1
+      exit 2
 
 let parse_app s =
   match Pmc_apps.Registry.find s with
@@ -31,7 +36,7 @@ let parse_app s =
   | None ->
       Fmt.epr "unknown app %S; one of: %s@." s
         (String.concat ", " Pmc_apps.Registry.names);
-      exit 1
+      exit 2
 
 (* The smoke matrix: three kernels with distinct traffic shapes at a
    geometry small enough for CI. *)
@@ -39,31 +44,79 @@ let smoke_apps = [ "histogram"; "reduce"; "stencil" ]
 
 (* ---------------- soak ---------------- *)
 
+(* A soak failure exits 4 when any run's model replay found the trace
+   PMC-inconsistent, else 3 — wrong results are property failures. *)
+let soak_exit_code (reports : Pmc_apps.Chaos.report list) =
+  if
+    List.exists
+      (fun (r : Pmc_apps.Chaos.report) ->
+        match r.Pmc_apps.Chaos.verdict with
+        | Pmc_apps.Chaos.Inconsistent _ -> true
+        | _ -> false)
+      reports
+  then 4
+  else 3
+
+let chaos_job ~app ~backend ~cores ~scale ~seed ~intensity ~model_check
+    ~replay_budget =
+  Pmc_jobs.Job.Chaos
+    {
+      Pmc_jobs.Job.c_app = app;
+      c_backend = backend;
+      c_cores = cores;
+      c_scale = scale;
+      seed;
+      intensity;
+      model_check;
+      replay_budget;
+    }
+
 let soak_cmd app backend cores scale seeds seed_base intensity smoke
     no_model_check replay_budget jobs quiet =
-  let backend = parse_backend backend in
+  ignore (parse_backend backend);
   (* smoke geometry: small enough that every trace fits the replay
      budget and the model checker runs on every completed seed *)
   let cores, scale = if smoke then (4, min scale 4) else (cores, scale) in
-  let apps =
+  let app_names =
     match app with
-    | Some a -> [ parse_app a ]
+    | Some a ->
+        ignore (parse_app a);
+        [ a ]
     | None ->
-        let names =
-          if smoke then smoke_apps else Pmc_apps.Registry.names
-        in
-        List.map parse_app names
+        let names = if smoke then smoke_apps else Pmc_apps.Registry.names in
+        List.iter (fun a -> ignore (parse_app a)) names;
+        names
   in
   let seeds = List.init (max 1 seeds) (fun i -> seed_base + i) in
-  let progress r =
-    if not quiet then Fmt.pr "%a@." Pmc_apps.Chaos.pp_report r
+  (* the wall of seeds as one job batch: apps outer, seeds inner — the
+     same run order (and therefore the same bytes) as always *)
+  let wall =
+    List.concat_map
+      (fun a ->
+        List.map
+          (fun seed ->
+            chaos_job ~app:a ~backend ~cores ~scale ~seed ~intensity
+              ~model_check:(not no_model_check) ~replay_budget)
+          seeds)
+      app_names
   in
-  let s =
+  let results =
     Pmc_par.Pool.with_pool ~jobs (fun pool ->
-        Pmc_apps.Chaos.soak ~intensity ~model_check:(not no_model_check)
-          ?replay_budget ~progress ~pool ~apps ~backend ~cores ~scale ~seeds
-          ())
+        Pmc_jobs.Run.run_all ~pool wall)
   in
+  let reports =
+    List.filter_map
+      (function
+        | Pmc_jobs.Result.Chaos_soaked r -> Some r
+        | Pmc_jobs.Result.Error e ->
+            Fmt.epr "soak: %s@." e.Pmc_jobs.Result.detail;
+            exit 2
+        | _ -> None)
+      results
+  in
+  if not quiet then
+    List.iter (fun r -> Fmt.pr "%a@." Pmc_apps.Chaos.pp_report r) reports;
+  let s = Pmc_apps.Chaos.summarize reports in
   Fmt.pr "%a@." Pmc_apps.Chaos.pp_soak s;
   if not (Pmc_apps.Chaos.ok s) then begin
     List.iter
@@ -71,22 +124,25 @@ let soak_cmd app backend cores scale seeds seed_base intensity smoke
         if not (Pmc_apps.Chaos.acceptable r.Pmc_apps.Chaos.verdict) then
           Fmt.epr "FAILED: %a@." Pmc_apps.Chaos.pp_report r)
       s.Pmc_apps.Chaos.reports;
-    exit 1
+    exit (soak_exit_code s.Pmc_apps.Chaos.reports)
   end
 
 (* ---------------- run ---------------- *)
 
 let run_cmd app backend cores scale seed intensity no_model_check
     replay_budget =
-  let app = parse_app app and backend = parse_backend backend in
+  ignore (parse_app app);
+  ignore (parse_backend backend);
   let r =
-    Pmc_apps.Chaos.run_one ~intensity ~model_check:(not no_model_check)
-      ?replay_budget app ~backend ~cores ~scale ~seed
+    Pmc_jobs.Run.run
+      (chaos_job ~app ~backend ~cores ~scale ~seed ~intensity
+         ~model_check:(not no_model_check) ~replay_budget)
   in
-  Fmt.pr "%a@." Pmc_apps.Chaos.pp_report r;
-  Fmt.pr "trace: %d events captured, %d dropped@." r.Pmc_apps.Chaos.events
-    r.Pmc_apps.Chaos.dropped;
-  if not (Pmc_apps.Chaos.acceptable r.Pmc_apps.Chaos.verdict) then exit 1
+  Fmt.pr "%a" Pmc_jobs.Result.pp r;
+  (match r with
+  | Pmc_jobs.Result.Error e -> Fmt.epr "run: %s@." e.Pmc_jobs.Result.detail
+  | _ -> ());
+  match Pmc_jobs.Result.exit_code r with 0 -> () | c -> exit c
 
 (* ---------------- zerocost ---------------- *)
 
@@ -194,7 +250,7 @@ let zerocost_cmd baseline seed quiet =
     Fmt.epr
       "zerocost: %d case(s) differ — the disarmed fault plane is not free@."
       !failures;
-    exit 1
+    exit 3
   end;
   Fmt.pr "zerocost: disarmed chaos machines are bit-identical to baseline@."
 
@@ -242,14 +298,7 @@ let no_model_check_t =
     & info [ "no-model-check" ]
         ~doc:"Skip the PMC model replay of completed runs.")
 
-let jobs_t =
-  Arg.(
-    value & opt int 1
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Run the wall of seeds on $(docv) domains.  1 (the default) is \
-           the exact sequential behaviour; 0 uses the recommended domain \
-           count.  Verdicts and output are identical at any width.")
+let jobs_t = Pmc_par.Cli.term ~action:"Run the wall of seeds" ()
 
 let quiet_t =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the summary.")
@@ -283,16 +332,29 @@ let soak_c =
     (Cmd.info "soak"
        ~doc:"Run apps under a wall of seeded fault schedules"
        ~exits:
-         (Cmd.Exit.info 1
-            ~doc:"a run produced a wrong result or an inconsistent trace."
-         :: Cmd.Exit.defaults))
+         [
+           Cmd.Exit.info 0 ~doc:"every run completed or failed typed.";
+           Cmd.Exit.info 2 ~doc:"input error: unknown app or backend.";
+           Cmd.Exit.info 3 ~doc:"property failure: a silent wrong result.";
+           Cmd.Exit.info 4
+             ~doc:"a model replay found a trace PMC-inconsistent.";
+         ])
     Term.(
       const soak_cmd $ app_opt_t $ backend_t $ cores_t $ scale_t $ seeds_t
       $ seed_base_t $ intensity_t $ smoke_t $ no_model_check_t
       $ replay_budget_t $ jobs_t $ quiet_t)
 
 let run_c =
-  Cmd.v (Cmd.info "run" ~doc:"One seeded chaos run with a full report")
+  Cmd.v
+    (Cmd.info "run" ~doc:"One seeded chaos run with a full report"
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"the run completed or failed typed.";
+           Cmd.Exit.info 2 ~doc:"input error: unknown app or backend.";
+           Cmd.Exit.info 3 ~doc:"property failure: a silent wrong result.";
+           Cmd.Exit.info 4
+             ~doc:"the model replay found the trace PMC-inconsistent.";
+         ])
     Term.(
       const run_cmd $ app_t $ backend_t $ cores_t $ scale_t $ seed_t
       $ intensity_t $ no_model_check_t $ replay_budget_t)
@@ -302,9 +364,12 @@ let zerocost_c =
     (Cmd.info "zerocost"
        ~doc:"Assert the disarmed fault plane costs nothing"
        ~exits:
-         (Cmd.Exit.info 1 ~doc:"a disarmed run differed from baseline."
-         :: Cmd.Exit.info 2 ~doc:"the baseline report could not be read."
-         :: Cmd.Exit.defaults))
+         [
+           Cmd.Exit.info 0 ~doc:"disarmed runs are bit-identical.";
+           Cmd.Exit.info 2 ~doc:"the baseline report could not be read.";
+           Cmd.Exit.info 3
+             ~doc:"property failure: a disarmed run differed from baseline.";
+         ])
     Term.(const zerocost_cmd $ baseline_t $ seed_t $ quiet_t)
 
 let main_c =

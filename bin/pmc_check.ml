@@ -6,45 +6,48 @@
      pmc_check                            # check + lower the built-in examples
      pmc_check --file prog.pmc            # check + lower a program file
      pmc_check -f a.pmc -f b.pmc -j 4     # batch, checked on 4 domains
-     pmc_check --table                    # the lowering table per object size *)
+     pmc_check --table                    # the lowering table per object size
+
+   Checking goes through the shared Pmc_jobs layer — the same code path
+   the pmc_serve daemon runs.  Exit codes follow the documented
+   convention: 0 all programs pass; 2 input error (unreadable file or
+   parse failure); 3 property failure (discipline errors); 4 reserved
+   for formal PMC-model inconsistency. *)
 
 open Cmdliner
 
 let builtin = [ Pmc_compile.Ir.fig6; Pmc_compile.Ir.fig6_missing_fence ]
 
-(* Check every program on the pool, then print reports sequentially in
+(* Check a batch of jobs on the pool and print reports sequentially in
    input order — workers never touch the formatter, so the output is
    byte-identical at any --jobs. *)
-let check_programs pool (programs : Pmc_compile.Ir.program list) : bool =
-  let reports =
-    Pmc_par.Pool.map_list_ordered pool programs ~f:Pmc_compile.Check.check
-  in
-  List.iter2
-    (fun p r ->
-      Pmc_compile.Report.pp_check Fmt.stdout p r;
-      Pmc_compile.Report.pp_program_expansion Fmt.stdout
-        Pmc_sim.Config.default p;
-      Fmt.pr "@.")
-    programs reports;
-  List.for_all Pmc_compile.Check.ok reports
+let check_jobs pool jobs =
+  let results = Pmc_jobs.Run.run_all ~pool jobs in
+  List.iter
+    (fun r ->
+      match r with
+      | Pmc_jobs.Result.Error e -> Fmt.epr "%s@." e.Pmc_jobs.Result.detail
+      | r -> Fmt.pr "%a" Pmc_jobs.Result.pp r)
+    results;
+  Pmc_jobs.Result.exit_code_all results
 
-let check_files pool paths =
-  let parsed =
-    List.map
-      (fun path ->
-        match Pmc_compile.Parse.parse_file path with
-        | Ok p -> Ok p
-        | Error errs ->
-            List.iter
-              (fun e ->
-                Fmt.epr "%s: %a@." path Pmc_compile.Parse.pp_error e)
-              errs;
-            Error path)
-      paths
-  in
-  let programs = List.filter_map Result.to_option parsed in
-  let all_ok = programs = [] || check_programs pool programs in
-  if List.exists Result.is_error parsed then 2 else if all_ok then 0 else 1
+let builtin_jobs () =
+  List.map
+    (fun (p : Pmc_compile.Ir.program) ->
+      Pmc_jobs.Job.Check
+        {
+          Pmc_jobs.Job.name = p.Pmc_compile.Ir.pname;
+          source = Pmc_compile.Parse.print p;
+        })
+    builtin
+
+let file_jobs paths =
+  List.map
+    (fun path ->
+      match In_channel.with_open_text path In_channel.input_all with
+      | source -> Ok (Pmc_jobs.Job.Check { Pmc_jobs.Job.name = path; source })
+      | exception Sys_error msg -> Error (path, msg))
+    paths
 
 let table sizes =
   List.iter
@@ -60,13 +63,38 @@ let main show_table files jobs =
     Pmc_par.Pool.with_pool ~jobs (fun pool ->
         match files with
         | [] ->
-            ignore (check_programs pool builtin);
+            (* the built-in examples are a demonstration: fig6_missing_fence
+               is *meant* to fail its check, so the exit code stays 0 *)
+            ignore (check_jobs pool (builtin_jobs ()));
             0
-        | paths -> check_files pool paths)
+        | paths -> (
+            match file_jobs paths with
+            | jobs_or_errors ->
+                List.iter
+                  (function
+                    | Error (path, msg) ->
+                        Fmt.epr "cannot read %s: %s@." path msg
+                    | Ok _ -> ())
+                  jobs_or_errors;
+                let jobs =
+                  List.filter_map Stdlib.Result.to_option jobs_or_errors
+                in
+                let code = if jobs = [] then 0 else check_jobs pool jobs in
+                if List.exists Stdlib.Result.is_error jobs_or_errors then 2
+                else code))
 
 let cmd =
   Cmd.v
-    (Cmd.info "pmc_check" ~doc:"Static PMC annotation checking & lowering")
+    (Cmd.info "pmc_check" ~doc:"Static PMC annotation checking & lowering"
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"every checked program passed.";
+           Cmd.Exit.info 2 ~doc:"input error: unreadable file or parse failure.";
+           Cmd.Exit.info 3
+             ~doc:"property failure: a program has discipline errors.";
+           Cmd.Exit.info 4
+             ~doc:"formal PMC-model inconsistency (reserved; unused here).";
+         ])
     Term.(
       const main
       $ Arg.(value & flag & info [ "table" ] ~doc:"Print lowering tables.")
@@ -78,11 +106,6 @@ let cmd =
                 "Check an annotated program file.  Repeatable; the batch \
                  is checked in parallel under --jobs and reported in \
                  argument order.")
-      $ Arg.(
-          value & opt int 1
-          & info [ "jobs"; "j" ] ~docv:"N"
-              ~doc:
-                "Check the batch on N domains (0 = recommended count).  \
-                 Output is identical at any width."))
+      $ Pmc_par.Cli.term ~action:"Check the batch" ())
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,490 @@
+(* pmc_serve — persistent checking/simulation service with a verdict
+   cache.
+
+     pmc_serve daemon --socket /tmp/pmc.sock --jobs 4
+         serve litmus/check/bench/chaos jobs over a Unix-domain socket,
+         multiplexed onto a domain pool, with an LRU verdict cache;
+     pmc_serve submit litmus --program mp_fence --socket /tmp/pmc.sock
+         one job over the socket, rendered exactly as the one-shot CLI
+         would render it;
+     pmc_serve submit bench --app stencil --local
+         the same job executed in-process (no daemon) — the comparator
+         CI diffs daemon answers against;
+     pmc_serve stats --socket /tmp/pmc.sock
+         queue depth, cache hit rate, pool width;
+     pmc_serve shutdown --socket /tmp/pmc.sock
+         graceful drain: outstanding jobs finish, parked replies are
+         delivered, then the daemon exits.
+
+   Exit codes follow the documented convention: 0 success; 2 input,
+   budget or runtime error; 3 property failure (discipline errors,
+   checksum mismatch, wrong result); 4 formal PMC-model
+   inconsistency. *)
+
+open Cmdliner
+module Job = Pmc_jobs.Job
+module Jresult = Pmc_jobs.Result
+module Run = Pmc_jobs.Run
+module Protocol = Pmc_serve.Protocol
+
+let exit_codes_doc =
+  [
+    Cmd.Exit.info 0 ~doc:"the job succeeded.";
+    Cmd.Exit.info 2
+      ~doc:"input error, exhausted budget, runtime error or daemon rejection.";
+    Cmd.Exit.info 3
+      ~doc:
+        "property failure: discipline errors, checksum mismatch or wrong \
+         result.";
+    Cmd.Exit.info 4 ~doc:"formal PMC-model inconsistency.";
+  ]
+
+let socket_t =
+  Arg.(
+    value
+    & opt string "/tmp/pmc_serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let max_cycles_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-cycles" ] ~docv:"N"
+        ~doc:"Per-request simulated-cycle budget (tightens the watchdog).")
+
+let max_states_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-states" ] ~docv:"N"
+        ~doc:"Per-request state budget for litmus enumeration.")
+
+let budget_of max_cycles max_states = { Run.max_cycles; max_states }
+
+(* ---------------- daemon ---------------- *)
+
+let daemon_cmd socket jobs cache_capacity max_queue max_cycles max_states
+    quiet =
+  let budget = budget_of max_cycles max_states in
+  Pmc_par.Pool.with_pool ~jobs (fun pool ->
+      let server =
+        Pmc_serve.Server.create ~budget ~cache_capacity ~max_queue pool
+      in
+      if not quiet then
+        Fmt.pr "pmc_serve: listening on %s (width %d, cache %d, queue %d)@."
+          socket
+          (Pmc_serve.Server.width server)
+          cache_capacity max_queue;
+      (match Pmc_serve.Daemon.serve ~socket_path:socket server with
+      | () -> ()
+      | exception Unix.Unix_error (e, op, arg) ->
+          Fmt.epr "pmc_serve: %s %s: %s@." op arg (Unix.error_message e);
+          exit 2);
+      if not quiet then
+        let s = Pmc_serve.Server.stats server in
+        Fmt.pr
+          "pmc_serve: drained; %d jobs completed, %d rejected, %d/%d cache \
+           hits@."
+          s.Protocol.completed s.Protocol.rejected s.Protocol.cache_hits
+          (s.Protocol.cache_hits + s.Protocol.cache_misses))
+
+(* ---------------- submit ---------------- *)
+
+let connect socket =
+  match Pmc_serve.Client.connect socket with
+  | c -> c
+  | exception Unix.Unix_error (e, _, _) ->
+      Fmt.epr "pmc_serve: cannot connect to %s: %s@." socket
+        (Unix.error_message e);
+      exit 2
+
+(* Run [job] locally or over the socket and render the result exactly
+   as the corresponding one-shot CLI would; exit per the 0/2/3/4
+   convention. *)
+let submit_job ~socket ~local ~no_wait ~budget job =
+  if local then begin
+    let r = Run.run ~budget job in
+    Fmt.pr "%a" Jresult.pp r;
+    (match r with
+    | Jresult.Error e -> Fmt.epr "pmc_serve: %s@." e.Jresult.detail
+    | _ -> ());
+    exit (Jresult.exit_code r)
+  end
+  else
+    Pmc_serve.Client.with_connection socket @@ fun c ->
+    match
+      Pmc_serve.Client.request c
+        (Protocol.Submit { job; budget; wait = not no_wait })
+    with
+    | Protocol.Submitted { id; cached } ->
+        Fmt.pr "submitted %d%s@." id (if cached then " (cached)" else "")
+    | Protocol.Job_result { result; _ } ->
+        Fmt.pr "%a" Jresult.pp result;
+        (match result with
+        | Jresult.Error e -> Fmt.epr "pmc_serve: %s@." e.Jresult.detail
+        | _ -> ());
+        exit (Jresult.exit_code result)
+    | Protocol.Rejected { reason } ->
+        Fmt.epr "pmc_serve: rejected: %s@." reason;
+        exit 2
+    | Protocol.Protocol_error { reason } ->
+        Fmt.epr "pmc_serve: protocol error: %s@." reason;
+        exit 2
+    | _ ->
+        Fmt.epr "pmc_serve: unexpected response@.";
+        exit 2
+
+let local_t =
+  Arg.(
+    value & flag
+    & info [ "local" ]
+        ~doc:
+          "Execute in-process instead of over the socket — the one-shot \
+           comparator the daemon's answers are byte-identical to.")
+
+let no_wait_t =
+  Arg.(
+    value & flag
+    & info [ "no-wait" ]
+        ~doc:"Print the job ticket instead of waiting for the result.")
+
+let submit_litmus_cmd socket local no_wait max_cycles max_states program
+    models limit =
+  submit_job ~socket ~local ~no_wait
+    ~budget:(budget_of max_cycles max_states)
+    (Job.Litmus { Job.program; models; limit })
+
+let submit_check_cmd socket local no_wait max_cycles max_states builtin file =
+  let name, source =
+    match (builtin, file) with
+    | Some b, None ->
+        let p =
+          match b with
+          | "fig6" -> Pmc_compile.Ir.fig6
+          | "fig6_missing_fence" -> Pmc_compile.Ir.fig6_missing_fence
+          | _ ->
+              Fmt.epr "unknown builtin %S (fig6|fig6_missing_fence)@." b;
+              exit 2
+        in
+        (p.Pmc_compile.Ir.pname, Pmc_compile.Parse.print p)
+    | None, Some f -> (
+        match In_channel.with_open_text f In_channel.input_all with
+        | s -> (Filename.basename f, s)
+        | exception Sys_error msg ->
+            Fmt.epr "cannot read %s: %s@." f msg;
+            exit 2)
+    | _ ->
+        Fmt.epr "exactly one of FILE or --builtin is required@.";
+        exit 2
+  in
+  submit_job ~socket ~local ~no_wait
+    ~budget:(budget_of max_cycles max_states)
+    (Job.Check { Job.name; source })
+
+let submit_bench_cmd socket local no_wait max_cycles max_states app backend
+    cores scale unbatched warmup repeat =
+  submit_job ~socket ~local ~no_wait
+    ~budget:(budget_of max_cycles max_states)
+    (Job.Bench { Job.app; backend; cores; scale; unbatched; warmup; repeat })
+
+let submit_chaos_cmd socket local no_wait max_cycles max_states app backend
+    cores scale seed intensity no_model_check replay_budget =
+  submit_job ~socket ~local ~no_wait
+    ~budget:(budget_of max_cycles max_states)
+    (Job.Chaos
+       {
+         Job.c_app = app;
+         c_backend = backend;
+         c_cores = cores;
+         c_scale = scale;
+         seed;
+         intensity;
+         model_check = not no_model_check;
+         replay_budget;
+       })
+
+(* ---------------- stats / shutdown ---------------- *)
+
+let stats_cmd socket json =
+  Pmc_serve.Client.with_connection socket @@ fun c ->
+  match Pmc_serve.Client.request c Protocol.Stats with
+  | Protocol.Stats_reply s ->
+      if json then
+        Fmt.pr "%s@." (Pmc_bench.Json.to_compact (Protocol.stats_to_json s))
+      else begin
+        Fmt.pr "width:         %d@." s.Protocol.width;
+        Fmt.pr "queue depth:   %d (%d running)@." s.Protocol.queue_depth
+          s.Protocol.running;
+        Fmt.pr "submitted:     %d@." s.Protocol.submitted;
+        Fmt.pr "completed:     %d@." s.Protocol.completed;
+        Fmt.pr "rejected:      %d@." s.Protocol.rejected;
+        Fmt.pr "cache:         %d hits, %d misses, %d entries@."
+          s.Protocol.cache_hits s.Protocol.cache_misses
+          s.Protocol.cache_entries;
+        if s.Protocol.draining then Fmt.pr "draining@."
+      end
+  | _ ->
+      Fmt.epr "pmc_serve: unexpected response@.";
+      exit 2
+
+let shutdown_cmd socket =
+  let c = connect socket in
+  (match Pmc_serve.Client.request c Protocol.Shutdown with
+  | Protocol.Shutdown_started { pending } ->
+      Fmt.pr "shutting down; %d job(s) draining@." pending
+  | _ ->
+      Fmt.epr "pmc_serve: unexpected response@.";
+      exit 2);
+  Pmc_serve.Client.close c
+
+(* ---------------- bench-client ---------------- *)
+
+(* Load generator: submit a round-robin batch of litmus jobs in wait
+   mode over one connection and report how many came from the verdict
+   cache.  Repeat a run against a warm daemon and every request should
+   be a hit. *)
+let bench_client_cmd socket requests model =
+  Pmc_serve.Client.with_connection socket @@ fun c ->
+  let programs = Array.of_list Run.program_names in
+  let fresh = ref 0 and cached = ref 0 and failed = ref 0 in
+  let tickets = ref [] in
+  for i = 0 to requests - 1 do
+    let program = programs.(i mod Array.length programs) in
+    let job =
+      Job.Litmus { Job.program; models = [ model ]; limit = None }
+    in
+    match
+      Pmc_serve.Client.request c
+        (Protocol.Submit { job; budget = Run.no_budget; wait = false })
+    with
+    | Protocol.Submitted { id; cached = true } ->
+        incr cached;
+        tickets := id :: !tickets
+    | Protocol.Submitted { id; cached = false } ->
+        incr fresh;
+        tickets := id :: !tickets
+    | Protocol.Rejected { reason } ->
+        incr failed;
+        Fmt.epr "rejected: %s@." reason
+    | _ -> incr failed
+  done;
+  (* collect every ticket so the daemon is warm and idle afterwards *)
+  List.iter
+    (fun id ->
+      match
+        Pmc_serve.Client.request c (Protocol.Result_of { id; wait = true })
+      with
+      | Protocol.Job_result _ -> ()
+      | _ -> incr failed)
+    (List.rev !tickets);
+  Fmt.pr "%d requests: %d fresh, %d cached, %d failed@." requests !fresh
+    !cached !failed;
+  match Pmc_serve.Client.request c Protocol.Stats with
+  | Protocol.Stats_reply s ->
+      Fmt.pr "daemon: %d completed, %d/%d cache hits, queue depth %d@."
+        s.Protocol.completed s.Protocol.cache_hits
+        (s.Protocol.cache_hits + s.Protocol.cache_misses)
+        s.Protocol.queue_depth;
+      if !failed > 0 then exit 2
+  | _ ->
+      Fmt.epr "pmc_serve: unexpected response@.";
+      exit 2
+
+(* ---------------- cmdliner plumbing ---------------- *)
+
+let daemon_c =
+  let cache_t =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"LRU verdict cache capacity (entries).")
+  in
+  let max_queue_t =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission control: reject submissions beyond $(docv) \
+             outstanding jobs.")
+  in
+  let quiet_t =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No startup banner.")
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:"Serve jobs over a Unix-domain socket until shutdown"
+       ~exits:
+         (Cmd.Exit.info 2 ~doc:"the socket could not be bound."
+         :: Cmd.Exit.defaults))
+    Term.(
+      const daemon_cmd $ socket_t
+      $ Pmc_par.Cli.term ~action:"Run accepted jobs" ()
+      $ cache_t $ max_queue_t $ max_cycles_t $ max_states_t $ quiet_t)
+
+let submit_litmus_c =
+  let program_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "program"; "p" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Litmus program; one of: %s."
+               (String.concat ", " Run.program_names)))
+  in
+  let models_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "model"; "m" ] ~docv:"MODEL"
+          ~doc:
+            "Model to enumerate (repeatable; default all): sc, pc, cc, ec, \
+             slow, pmc.")
+  in
+  let limit_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"State-space enumeration limit.")
+  in
+  Cmd.v
+    (Cmd.info "litmus" ~doc:"Submit a litmus enumeration job"
+       ~exits:exit_codes_doc)
+    Term.(
+      const submit_litmus_cmd $ socket_t $ local_t $ no_wait_t $ max_cycles_t
+      $ max_states_t $ program_t $ models_t $ limit_t)
+
+let submit_check_c =
+  let builtin_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "builtin" ] ~docv:"NAME"
+          ~doc:"Check a built-in program: fig6 or fig6_missing_fence.")
+  in
+  let file_t =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Annotated program file to check.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Submit a discipline-check job"
+       ~exits:exit_codes_doc)
+    Term.(
+      const submit_check_cmd $ socket_t $ local_t $ no_wait_t $ max_cycles_t
+      $ max_states_t $ builtin_t $ file_t)
+
+let backend_t =
+  Arg.(
+    value & opt string "dsm"
+    & info [ "backend"; "b" ] ~doc:"seqcst, nocc, swcc, dsm or spm.")
+
+let cores_t =
+  Arg.(value & opt int 8 & info [ "cores"; "c" ] ~doc:"Number of tiles.")
+
+let scale_t =
+  Arg.(value & opt int 16 & info [ "scale"; "s" ] ~doc:"Workload scale.")
+
+let submit_bench_c =
+  let app_t =
+    Arg.(
+      value & opt string "stencil" & info [ "app"; "a" ] ~doc:"Application.")
+  in
+  let unbatched_t =
+    Arg.(
+      value & flag
+      & info [ "unbatched" ] ~doc:"Disable write batching (worst case).")
+  in
+  let warmup_t =
+    Arg.(
+      value & opt int 0
+      & info [ "warmup" ] ~docv:"N" ~doc:"Unmeasured warmup repeats.")
+  in
+  let repeat_t =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N" ~doc:"Measured repeats (determinism check).")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Submit a benchmark case job" ~exits:exit_codes_doc)
+    Term.(
+      const submit_bench_cmd $ socket_t $ local_t $ no_wait_t $ max_cycles_t
+      $ max_states_t $ app_t $ backend_t $ cores_t $ scale_t $ unbatched_t
+      $ warmup_t $ repeat_t)
+
+let submit_chaos_c =
+  let app_t =
+    Arg.(
+      value & opt string "stencil" & info [ "app"; "a" ] ~doc:"Application.")
+  in
+  let seed_t =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault schedule seed.")
+  in
+  let intensity_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "intensity" ] ~docv:"X"
+          ~doc:"Fault probability multiplier (1.0 = the standard mix).")
+  in
+  let no_model_check_t =
+    Arg.(
+      value & flag
+      & info [ "no-model-check" ]
+          ~doc:"Skip the PMC model replay of completed runs.")
+  in
+  let replay_budget_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replay-budget" ] ~docv:"N"
+          ~doc:"Skip the model replay for traces above N captured events.")
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc:"Submit a seeded chaos-run job"
+       ~exits:exit_codes_doc)
+    Term.(
+      const submit_chaos_cmd $ socket_t $ local_t $ no_wait_t $ max_cycles_t
+      $ max_states_t $ app_t $ backend_t $ cores_t $ scale_t $ seed_t
+      $ intensity_t $ no_model_check_t $ replay_budget_t)
+
+let submit_c =
+  Cmd.group
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one job (over the socket, or in-process with $(b,--local))"
+       ~exits:exit_codes_doc)
+    [ submit_litmus_c; submit_check_c; submit_bench_c; submit_chaos_c ]
+
+let stats_c =
+  let json_t =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the stats object as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Query queue depth and cache hit rate")
+    Term.(const stats_cmd $ socket_t $ json_t)
+
+let shutdown_c =
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Gracefully drain and stop the daemon")
+    Term.(const shutdown_cmd $ socket_t)
+
+let bench_client_c =
+  let requests_t =
+    Arg.(
+      value & opt int 24
+      & info [ "requests"; "n" ] ~docv:"N" ~doc:"Number of submissions.")
+  in
+  let model_t =
+    Arg.(
+      value & opt string "pmc"
+      & info [ "model"; "m" ] ~doc:"Model to enumerate on each request.")
+  in
+  Cmd.v
+    (Cmd.info "bench-client"
+       ~doc:"Hammer a daemon with litmus jobs and report the cache hit rate")
+    Term.(const bench_client_cmd $ socket_t $ requests_t $ model_t)
+
+let main_c =
+  Cmd.group
+    (Cmd.info "pmc_serve" ~version:"%%VERSION%%"
+       ~doc:
+         "Persistent checking/simulation service with a verdict cache"
+       ~exits:exit_codes_doc)
+    [ daemon_c; submit_c; stats_c; shutdown_c; bench_client_c ]
+
+let () = exit (Cmd.eval main_c)

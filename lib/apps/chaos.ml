@@ -76,9 +76,15 @@ let total_injected (c : Fault.counts) =
 let default_replay_budget = 10_000
 
 let run_one ?(intensity = 1.0) ?(model_check = true)
-    ?(replay_budget = default_replay_budget) ?capacity (a : Runner.app)
-    ~backend ~cores ~scale ~seed : report =
+    ?(replay_budget = default_replay_budget) ?capacity ?max_cycles
+    (a : Runner.app) ~backend ~cores ~scale ~seed : report =
   let cfg = Config.chaos ~intensity ~seed { Config.default with cores } in
+  let cfg =
+    (* a per-request budget only ever tightens the livelock watchdog *)
+    match max_cycles with
+    | None -> cfg
+    | Some m -> { cfg with Config.max_cycles = min m cfg.Config.max_cycles }
+  in
   let recorder = ref None in
   let machine = ref None in
   let on_api api =
@@ -155,6 +161,22 @@ type soak = {
   injected : int;         (* faults injected across all runs *)
 }
 
+(* The verdict totals of a report list — shared by [soak] and by
+   [Pmc_jobs]' job-level soak reconstruction, so both summarize runs
+   identically. *)
+let summarize (reports : report list) : soak =
+  let count p = List.length (List.filter p reports) in
+  {
+    reports;
+    total = List.length reports;
+    completed = count (fun r -> r.verdict = Completed);
+    typed_errors =
+      count (fun r -> match r.verdict with Typed_error _ -> true | _ -> false);
+    failed = count (fun r -> not (acceptable r.verdict));
+    injected =
+      List.fold_left (fun acc r -> acc + total_injected r.faults) 0 reports;
+  }
+
 let soak ?(intensity = 1.0) ?(model_check = true) ?replay_budget ?capacity
     ?progress ?pool ~apps ~backend ~cores ~scale ~seeds () : soak =
   let one (a : Runner.app) seed =
@@ -192,17 +214,7 @@ let soak ?(intensity = 1.0) ?(model_check = true) ?replay_budget ?capacity
               seeds)
           apps
   in
-  let count p = List.length (List.filter p reports) in
-  {
-    reports;
-    total = List.length reports;
-    completed = count (fun r -> r.verdict = Completed);
-    typed_errors =
-      count (fun r -> match r.verdict with Typed_error _ -> true | _ -> false);
-    failed = count (fun r -> not (acceptable r.verdict));
-    injected =
-      List.fold_left (fun acc r -> acc + total_injected r.faults) 0 reports;
-  }
+  summarize reports
 
 let ok s = s.failed = 0
 

@@ -52,14 +52,16 @@ val default_replay_budget : int
 
 val run_one :
   ?intensity:float -> ?model_check:bool -> ?replay_budget:int ->
-  ?capacity:int ->
+  ?capacity:int -> ?max_cycles:int ->
   Runner.app -> backend:Pmc.Backends.kind -> cores:int -> scale:int ->
   seed:int -> report
 (** One traced run under [Config.chaos ~intensity ~seed].  The model
     replay runs only when [model_check] (default [true]), the trace ring
     never overflowed, and the trace holds at most [replay_budget] events
     (default {!default_replay_budget}); [capacity] sizes the per-core
-    trace rings. *)
+    trace rings; [max_cycles] tightens the livelock watchdog to a
+    per-request cycle budget (a budget overrun surfaces as a
+    [Typed_error] watchdog verdict). *)
 
 type soak = {
   reports : report list;  (** in run order *)
@@ -85,6 +87,11 @@ val soak :
 
 val ok : soak -> bool
 (** No unacceptable verdicts. *)
+
+val summarize : report list -> soak
+(** The verdict totals of a report list — what {!soak} computes after
+    its wall drains.  Exposed so job-oriented callers ({!Pmc_jobs}) that
+    run reports one at a time summarize identically. *)
 
 type identity = { identical : bool; detail : string }
 

@@ -79,6 +79,43 @@ let to_string (v : t) : string =
   Buffer.add_char b '\n';
   Buffer.contents b
 
+(* One line, no trailing newline — the framing unit of {!Pmc_serve}'s
+   newline-delimited wire protocol, and the canonical form hashed into
+   verdict-cache keys (key stability depends on this printer never
+   changing its spacing). *)
+let to_compact (v : t) : string =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (string_of_bool x)
+    | Num f -> Buffer.add_string b (num_to_string f)
+    | Str s ->
+        Buffer.add_char b '"';
+        escape b s;
+        Buffer.add_char b '"'
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            go x)
+          xs;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            escape b k;
+            Buffer.add_string b "\":";
+            go x)
+          kvs;
+        Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
 (* ---------------- parsing ---------------- *)
 
 exception Parse_error of string

@@ -20,6 +20,11 @@ val to_string : t -> string
 (** Two-space indented, trailing newline — committed baselines diff
     readably. *)
 
+val to_compact : t -> string
+(** One line, no trailing newline and no spaces between tokens — the
+    framing unit of {!Pmc_serve}'s newline-delimited wire protocol and
+    the canonical form behind its verdict-cache keys. *)
+
 exception Parse_error of string
 
 val parse : string -> t

@@ -63,7 +63,7 @@ let trimmed_mean xs =
 
 exception Unknown_app of string
 
-let run_case ~unbatched ~warmup ~repeat (c : Spec.case) : sample =
+let run_case ?max_cycles ~unbatched ~warmup ~repeat (c : Spec.case) : sample =
   let app =
     match Pmc_apps.Registry.find c.Spec.app with
     | Some a -> a
@@ -72,6 +72,12 @@ let run_case ~unbatched ~warmup ~repeat (c : Spec.case) : sample =
   let cfg =
     let base = { Config.default with cores = c.Spec.cores } in
     if unbatched then Config.unbatched base else base
+  in
+  let cfg =
+    (* a per-request budget only ever tightens the livelock watchdog *)
+    match max_cycles with
+    | None -> cfg
+    | Some m -> { cfg with Config.max_cycles = min m cfg.Config.max_cycles }
   in
   (* Monotonic-enough wall clock.  [Sys.time] is process-wide CPU time:
      it over-counts whenever anything else runs in the process, and under

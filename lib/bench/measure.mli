@@ -31,8 +31,12 @@ type sample = {
 exception Unknown_app of string
 
 val run_case :
+  ?max_cycles:int ->
   unbatched:bool -> warmup:int -> repeat:int -> Spec.case -> sample
-(** @raise Unknown_app when the case names no registered application. *)
+(** [max_cycles] tightens the simulator's livelock watchdog to a
+    per-request cycle budget (it can only lower the config's horizon) —
+    the run raises {!Pmc_sim.Engine.Watchdog} past it.
+    @raise Unknown_app when the case names no registered application. *)
 
 val trimmed_mean : float list -> float
 

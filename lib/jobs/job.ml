@@ -1,0 +1,175 @@
+(* A job: one self-contained unit of checking/simulation work, the
+   common currency of the one-shot CLIs and the pmc_serve daemon.
+
+   Each variant captures *by value* everything its run depends on — the
+   litmus program name, the annotated source text, the full case
+   geometry, the chaos seed — so [Run.run] is a pure function of the
+   job (plus the budget) and a job's canonical JSON encoding is a sound
+   cache key: two equal encodings denote the same verdict, bit for bit.
+   Nothing here reads the filesystem or the clock. *)
+
+module Json = Pmc_bench.Json
+
+type litmus = {
+  program : string;        (* a standard litmus program, by name *)
+  models : string list;    (* [] = every model *)
+  limit : int option;      (* state-space budget override *)
+}
+
+type check = {
+  name : string;           (* reporting name (the CLI passes the path) *)
+  source : string;         (* annotated-program text ({!Pmc_compile.Parse}) *)
+}
+
+type bench = {
+  app : string;
+  backend : string;
+  cores : int;
+  scale : int;
+  unbatched : bool;
+  warmup : int;
+  repeat : int;
+}
+
+type chaos = {
+  c_app : string;
+  c_backend : string;
+  c_cores : int;
+  c_scale : int;
+  seed : int;
+  intensity : float;
+  model_check : bool;
+  replay_budget : int option;
+}
+
+type t =
+  | Litmus of litmus
+  | Check of check
+  | Bench of bench
+  | Chaos of chaos
+
+let kind_name = function
+  | Litmus _ -> "litmus"
+  | Check _ -> "check"
+  | Bench _ -> "bench"
+  | Chaos _ -> "chaos"
+
+(* ---------------- JSON ----------------
+
+   Field order is fixed by construction, so [to_json] is canonical: the
+   compact rendering of equal jobs is equal, which is what the verdict
+   cache keys on. *)
+
+let opt_int = function None -> Json.Null | Some n -> Json.int n
+
+let to_json (t : t) : Json.t =
+  match t with
+  | Litmus l ->
+      Json.Obj
+        [
+          ("kind", Json.Str "litmus");
+          ("program", Json.Str l.program);
+          ("models", Json.List (List.map (fun m -> Json.Str m) l.models));
+          ("limit", opt_int l.limit);
+        ]
+  | Check c ->
+      Json.Obj
+        [
+          ("kind", Json.Str "check");
+          ("name", Json.Str c.name);
+          ("source", Json.Str c.source);
+        ]
+  | Bench b ->
+      Json.Obj
+        [
+          ("kind", Json.Str "bench");
+          ("app", Json.Str b.app);
+          ("backend", Json.Str b.backend);
+          ("cores", Json.int b.cores);
+          ("scale", Json.int b.scale);
+          ("unbatched", Json.Bool b.unbatched);
+          ("warmup", Json.int b.warmup);
+          ("repeat", Json.int b.repeat);
+        ]
+  | Chaos c ->
+      Json.Obj
+        [
+          ("kind", Json.Str "chaos");
+          ("app", Json.Str c.c_app);
+          ("backend", Json.Str c.c_backend);
+          ("cores", Json.int c.c_cores);
+          ("scale", Json.int c.c_scale);
+          ("seed", Json.int c.seed);
+          ("intensity", Json.float c.intensity);
+          ("model_check", Json.Bool c.model_check);
+          ("replay_budget", opt_int c.replay_budget);
+        ]
+
+let fail msg = failwith ("Pmc_jobs.Job: malformed job: " ^ msg)
+let req what = function Some v -> v | None -> fail ("missing " ^ what)
+
+let get_opt_int key j =
+  match Json.member key j with
+  | None | Some Json.Null -> None
+  | Some v -> (
+      match Json.to_int v with
+      | Some n -> Some n
+      | None -> fail (key ^ " must be an integer or null"))
+
+let of_json (j : Json.t) : t =
+  match req "kind" (Json.get_str "kind" j) with
+  | "litmus" ->
+      let models =
+        match Json.get_list "models" j with
+        | None -> []
+        | Some l ->
+            List.map (fun m -> req "model name" (Json.to_str m)) l
+      in
+      Litmus
+        {
+          program = req "program" (Json.get_str "program" j);
+          models;
+          limit = get_opt_int "limit" j;
+        }
+  | "check" ->
+      Check
+        {
+          name = req "name" (Json.get_str "name" j);
+          source = req "source" (Json.get_str "source" j);
+        }
+  | "bench" ->
+      Bench
+        {
+          app = req "app" (Json.get_str "app" j);
+          backend = req "backend" (Json.get_str "backend" j);
+          cores = req "cores" (Json.get_int "cores" j);
+          scale = req "scale" (Json.get_int "scale" j);
+          unbatched = req "unbatched" (Json.get_bool "unbatched" j);
+          warmup = req "warmup" (Json.get_int "warmup" j);
+          repeat = req "repeat" (Json.get_int "repeat" j);
+        }
+  | "chaos" ->
+      Chaos
+        {
+          c_app = req "app" (Json.get_str "app" j);
+          c_backend = req "backend" (Json.get_str "backend" j);
+          c_cores = req "cores" (Json.get_int "cores" j);
+          c_scale = req "scale" (Json.get_int "scale" j);
+          seed = req "seed" (Json.get_int "seed" j);
+          intensity = req "intensity" (Json.get_num "intensity" j);
+          model_check = req "model_check" (Json.get_bool "model_check" j);
+          replay_budget = get_opt_int "replay_budget" j;
+        }
+  | k -> fail ("unknown kind " ^ k)
+
+let key t = Json.to_compact (to_json t)
+
+let pp ppf t =
+  match t with
+  | Litmus l -> Fmt.pf ppf "litmus %s" l.program
+  | Check c -> Fmt.pf ppf "check %s" c.name
+  | Bench b ->
+      Fmt.pf ppf "bench %s/%s/c%d/s%d" b.app b.backend b.cores b.scale
+  | Chaos c ->
+      Fmt.pf ppf "chaos %s/%s/c%d/s%d seed=%d" c.c_app c.c_backend c.c_cores
+        c.c_scale c.seed

@@ -1,0 +1,18 @@
+(* The one [--jobs N] flag shared by every CLI that fans out over a
+   {!Pool}.  Before this module each binary hand-rolled the same
+   cmdliner argument (and its "0 = recommended count" resolution note)
+   with slightly drifting wording; now the flag, its documentation and
+   its default live in one place next to the pool they configure. *)
+
+open Cmdliner
+
+let term ?(default = 1) ~action () =
+  Arg.(
+    value & opt int default
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          (Printf.sprintf
+             "%s on $(docv) domains.  1 (the default) is the exact \
+              sequential behaviour; 0 uses the recommended domain \
+              count.  Output is identical at any width."
+             action))

@@ -1,0 +1,8 @@
+(** The shared [--jobs]/[-j] cmdliner flag of the parallel CLIs. *)
+
+val term : ?default:int -> action:string -> unit -> int Cmdliner.Term.t
+(** [term ~action ()] is the [--jobs N] option (default 1) with the
+    standard documentation: ["<action> on N domains.  1 (the default)
+    is the exact sequential behaviour; 0 uses the recommended domain
+    count.  Output is identical at any width."].  The [0 = recommended]
+    resolution itself lives in {!Pool.create}. *)

@@ -35,6 +35,9 @@ type t = {
   work : Condition.t;   (* signalled when a batch gains claimable items *)
   done_ : Condition.t;  (* signalled when a batch completes *)
   mutable batch : batch option;
+  tasks : (unit -> unit) Queue.t;
+      (* persistent task queue ([submit]); batches take priority *)
+  mutable running_tasks : int;
   mutable stop : bool;
   mutable domains : unit Domain.t list;
 }
@@ -46,8 +49,8 @@ let effective_jobs jobs =
   else if jobs = 0 then max 1 (Domain.recommended_domain_count ())
   else jobs
 
-(* Claim the next item of the current batch, or decide to wait/stop.
-   Called with [t.m] held; returns with [t.m] released. *)
+(* Claim the next item of the current batch, a queued task, or decide to
+   wait/stop.  Called with [t.m] held; returns with [t.m] released. *)
 let rec worker_step t =
   if t.stop then begin
     Mutex.unlock t.m;
@@ -60,6 +63,11 @@ let rec worker_step t =
         b.next <- b.next + 1;
         Mutex.unlock t.m;
         `Run (b, i)
+    | _ when not (Queue.is_empty t.tasks) ->
+        let task = Queue.pop t.tasks in
+        t.running_tasks <- t.running_tasks + 1;
+        Mutex.unlock t.m;
+        `Task task
     | _ ->
         Condition.wait t.work t.m;
         worker_step t
@@ -70,6 +78,13 @@ let finish_item t b =
   if b.completed = b.total then Condition.broadcast t.done_;
   Mutex.unlock t.m
 
+let finish_task t =
+  Mutex.lock t.m;
+  t.running_tasks <- t.running_tasks - 1;
+  if t.running_tasks = 0 && Queue.is_empty t.tasks then
+    Condition.broadcast t.done_;
+  Mutex.unlock t.m
+
 let rec worker_loop t =
   Mutex.lock t.m;
   match worker_step t with
@@ -77,6 +92,10 @@ let rec worker_loop t =
   | `Run (b, i) ->
       b.run_item i;
       finish_item t b;
+      worker_loop t
+  | `Task task ->
+      task ();
+      finish_task t;
       worker_loop t
 
 let create ~jobs =
@@ -88,6 +107,8 @@ let create ~jobs =
       work = Condition.create ();
       done_ = Condition.create ();
       batch = None;
+      tasks = Queue.create ();
+      running_tasks = 0;
       stop = false;
       domains = [];
     }
@@ -172,3 +193,56 @@ let map_ordered (type a b) (t : t) (input : a array) ~(f : a -> b) : b array =
 
 let map_list_ordered t l ~f =
   Array.to_list (map_ordered t (Array.of_list l) ~f)
+
+(* ---------------- persistent task queue ----------------
+
+   Batch maps are the right shape for the CLIs (a known work list, one
+   synchronous fan-out), but a daemon accepts work over time.  [submit]
+   enqueues one task; worker domains drain the queue whenever no batch
+   is claiming them.  On a width-1 pool there are no worker domains, so
+   the owner must run queued tasks itself via [run_pending_one] — this
+   is what lets [pmc_serve --jobs 1] stay a strictly sequential,
+   deterministic event loop. *)
+
+let submit t task =
+  Mutex.lock t.m;
+  if t.stop then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.tasks;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m
+
+let pending_tasks t =
+  Mutex.lock t.m;
+  let n = Queue.length t.tasks + t.running_tasks in
+  Mutex.unlock t.m;
+  n
+
+let run_pending_one t =
+  Mutex.lock t.m;
+  if Queue.is_empty t.tasks then begin
+    Mutex.unlock t.m;
+    false
+  end
+  else begin
+    let task = Queue.pop t.tasks in
+    t.running_tasks <- t.running_tasks + 1;
+    Mutex.unlock t.m;
+    task ();
+    finish_task t;
+    true
+  end
+
+let drain_tasks t =
+  if t.jobs = 1 then while run_pending_one t do () done
+  else begin
+    (* run alongside the workers, then wait for stragglers *)
+    while run_pending_one t do () done;
+    Mutex.lock t.m;
+    while t.running_tasks > 0 || not (Queue.is_empty t.tasks) do
+      Condition.wait t.done_ t.m
+    done;
+    Mutex.unlock t.m
+  end

@@ -41,9 +41,35 @@ val map_ordered : t -> 'a array -> f:('a -> 'b) -> 'b array
 val map_list_ordered : t -> 'a list -> f:('a -> 'b) -> 'b list
 (** List convenience wrapper around {!map_ordered}. *)
 
+(** {1 Persistent task queue}
+
+    Batch maps fit the CLIs; a long-lived service ({!Pmc_serve}) accepts
+    work over time instead.  [submit] enqueues one independent task;
+    worker domains drain the queue whenever no batch map is claiming
+    them.  Tasks must not raise (wrap them) and must follow the same
+    determinism contract as [map_ordered]'s [f]. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** [submit t task] enqueues [task].  On a pool of width >= 2 a worker
+    domain picks it up; on a width-1 pool nothing runs it until the
+    owner calls {!run_pending_one} — there are no worker domains.
+    Thread-safe.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val pending_tasks : t -> int
+(** Queued-but-unclaimed plus currently running submitted tasks. *)
+
+val run_pending_one : t -> bool
+(** Run one queued task on the calling domain, inline; [false] when the
+    queue is empty.  The width-1 execution path of a task-queue user. *)
+
+val drain_tasks : t -> unit
+(** Help run queued tasks on the calling domain, then block until every
+    submitted task has completed. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent.  A pool is unusable
-    after shutdown. *)
+    after shutdown.  Submitted tasks that have not started are dropped
+    (drain with {!drain_tasks} first if they matter). *)
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it

@@ -1,0 +1,60 @@
+(* Bounded LRU map from canonical job keys to serialized results.
+
+   Recency is a monotonic tick per entry; eviction scans for the
+   minimum.  The scan is O(n) but n is the cache capacity (hundreds),
+   evictions happen at most once per insert, and the payoff is zero
+   auxiliary structure to keep consistent — the whole cache is one
+   hashtable.  Not thread-safe: the server serializes access under its
+   own lock. *)
+
+type entry = { value : string; mutable tick : int }
+
+type t = {
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  { capacity; tbl = Hashtbl.create (2 * capacity); clock = 0; hits = 0; misses = 0 }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      e.tick <- tick t;
+      t.hits <- t.hits + 1;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best <= e.tick -> acc
+        | _ -> Some (key, e.tick))
+      t.tbl None
+  in
+  match victim with Some (key, _) -> Hashtbl.remove t.tbl key | None -> ()
+
+let add t key value =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      e.tick <- tick t (* refresh; identical job => identical value *)
+  | None ->
+      if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+      Hashtbl.replace t.tbl key { value; tick = tick t })
+
+let size t = Hashtbl.length t.tbl
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses

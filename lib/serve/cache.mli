@@ -1,0 +1,26 @@
+(** Bounded LRU verdict cache: canonical job key -> serialized result.
+
+    Soundness rests on DESIGN.md §11: a job's result is a pure function
+    of (program, model, seed, config), so the canonical compact JSON of
+    the job plus its effective budget is a complete cache key and a hit
+    can be replayed byte-identically to a fresh run.
+
+    Not thread-safe — callers serialize access (the server does so
+    under its own lock). *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val find : t -> string -> string option
+(** Lookup; refreshes the entry's recency and counts a hit or miss. *)
+
+val add : t -> string -> string -> unit
+(** Insert, evicting the least-recently-used entry when full.
+    Re-inserting an existing key only refreshes its recency. *)
+
+val size : t -> int
+val capacity : t -> int
+val hits : t -> int
+val misses : t -> int

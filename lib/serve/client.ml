@@ -1,0 +1,41 @@
+(* Minimal blocking client for the pmc_serve socket: one request line
+   out, one response line back.  Used by the pmc_serve CLI subcommands
+   and the test suite. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write t.fd b off (n - off))
+  in
+  go 0
+
+let recv_line t = input_line t.ic
+
+let send t (req : Protocol.request) = send_line t (Protocol.request_to_line req)
+
+let recv t : Protocol.response =
+  match Protocol.response_of_line (recv_line t) with
+  | Ok resp -> resp
+  | Error m -> failwith ("pmc_serve client: malformed response: " ^ m)
+
+let request t (req : Protocol.request) : Protocol.response =
+  send t req;
+  recv t
+
+let with_connection path f =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

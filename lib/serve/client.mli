@@ -1,0 +1,26 @@
+(** Minimal blocking client for the pmc_serve socket.
+
+    One {!request} is one protocol round trip.  A [wait] submission
+    blocks in {!request} until the daemon delivers the result line. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's Unix-domain socket path.
+    @raise Unix.Unix_error if the daemon is not listening. *)
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> Protocol.response
+(** @raise Failure on a malformed response line.
+    @raise End_of_file if the daemon closed the connection. *)
+
+val send : t -> Protocol.request -> unit
+(** Send without reading the reply — requests pipeline; the daemon
+    answers in processing order (a [wait] result is delivered when the
+    job completes, after any replies sent in between). *)
+
+val recv : t -> Protocol.response
+(** Read the next response line.  Same exceptions as {!request}. *)
+
+val with_connection : string -> (t -> 'a) -> 'a

@@ -1,0 +1,147 @@
+(* Unix-domain-socket transport for {!Server}: a single-threaded
+   [select] event loop speaking the newline-delimited JSON protocol.
+
+   Concurrency model: the loop owns every socket; job execution happens
+   on the pool's worker domains.  A worker signals completion by
+   writing one byte to a self-pipe (via [Server.set_notify]), which
+   wakes a blocked [select] so parked [wait] replies go out promptly.
+   On a width-1 pool there are no workers — the loop runs one queued
+   job inline per iteration, staying a sequential deterministic event
+   loop. *)
+
+type client = { fd : Unix.file_descr; buf : Buffer.t }
+
+let ignore_sigpipe () =
+  (* a client that disconnects mid-reply must not kill the daemon *)
+  try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+  with Invalid_argument _ -> ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let serve ?(max_clients = 64) ~socket_path (t : Server.t) =
+  ignore_sigpipe ();
+  (* a stale socket file from a crashed daemon would make bind fail *)
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd max_clients;
+  Unix.set_nonblock listen_fd;
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  Server.set_notify t (fun () ->
+      try ignore (Unix.write pipe_w (Bytes.of_string "!") 0 1)
+      with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _)
+      -> ());
+  let clients : (Unix.file_descr, client) Hashtbl.t = Hashtbl.create 16 in
+  (* parked [wait] requests: job id x the client owed the result *)
+  let waiters : (int * client) list ref = ref [] in
+  let stopping = ref false in
+  let close_client c =
+    Hashtbl.remove clients c.fd;
+    waiters := List.filter (fun (_, w) -> w.fd <> c.fd) !waiters;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let send c (resp : Protocol.response) =
+    match write_all c.fd (Protocol.response_to_line resp ^ "\n") with
+    | () -> ()
+    | exception Unix.Unix_error _ -> close_client c
+  in
+  let handle_line c line =
+    match Protocol.request_of_line line with
+    | Error reason -> send c (Protocol.Protocol_error { reason })
+    | Ok request -> (
+        (match request with Protocol.Shutdown -> stopping := true | _ -> ());
+        match Server.handle t request with
+        | Server.Reply resp -> send c resp
+        | Server.Park id ->
+            if Server.is_done t id then send c (Server.result_response t id)
+            else waiters := (id, c) :: !waiters)
+  in
+  let read_buf = Bytes.create 65536 in
+  let feed c =
+    match Unix.read c.fd read_buf 0 (Bytes.length read_buf) with
+    | 0 -> close_client c
+    | n ->
+        Buffer.add_subbytes c.buf read_buf 0 n;
+        (* split off every complete line; keep the partial tail *)
+        let data = Buffer.contents c.buf in
+        Buffer.clear c.buf;
+        let rec lines start =
+          match String.index_from_opt data start '\n' with
+          | Some nl ->
+              let line = String.sub data start (nl - start) in
+              if String.length line > 0 then handle_line c line;
+              lines (nl + 1)
+          | None ->
+              Buffer.add_substring c.buf data start
+                (String.length data - start)
+        in
+        lines 0
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_client c
+  in
+  let accept_pending () =
+    match Unix.accept listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        Hashtbl.replace clients fd { fd; buf = Buffer.create 256 }
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  let drain_pipe () =
+    let junk = Bytes.create 512 in
+    let rec go () =
+      match Unix.read pipe_r junk 0 (Bytes.length junk) with
+      | 0 -> ()
+      | _ -> go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+    in
+    go ()
+  in
+  let sweep_waiters () =
+    let ready, still = List.partition (fun (id, _) -> Server.is_done t id) !waiters in
+    waiters := still;
+    (* oldest first, so replies leave in submission order *)
+    List.iter (fun (id, c) -> send c (Server.result_response t id)) (List.rev ready)
+  in
+  let finished () = !stopping && Server.idle t && !waiters = [] in
+  while not (finished ()) do
+    let fds =
+      listen_fd :: pipe_r :: Hashtbl.fold (fun fd _ l -> fd :: l) clients []
+    in
+    (* poll when the loop itself has inline work to run (width 1) *)
+    let timeout =
+      if Server.width t = 1 && Server.queue_depth t > 0 then 0.0 else 0.25
+    in
+    let readable =
+      match Unix.select fds [] [] timeout with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    List.iter
+      (fun fd ->
+        if fd = listen_fd then accept_pending ()
+        else if fd = pipe_r then drain_pipe ()
+        else
+          match Hashtbl.find_opt clients fd with
+          | Some c -> feed c
+          | None -> ())
+      readable;
+    if Server.width t = 1 then ignore (Server.step t);
+    sweep_waiters ()
+  done;
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    clients;
+  Unix.close listen_fd;
+  Unix.close pipe_r;
+  Unix.close pipe_w;
+  try Unix.unlink socket_path with Unix.Unix_error _ -> ()

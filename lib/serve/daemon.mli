@@ -1,0 +1,13 @@
+(** Unix-domain-socket transport: a single-threaded [select] event loop
+    speaking newline-delimited JSON (see {!Protocol}).
+
+    Jobs run on the server's pool domains; a self-pipe wakes the loop
+    when one completes.  At pool width 1 the loop runs jobs inline, one
+    per iteration — a sequential deterministic event loop. *)
+
+val serve : ?max_clients:int -> socket_path:string -> Server.t -> unit
+(** Bind [socket_path] (replacing any stale socket file) and serve
+    until a [shutdown] request has been received {e and} every accepted
+    job has completed and every parked reply has been delivered — the
+    graceful drain.  Removes the socket file on exit.  Does not shut
+    the pool down (callers own it). *)

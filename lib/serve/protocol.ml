@@ -1,0 +1,247 @@
+(* The wire protocol: newline-delimited JSON, one request or response
+   object per line, over a Unix domain socket.
+
+   The encoding reuses the repo's hand-rolled {!Pmc_bench.Json} with
+   its compact printer, so the daemon carries no new dependency and a
+   client is scriptable with a couple of lines of anything that speaks
+   JSON.  Responses embed {!Pmc_jobs.Result} verbatim — the same
+   canonical encoding the verdict cache stores, which is why a cache
+   hit is byte-identical to a fresh run all the way to the client. *)
+
+module Json = Pmc_bench.Json
+module Job = Pmc_jobs.Job
+module Result_ = Pmc_jobs.Result
+module Run = Pmc_jobs.Run
+
+type request =
+  | Submit of { job : Job.t; budget : Run.budget; wait : bool }
+      (* [wait]: hold the reply until the job completes and answer with
+         the result itself *)
+  | Status of { id : int }
+  | Result_of of { id : int; wait : bool }
+  | Stats
+  | Shutdown
+
+type stats = {
+  width : int;          (* pool width the daemon multiplexes onto *)
+  queue_depth : int;    (* submitted jobs not yet finished *)
+  running : int;
+  submitted : int;
+  completed : int;
+  rejected : int;       (* admission-control rejections *)
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  draining : bool;
+}
+
+type response =
+  | Submitted of { id : int; cached : bool }
+  | Rejected of { reason : string }
+      (* admission control or a draining daemon; [reason] is a rendered
+         typed {!Pmc_sim.Pmc_error} context *)
+  | Job_status of { id : int; state : string }
+  | Job_result of { id : int; result : Result_.t }
+  | Pending of { id : int }
+  | Stats_reply of stats
+  | Shutdown_started of { pending : int }
+  | Protocol_error of { reason : string }
+
+(* ---------------- encoding ---------------- *)
+
+let request_to_json (r : request) : Json.t =
+  match r with
+  | Submit { job; budget; wait } ->
+      Json.Obj
+        [
+          ("op", Json.Str "submit");
+          ("job", Job.to_json job);
+          ("budget", Run.budget_to_json budget);
+          ("wait", Json.Bool wait);
+        ]
+  | Status { id } ->
+      Json.Obj [ ("op", Json.Str "status"); ("id", Json.int id) ]
+  | Result_of { id; wait } ->
+      Json.Obj
+        [
+          ("op", Json.Str "result");
+          ("id", Json.int id);
+          ("wait", Json.Bool wait);
+        ]
+  | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+let req what = function Some v -> v | None -> fail "missing %s" what
+
+let request_of_json (j : Json.t) : request =
+  match req "op" (Json.get_str "op" j) with
+  | "submit" ->
+      let job =
+        match Json.member "job" j with
+        | None -> fail "missing job"
+        | Some jj -> (
+            try Job.of_json jj with Failure m -> fail "%s" m)
+      in
+      let budget =
+        match Json.member "budget" j with
+        | None | Some Json.Null -> Run.no_budget
+        | Some b -> Run.budget_of_json b
+      in
+      let wait = Option.value ~default:false (Json.get_bool "wait" j) in
+      Submit { job; budget; wait }
+  | "status" -> Status { id = req "id" (Json.get_int "id" j) }
+  | "result" ->
+      Result_of
+        {
+          id = req "id" (Json.get_int "id" j);
+          wait = Option.value ~default:false (Json.get_bool "wait" j);
+        }
+  | "stats" -> Stats
+  | "shutdown" -> Shutdown
+  | op -> fail "unknown op %S" op
+
+let stats_to_json (s : stats) : Json.t =
+  Json.Obj
+    [
+      ("width", Json.int s.width);
+      ("queue_depth", Json.int s.queue_depth);
+      ("running", Json.int s.running);
+      ("submitted", Json.int s.submitted);
+      ("completed", Json.int s.completed);
+      ("rejected", Json.int s.rejected);
+      ("cache_hits", Json.int s.cache_hits);
+      ("cache_misses", Json.int s.cache_misses);
+      ("cache_entries", Json.int s.cache_entries);
+      ("draining", Json.Bool s.draining);
+    ]
+
+let stats_of_json j : stats =
+  let i key = req key (Json.get_int key j) in
+  {
+    width = i "width";
+    queue_depth = i "queue_depth";
+    running = i "running";
+    submitted = i "submitted";
+    completed = i "completed";
+    rejected = i "rejected";
+    cache_hits = i "cache_hits";
+    cache_misses = i "cache_misses";
+    cache_entries = i "cache_entries";
+    draining = req "draining" (Json.get_bool "draining" j);
+  }
+
+let response_to_json (r : response) : Json.t =
+  match r with
+  | Submitted { id; cached } ->
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("resp", Json.Str "submitted");
+          ("id", Json.int id);
+          ("cached", Json.Bool cached);
+        ]
+  | Rejected { reason } ->
+      Json.Obj
+        [
+          ("ok", Json.Bool false);
+          ("resp", Json.Str "rejected");
+          ("reason", Json.Str reason);
+        ]
+  | Job_status { id; state } ->
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("resp", Json.Str "status");
+          ("id", Json.int id);
+          ("state", Json.Str state);
+        ]
+  | Job_result { id; result } ->
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("resp", Json.Str "result");
+          ("id", Json.int id);
+          ("result", Result_.to_json result);
+        ]
+  | Pending { id } ->
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("resp", Json.Str "pending");
+          ("id", Json.int id);
+        ]
+  | Stats_reply s ->
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("resp", Json.Str "stats");
+          ("stats", stats_to_json s);
+        ]
+  | Shutdown_started { pending } ->
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("resp", Json.Str "shutdown");
+          ("pending", Json.int pending);
+        ]
+  | Protocol_error { reason } ->
+      Json.Obj
+        [
+          ("ok", Json.Bool false);
+          ("resp", Json.Str "error");
+          ("reason", Json.Str reason);
+        ]
+
+let response_of_json (j : Json.t) : response =
+  match req "resp" (Json.get_str "resp" j) with
+  | "submitted" ->
+      Submitted
+        {
+          id = req "id" (Json.get_int "id" j);
+          cached = req "cached" (Json.get_bool "cached" j);
+        }
+  | "rejected" -> Rejected { reason = req "reason" (Json.get_str "reason" j) }
+  | "status" ->
+      Job_status
+        {
+          id = req "id" (Json.get_int "id" j);
+          state = req "state" (Json.get_str "state" j);
+        }
+  | "result" ->
+      let result =
+        match Json.member "result" j with
+        | None -> fail "missing result"
+        | Some rj -> (
+            try Result_.of_json rj with Failure m -> fail "%s" m)
+      in
+      Job_result { id = req "id" (Json.get_int "id" j); result }
+  | "pending" -> Pending { id = req "id" (Json.get_int "id" j) }
+  | "stats" ->
+      Stats_reply
+        (match Json.member "stats" j with
+        | None -> fail "missing stats"
+        | Some sj -> stats_of_json sj)
+  | "shutdown" ->
+      Shutdown_started { pending = req "pending" (Json.get_int "pending" j) }
+  | "error" ->
+      Protocol_error { reason = req "reason" (Json.get_str "reason" j) }
+  | r -> fail "unknown resp %S" r
+
+(* ---------------- framing ---------------- *)
+
+let request_to_line r = Json.to_compact (request_to_json r)
+
+let request_of_line line =
+  match Json.parse line with
+  | j -> ( try Ok (request_of_json j) with Malformed m -> Error m)
+  | exception Json.Parse_error m -> Error m
+
+let response_to_line r = Json.to_compact (response_to_json r)
+
+let response_of_line line =
+  match Json.parse line with
+  | j -> ( try Ok (response_of_json j) with Malformed m -> Error m)
+  | exception Json.Parse_error m -> Error m

@@ -1,0 +1,228 @@
+(* The daemon's brain, socket-free: request in, response (or a parked
+   job id) out.  Transport lives in {!Daemon}; tests drive this module
+   directly.
+
+   Threading: [handle] and the read-side accessors run on the owner
+   (event-loop) domain; job execution runs on pool worker domains.  The
+   single mutex [m] guards every mutable field and the cache.  Workers
+   call [notify] after completing a job so a blocked event loop can wake
+   up (the daemon points it at a self-pipe). *)
+
+module Json = Pmc_bench.Json
+module Job = Pmc_jobs.Job
+module Result_ = Pmc_jobs.Result
+module Run = Pmc_jobs.Run
+module Pool = Pmc_par.Pool
+
+type job_state = Queued | Running | Done
+
+type entry = {
+  id : int;
+  job : Job.t;
+  mutable state : job_state;
+  mutable result : Result_.t option;
+  cached : bool;
+}
+
+type t = {
+  pool : Pool.t;
+  budget : Run.budget;  (* server-wide ceiling; per-request budgets tighten *)
+  max_queue : int;
+  cache : Cache.t;
+  m : Mutex.t;
+  entries : (int, entry) Hashtbl.t;
+  mutable next_id : int;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable draining : bool;
+  mutable notify : unit -> unit;
+}
+
+type outcome = Reply of Protocol.response | Park of int
+
+let create ?(budget = Run.no_budget) ?(cache_capacity = 256) ?(max_queue = 64)
+    pool =
+  if max_queue < 1 then invalid_arg "Server.create: max_queue must be >= 1";
+  {
+    pool;
+    budget;
+    max_queue;
+    cache = Cache.create ~capacity:cache_capacity;
+    m = Mutex.create ();
+    entries = Hashtbl.create 64;
+    next_id = 1;
+    submitted = 0;
+    completed = 0;
+    rejected = 0;
+    draining = false;
+    notify = ignore;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let set_notify t f = locked t (fun () -> t.notify <- f)
+let width t = Pool.jobs t.pool
+
+(* outstanding = accepted but not yet finished; what admission bounds *)
+let outstanding_locked t = t.submitted - t.completed
+let queue_depth t = locked t (fun () -> outstanding_locked t)
+let idle t = locked t (fun () -> outstanding_locked t = 0)
+let draining t = locked t (fun () -> t.draining)
+
+let running_locked t =
+  Hashtbl.fold
+    (fun _ e n -> if e.state = Running then n + 1 else n)
+    t.entries 0
+
+let stats t : Protocol.stats =
+  locked t (fun () ->
+      {
+        Protocol.width = width t;
+        queue_depth = outstanding_locked t;
+        running = running_locked t;
+        submitted = t.submitted;
+        completed = t.completed;
+        rejected = t.rejected;
+        cache_hits = Cache.hits t.cache;
+        cache_misses = Cache.misses t.cache;
+        cache_entries = Cache.size t.cache;
+        draining = t.draining;
+      })
+
+(* Rejections are rendered typed {!Pmc_sim.Pmc_error} contexts, the
+   same error vocabulary the simulated platform itself speaks. *)
+let reject_reason ~detail =
+  Pmc_sim.Pmc_error.to_string
+    { Pmc_sim.Pmc_error.core = -1; obj = "pmc_serve"; op = "submit"; detail }
+
+(* The verdict-cache key: canonical compact job JSON plus the effective
+   budget.  Complete by the §11 re-entrancy rule — results depend on
+   nothing else. *)
+let cache_key job budget =
+  Job.key job ^ "#" ^ Json.to_compact (Run.budget_to_json budget)
+
+let exec t (entry : entry) ~key ~budget =
+  locked t (fun () -> entry.state <- Running);
+  let result = Run.run ~budget entry.job in
+  let line = Json.to_compact (Result_.to_json result) in
+  let notify =
+    locked t (fun () ->
+        entry.result <- Some result;
+        entry.state <- Done;
+        t.completed <- t.completed + 1;
+        Cache.add t.cache key line;
+        t.notify)
+  in
+  notify ()
+
+let submit t ~job ~budget : int * [ `Fresh | `Cached ] option =
+  let budget = Run.tighter t.budget budget in
+  let key = cache_key job budget in
+  locked t (fun () ->
+      if t.draining then (
+        t.rejected <- t.rejected + 1;
+        (0, None))
+      else
+        match Cache.find t.cache key with
+        | Some line ->
+            (* replay the cached verdict: decode of the exact bytes a
+               fresh run would have produced *)
+            let result = Result_.of_json (Json.parse line) in
+            let id = t.next_id in
+            t.next_id <- id + 1;
+            t.submitted <- t.submitted + 1;
+            t.completed <- t.completed + 1;
+            Hashtbl.replace t.entries id
+              { id; job; state = Done; result = Some result; cached = true };
+            (id, Some `Cached)
+        | None ->
+            if outstanding_locked t >= t.max_queue then (
+              t.rejected <- t.rejected + 1;
+              (-1, None))
+            else begin
+              let id = t.next_id in
+              t.next_id <- id + 1;
+              t.submitted <- t.submitted + 1;
+              let entry =
+                { id; job; state = Queued; result = None; cached = false }
+              in
+              Hashtbl.replace t.entries id entry;
+              Pool.submit t.pool (fun () -> exec t entry ~key ~budget);
+              (id, Some `Fresh)
+            end)
+
+let find t id = locked t (fun () -> Hashtbl.find_opt t.entries id)
+
+let is_done t id =
+  match find t id with Some { state = Done; _ } -> true | _ -> false
+
+let result_response t id : Protocol.response =
+  match find t id with
+  | None ->
+      Protocol.Protocol_error
+        { reason = Printf.sprintf "unknown job id %d" id }
+  | Some { state = Done; result = Some result; _ } ->
+      Protocol.Job_result { id; result }
+  | Some _ -> Protocol.Pending { id }
+
+let handle t (request : Protocol.request) : outcome =
+  match request with
+  | Protocol.Submit { job; budget; wait } -> (
+      match submit t ~job ~budget with
+      | 0, None ->
+          Reply
+            (Protocol.Rejected
+               { reason = reject_reason ~detail:"daemon is draining" })
+      | _, None ->
+          Reply
+            (Protocol.Rejected
+               {
+                 reason =
+                   reject_reason
+                     ~detail:
+                       (Printf.sprintf "queue full (max %d jobs outstanding)"
+                          t.max_queue);
+               })
+      | id, Some `Cached when wait -> Reply (result_response t id)
+      | id, Some cached ->
+          if wait then Park id
+          else Reply (Protocol.Submitted { id; cached = cached = `Cached }))
+  | Protocol.Status { id } -> (
+      match find t id with
+      | None ->
+          Reply
+            (Protocol.Protocol_error
+               { reason = Printf.sprintf "unknown job id %d" id })
+      | Some e ->
+          let state =
+            match e.state with
+            | Queued -> "queued"
+            | Running -> "running"
+            | Done -> "done"
+          in
+          Reply (Protocol.Job_status { id; state }))
+  | Protocol.Result_of { id; wait } -> (
+      match find t id with
+      | None ->
+          Reply
+            (Protocol.Protocol_error
+               { reason = Printf.sprintf "unknown job id %d" id })
+      | Some { state = Done; _ } -> Reply (result_response t id)
+      | Some _ -> if wait then Park id else Reply (Protocol.Pending { id }))
+  | Protocol.Stats -> Reply (Protocol.Stats_reply (stats t))
+  | Protocol.Shutdown ->
+      let pending =
+        locked t (fun () ->
+            t.draining <- true;
+            outstanding_locked t)
+      in
+      Reply (Protocol.Shutdown_started { pending })
+
+(* width-1 execution path: the owner runs queued jobs inline *)
+let step t = Pool.run_pending_one t.pool
+
+(* drain every outstanding job (helping on the calling domain) *)
+let drain t = Pool.drain_tasks t.pool

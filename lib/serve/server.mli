@@ -1,0 +1,56 @@
+(** The daemon's brain, socket-free: parsed request in, response out.
+
+    {!Daemon} adds the Unix-domain-socket transport; tests drive this
+    module directly.  [handle] runs on the owner domain; jobs execute on
+    the pool's worker domains (or inline via {!step} at width 1). *)
+
+type t
+
+type outcome =
+  | Reply of Protocol.response  (** answer now *)
+  | Park of int
+      (** a [wait] request on job [id]: answer with {!result_response}
+          once the job completes (watch {!set_notify} / {!is_done}) *)
+
+val create :
+  ?budget:Pmc_jobs.Run.budget ->
+  ?cache_capacity:int ->
+  ?max_queue:int ->
+  Pmc_par.Pool.t ->
+  t
+(** [budget] is the server-wide ceiling; per-request budgets only
+    tighten it.  [max_queue] bounds accepted-but-unfinished jobs
+    (admission control).  The pool is borrowed, not owned. *)
+
+val handle : t -> Protocol.request -> outcome
+(** Total: rejections and unknown ids come back as typed responses.
+    Submissions are answered [Submitted] (or the result itself under
+    [wait]); a draining or full server answers [Rejected] with a
+    rendered {!Pmc_sim.Pmc_error} context as the reason. *)
+
+val result_response : t -> int -> Protocol.response
+(** [Job_result] once done, [Pending] before, [Protocol_error] for an
+    unknown id. *)
+
+val is_done : t -> int -> bool
+val stats : t -> Protocol.stats
+val queue_depth : t -> int
+val idle : t -> bool  (** no accepted job is still outstanding *)
+
+val draining : t -> bool
+(** Set by a [Shutdown] request: no new work is admitted, outstanding
+    jobs still complete and their results remain queryable. *)
+
+val set_notify : t -> (unit -> unit) -> unit
+(** [f] is invoked (on a worker domain) after each job completes; the
+    daemon points this at a self-pipe to wake its [select] loop. *)
+
+val width : t -> int
+
+val step : t -> bool
+(** Run one queued job inline on the calling domain; [false] if none
+    was queued.  The width-1 execution path. *)
+
+val drain : t -> unit
+(** Help run queued jobs, then block until all outstanding jobs are
+    done. *)

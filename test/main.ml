@@ -22,4 +22,5 @@ let () =
       Test_bench.suite;
       Test_chaos.suite;
       Test_par.suite;
+      Test_serve.suite;
     ]
