@@ -94,7 +94,7 @@ module Reduce = struct
           done;
           (* wait for my turn, then fold in and pass on *)
           ignore
-            (Pmc.Api.poll_until api turn 0 (fun v -> Int32.to_int v = core));
+            (Pmc.Api.poll_until_int api turn 0 (fun v -> v = core));
           Pmc.Api.fence api;
           Pmc.Api.with_x api acc (fun () ->
               let v = Pmc.Api.get_int api acc 0 in

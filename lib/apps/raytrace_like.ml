@@ -53,7 +53,7 @@ let setup (api : Pmc.Api.t) ~scale =
   let batch = 64 in
   let trace_pixels core =
     (* wait for the scene (Fig. 6 flag pattern) *)
-    ignore (Pmc.Api.poll_until api ready 0 (fun v -> v = 1l));
+    ignore (Pmc.Api.poll_until_int api ready 0 (fun v -> v = 1));
     Pmc.Api.fence api;
     let acc = ref 0l in
     let p = ref 0 in

@@ -22,6 +22,14 @@ let step_cell ~up ~down ~left ~right ~center =
   let ( + ) = Int32.add in
   Int32.div (up + down + left + right + center) 5l
 
+(* Exact [int] image of [step_cell], used by the simulated kernel so the
+   inner loop rides the unboxed accessors: the chained [Int32.add]s equal
+   one sum truncated to 32 bits, and truncated division by 5 agrees with
+   [Int32.div] on every representable operand. *)
+let step_cell_int ~up ~down ~left ~right ~center =
+  let s = up + down + left + right + center in
+  ((s lsl 31) asr 31) / 5
+
 (* Sequential reference on the full grid. *)
 let reference ~cores ~scale =
   let rows = cores * rows_per_core in
@@ -89,21 +97,21 @@ let setup (api : Pmc.Api.t) ~scale =
                 for col = 0 to width - 1 do
                   let cell dr dc =
                     let gr = r + dr and gc = col + dc in
-                    if gc < 0 || gc >= width then 0l
+                    if gc < 0 || gc >= width then 0
                     else if gr >= 0 && gr < rows_per_core then
-                      Pmc.Api.get api cur.(core) ((gr * width) + gc)
+                      Pmc.Api.get_int api cur.(core) ((gr * width) + gc)
                     else if gr < 0 then
-                      if core = 0 then 0l
+                      if core = 0 then 0
                       else
-                        Pmc.Api.get api
+                        Pmc.Api.get_int api
                           cur.(core - 1)
                           (((rows_per_core - 1) * width) + gc)
-                    else if core = cores - 1 then 0l
-                    else Pmc.Api.get api cur.(core + 1) gc
+                    else if core = cores - 1 then 0
+                    else Pmc.Api.get_int api cur.(core + 1) gc
                   in
-                  Pmc.Api.set api nxt.(core)
+                  Pmc.Api.set_int api nxt.(core)
                     ((r * width) + col)
-                    (step_cell ~up:(cell (-1) 0) ~down:(cell 1 0)
+                    (step_cell_int ~up:(cell (-1) 0) ~down:(cell 1 0)
                        ~left:(cell 0 (-1)) ~right:(cell 0 1)
                        ~center:(cell 0 0));
                   Machine.instr m 8

@@ -48,7 +48,7 @@ let setup (api : Pmc.Api.t) ~scale =
   let ready = Pmc.Api.alloc_words api ~name:"volume_ready" ~words:1 in
   let result = Pmc.Api.alloc_words api ~name:"image_sums" ~words:cores in
   let render core =
-    ignore (Pmc.Api.poll_until api ready 0 (fun v -> v = 1l));
+    ignore (Pmc.Api.poll_until_int api ready 0 (fun v -> v = 1));
     Pmc.Api.fence api;
     let acc = ref 0l in
     (* hold the octree read-only for the whole rendering phase (it is hot

@@ -21,14 +21,21 @@ type row = {
   verdict : verdict;
 }
 
-(* Host wall time per case, shown so a parallel (--jobs) win is visible
-   in CI logs.  Informational only: host time is the one noisy,
-   machine-dependent quantity in a report, so it never gates. *)
+(* Host speed per case.  Wall time itself stays informational (noisy,
+   machine-dependent), but the simulated-cycles-per-host-second *rate*
+   is gated with a wide tolerance band: a case whose rate collapses
+   below [host_rate_floor] of the baseline rate fails the gate.  The
+   band is deliberately loose — it catches an order-of-magnitude
+   slowdown (a hot path growing an allocation or a fiber switch), not
+   scheduler jitter. *)
 type host_row = {
   host_case_id : string;
   host_base : float;   (* seconds per run, baseline report *)
   host_cur : float;
   speedup : float;     (* base / cur; > 1 means the current run is faster *)
+  rate_base : float;   (* simulated cycles per host second, baseline *)
+  rate_cur : float;
+  rate_ok : bool;      (* cur >= host_rate_floor * base (or not gateable) *)
 }
 
 type outcome = {
@@ -42,6 +49,13 @@ type outcome = {
 (* Speedups within ±[host_band] of 1.0 are reported as noise ("~"), not
    as a win or a loss. *)
 let host_band = 0.10
+
+(* The gated floor on the host-speed rate: a case fails when its
+   simulated-cycles-per-host-second drop below this fraction of the
+   baseline rate.  Cases where either report carries no usable rate
+   (zero host time or a pre-v3 baseline without cycles) are not
+   gated. *)
+let host_rate_floor = 0.6
 
 (* The architectural metrics worth gating, and how much drift to accept.
    The simulator is deterministic, so these tolerances absorb benign
@@ -121,7 +135,15 @@ let run ?(tolerances = default_tolerances) ~(base : Report.t)
               else if hb = 0.0 then 1.0
               else infinity
             in
-            Some { host_case_id = id; host_base = hb; host_cur = hc; speedup })
+            let rb = b.Measure.host_cycles_per_s
+            and rc = c.Measure.host_cycles_per_s in
+            let rate_ok =
+              (* only gate when both reports carry a real rate *)
+              rb <= 0.0 || rc <= 0.0 || rc >= host_rate_floor *. rb
+            in
+            Some
+              { host_case_id = id; host_base = hb; host_cur = hc; speedup;
+                rate_base = rb; rate_cur = rc; rate_ok })
       bi
   in
   { rows; hosts; missing; added; broken }
@@ -129,8 +151,12 @@ let run ?(tolerances = default_tolerances) ~(base : Report.t)
 let regressions (o : outcome) =
   List.filter (fun r -> r.verdict = Regressed) o.rows
 
+let rate_failures (o : outcome) =
+  List.filter (fun h -> not h.rate_ok) o.hosts
+
 let ok (o : outcome) =
-  regressions o = [] && o.missing = [] && o.broken = []
+  regressions o = [] && rate_failures o = [] && o.missing = []
+  && o.broken = []
 
 let pp_verdict ppf = function
   | Within -> Fmt.string ppf "ok"
@@ -147,14 +173,17 @@ let pp ppf (o : outcome) =
         r.verdict)
     o.rows;
   if o.hosts <> [] then begin
-    Fmt.pf ppf "@.%-26s %12s %12s %9s  (host wall time; informational, \
-                never gated)@."
-      "case" "base s" "current s" "speedup";
+    Fmt.pf ppf "@.%-26s %12s %12s %9s %11s %11s  (host speed; rate gated \
+                at %.0f%% of baseline)@."
+      "case" "base s" "current s" "speedup" "base c/s" "cur c/s"
+      (100.0 *. host_rate_floor);
     List.iter
       (fun h ->
-        Fmt.pf ppf "%-26s %12.4f %12.4f %8.2fx  %s@." h.host_case_id
-          h.host_base h.host_cur h.speedup
-          (if h.speedup >= 1.0 +. host_band then "faster"
+        Fmt.pf ppf "%-26s %12.4f %12.4f %8.2fx %11.3e %11.3e  %s@."
+          h.host_case_id h.host_base h.host_cur h.speedup h.rate_base
+          h.rate_cur
+          (if not h.rate_ok then "RATE COLLAPSED"
+           else if h.speedup >= 1.0 +. host_band then "faster"
            else if h.speedup <= 1.0 -. host_band then "slower"
            else "~"))
       o.hosts
@@ -166,9 +195,13 @@ let pp ppf (o : outcome) =
   let n_reg = List.length (regressions o) in
   if ok o then Fmt.pf ppf "@.compare: OK (no regressions)@."
   else
-    Fmt.pf ppf "@.compare: FAILED (%d regression%s, %d missing, %d broken)@."
+    Fmt.pf ppf
+      "@.compare: FAILED (%d regression%s, %d rate collapse%s, %d missing, \
+       %d broken)@."
       n_reg
       (if n_reg = 1 then "" else "s")
+      (List.length (rate_failures o))
+      (if List.length (rate_failures o) = 1 then "" else "s")
       (List.length o.missing) (List.length o.broken)
 
 let parse_tolerance_overrides spec =

@@ -24,14 +24,19 @@ type host_row = {
   host_base : float;  (** host seconds per run in the baseline report *)
   host_cur : float;
   speedup : float;    (** [host_base /. host_cur]; > 1 = current faster *)
+  rate_base : float;  (** simulated cycles per host second, baseline *)
+  rate_cur : float;
+  rate_ok : bool;
+      (** [rate_cur >= host_rate_floor *. rate_base], or true when
+          either rate is unusable (pre-v3 baseline, zero host time) *)
 }
 
 type outcome = {
   rows : row list;
   hosts : host_row list;
-      (** Host wall time of cases present in both reports, with the
-          speedup shown by [pp] (e.g. the [--jobs N] win in CI logs).
-          Informational only — host time never gates. *)
+      (** Host speed of cases present in both reports.  Wall time and
+          speedup are informational; the cycles-per-host-second rate is
+          gated against {!host_rate_floor}. *)
   missing : string list;
   added : string list;
   broken : string list;
@@ -39,6 +44,12 @@ type outcome = {
 
 val host_band : float
 (** Fractional band around 1.0 inside which a speedup prints as noise. *)
+
+val host_rate_floor : float
+(** A case fails the gate when its host-speed rate drops below this
+    fraction of the baseline rate (0.6) — loose enough to absorb
+    machine noise, tight enough to catch a hot path regressing by an
+    allocation or a fiber switch per event. *)
 
 val default_tolerances : (string * float) list
 (** [cycles]/[noc_flits]/[flushes] at 2%, [lock_transfers] at 10% —
@@ -53,6 +64,10 @@ val run :
   outcome
 
 val regressions : outcome -> row list
+
+val rate_failures : outcome -> host_row list
+(** Cases whose host-speed rate fell through the floor. *)
+
 val ok : outcome -> bool
 
 val pp : Format.formatter -> outcome -> unit

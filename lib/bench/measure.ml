@@ -29,6 +29,8 @@ type sample = {
   repeats : int;
   metrics : metrics;
   host_s : float;        (* trimmed-mean host seconds per run *)
+  host_cycles_per_s : float;  (* simulated cycles per host second *)
+  minor_words : float;   (* trimmed-mean minor-heap words allocated per run *)
 }
 
 let metrics_of_result (r : Pmc_apps.Runner.result) : metrics =
@@ -85,40 +87,48 @@ let run_case ?max_cycles ~unbatched ~warmup ~repeat (c : Spec.case) : sample =
      all concurrently running cases.  Per-case wall time is the quantity
      that stays meaningful at any [--jobs]. *)
   let once () =
+    let w0 = Gc.minor_words () in
     let t0 = Unix.gettimeofday () in
     let r = Pmc_apps.Runner.run ~cfg app ~backend:c.Spec.backend
         ~scale:c.Spec.scale in
     let t1 = Unix.gettimeofday () in
-    (r, t1 -. t0)
+    let w1 = Gc.minor_words () in
+    (r, t1 -. t0, w1 -. w0)
   in
   for _ = 1 to warmup do
     ignore (once ())
   done;
   let repeat = max 1 repeat in
   let runs = List.init repeat (fun _ -> once ()) in
-  let results = List.map fst runs in
-  let times = List.map snd runs in
+  let results = List.map (fun (r, _, _) -> r) runs in
+  let times = List.map (fun (_, t, _) -> t) runs in
+  let words = List.map (fun (_, _, w) -> w) runs in
   let first = List.hd results in
   let m0 = metrics_of_result first in
   let deterministic =
     List.for_all (fun r -> metrics_of_result r = m0) results
   in
+  let host_s = trimmed_mean times in
   {
     case = c;
     ok = List.for_all Pmc_apps.Runner.ok results;
     deterministic;
     repeats = repeat;
     metrics = m0;
-    host_s = trimmed_mean times;
+    host_s;
+    host_cycles_per_s =
+      (if host_s > 0.0 then float_of_int m0.cycles /. host_s else 0.0);
+    minor_words = trimmed_mean words;
   }
 
-(* ---------------- JSON (schema v2) ----------------
+(* ---------------- JSON (schema v3) ----------------
 
-   v2 (this build): v1 plus a [jobs] field in the report header and
-   host_s measured as wall time.  v1 reports still load ([jobs]
-   defaults to 1). *)
+   v3 (this build): v2 plus per-sample [host_cycles_per_s] (the gated
+   host-speed metric) and [minor_words] (mean minor-heap allocation per
+   run).  v1 and v2 reports still load: the rate is reconstructed from
+   cycles / host_s and minor_words defaults to absent (negative). *)
 
-let schema_version = 2
+let schema_version = 3
 
 let metrics_to_json (m : metrics) : Json.t =
   Json.Obj
@@ -146,6 +156,8 @@ let sample_to_json (s : sample) : Json.t =
       ("repeats", Json.int s.repeats);
       ("metrics", metrics_to_json s.metrics);
       ("host_s", Json.float s.host_s);
+      ("host_cycles_per_s", Json.float s.host_cycles_per_s);
+      ("minor_words", Json.float s.minor_words);
     ]
 
 let fail msg = failwith ("Pmc_bench.Measure: malformed report: " ^ msg)
@@ -171,6 +183,8 @@ let sample_of_json (j : Json.t) : sample =
     | Some b -> b
     | None -> fail ("unknown backend " ^ backend_s)
   in
+  let metrics = metrics_of_json (req "metrics" (Json.member "metrics" j)) in
+  let host_s = req "host_s" (Json.get_num "host_s" j) in
   {
     case =
       {
@@ -182,8 +196,19 @@ let sample_of_json (j : Json.t) : sample =
     ok = req "ok" (Json.get_bool "ok" j);
     deterministic = req "deterministic" (Json.get_bool "deterministic" j);
     repeats = req "repeats" (Json.get_int "repeats" j);
-    metrics = metrics_of_json (req "metrics" (Json.member "metrics" j));
-    host_s = req "host_s" (Json.get_num "host_s" j);
+    metrics;
+    host_s;
+    host_cycles_per_s =
+      (* pre-v3 reports carry no rate — reconstruct it from the stored
+         cycle count and host time so old baselines can still gate *)
+      (match Json.get_num "host_cycles_per_s" j with
+      | Some r -> r
+      | None ->
+          if host_s > 0.0 then float_of_int metrics.cycles /. host_s
+          else 0.0);
+    minor_words =
+      (* -1 marks "not recorded" in pre-v3 reports *)
+      Option.value ~default:(-1.0) (Json.get_num "minor_words" j);
   }
 
 (* The numeric metrics a {!Compare} run can gate on, with accessors. *)

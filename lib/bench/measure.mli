@@ -26,6 +26,13 @@ type sample = {
   repeats : int;
   metrics : metrics;
   host_s : float;        (** trimmed-mean host seconds per run *)
+  host_cycles_per_s : float;
+      (** simulated cycles per host second — the gated host-speed
+          metric; reconstructed from [cycles / host_s] when a pre-v3
+          report is loaded *)
+  minor_words : float;
+      (** trimmed-mean minor-heap words allocated per run; -1 in
+          reports older than schema 3 (not recorded) *)
 }
 
 exception Unknown_app of string

@@ -98,10 +98,19 @@ let pp ppf (t : t) =
     (fun (s : Measure.sample) ->
       let m = s.Measure.metrics in
       Fmt.pf ppf
-        "  %-26s cycles=%-9d flits=%-8d flushes=%-6d handovers=%-5d %s@."
+        "  %-26s cycles=%-9d flits=%-8d flushes=%-6d handovers=%-5d \
+         rate=%-9s alloc=%-9s %s@."
         (Spec.case_id s.Measure.case)
         m.Measure.cycles m.Measure.noc_flits m.Measure.flushes
         m.Measure.lock_transfers
+        (if s.Measure.host_cycles_per_s > 0.0 then
+           Printf.sprintf "%.2gc/s" s.Measure.host_cycles_per_s
+         else "-")
+        (* minor-heap words per run: the zero-allocation work shows up
+           directly in this column *)
+        (if s.Measure.minor_words >= 0.0 then
+           Printf.sprintf "%.2gw" s.Measure.minor_words
+         else "-")
         (if not s.Measure.ok then "CHECKSUM MISMATCH"
          else if not s.Measure.deterministic then "NONDETERMINISTIC"
          else "ok"))

@@ -117,7 +117,7 @@ let entry_x t (o : Shared.t) =
   let (Backend_sig.B ((module B), b)) = t.backend in
   B.entry_x b o;
   push_scope t o X;
-  emit t (Ev_entry (X, o))
+  if t.trace <> None then emit t (Ev_entry (X, o))
 
 let exit_x t (o : Shared.t) =
   if t.check then pop_scope t o X
@@ -128,7 +128,7 @@ let exit_x t (o : Shared.t) =
   end;
   let (Backend_sig.B ((module B), b)) = t.backend in
   B.exit_x b o;
-  emit t (Ev_exit (X, o))
+  if t.trace <> None then emit t (Ev_exit (X, o))
 
 let entry_ro t (o : Shared.t) =
   if t.check then begin
@@ -139,7 +139,7 @@ let entry_ro t (o : Shared.t) =
   let (Backend_sig.B ((module B), b)) = t.backend in
   B.entry_ro b o;
   push_scope t o Ro;
-  emit t (Ev_entry (Ro, o))
+  if t.trace <> None then emit t (Ev_entry (Ro, o))
 
 let exit_ro t (o : Shared.t) =
   if t.check then pop_scope t o Ro
@@ -150,7 +150,7 @@ let exit_ro t (o : Shared.t) =
   end;
   let (Backend_sig.B ((module B), b)) = t.backend in
   B.exit_ro b o;
-  emit t (Ev_exit (Ro, o))
+  if t.trace <> None then emit t (Ev_exit (Ro, o))
 
 let fence t =
   let (Backend_sig.B ((module B), b)) = t.backend in
@@ -178,7 +178,7 @@ let flush t (o : Shared.t) =
   end;
   let (Backend_sig.B ((module B), b)) = t.backend in
   B.flush b o;
-  emit t (Ev_flush o)
+  if t.trace <> None then emit t (Ev_flush o)
 
 (* ---------------- accesses ---------------- *)
 
@@ -186,22 +186,32 @@ let check_word (o : Shared.t) word =
   if word < 0 || word >= Shared.words o then
     fail "word %d out of bounds for %a" word Shared.pp o
 
-let get t (o : Shared.t) word : int32 =
+(* Sign-extend the unsigned 32-bit pattern [x] to the int an
+   [Int32.to_int] round trip would produce. *)
+let[@inline] sext32 x = (x lsl 31) asr 31
+
+(* The unboxed primitives: the word travels as a plain [int] end to end
+   (API -> back-end -> machine -> cache -> memory); an [int32] is only
+   constructed at the boxed [get]/[set] wrappers and for trace events. *)
+let get_raw t (o : Shared.t) word : int =
   check_word o word;
   if t.check && scope_of t o = None then
     fail "read of %a outside any entry/exit pair" Shared.pp o;
   let (Backend_sig.B ((module B), b)) = t.backend in
-  let v = B.read_u32 b o word in
-  emit t (Ev_read (o, word, v));
+  let v = B.read_u32_int b o word in
+  if t.trace <> None then emit t (Ev_read (o, word, Int32.of_int v));
   v
 
-let set t (o : Shared.t) word (v : int32) =
+let set_raw t (o : Shared.t) word (v : int) =
   check_word o word;
   if t.check && scope_of t o <> Some X then
     fail "write of %a outside an exclusive entry_x/exit_x pair" Shared.pp o;
   let (Backend_sig.B ((module B), b)) = t.backend in
-  B.write_u32 b o word v;
-  emit t (Ev_write (o, word, v))
+  B.write_u32_int b o word v;
+  if t.trace <> None then emit t (Ev_write (o, word, Int32.of_int v))
+
+let get t o word : int32 = Int32.of_int (get_raw t o word)
+let set t o word (v : int32) = set_raw t o word (Int32.to_int v)
 
 (* Byte accesses — the truly indivisible unit of the model (Sec. IV-A). *)
 let check_byte (o : Shared.t) i =
@@ -214,7 +224,7 @@ let get8 t (o : Shared.t) i : int =
     fail "read of %a outside any entry/exit pair" Shared.pp o;
   let (Backend_sig.B ((module B), b)) = t.backend in
   let v = B.read_u8 b o i in
-  emit t (Ev_read8 (o, i, v));
+  if t.trace <> None then emit t (Ev_read8 (o, i, v));
   v
 
 let set8 t (o : Shared.t) i (v : int) =
@@ -223,11 +233,12 @@ let set8 t (o : Shared.t) i (v : int) =
     fail "write of %a outside an exclusive entry_x/exit_x pair" Shared.pp o;
   let (Backend_sig.B ((module B), b)) = t.backend in
   B.write_u8 b o i v;
-  emit t (Ev_write8 (o, i, v))
+  if t.trace <> None then emit t (Ev_write8 (o, i, v))
 
-(* Integer convenience wrappers. *)
-let get_int t o word = Int32.to_int (get t o word)
-let set_int t o word v = set t o word (Int32.of_int v)
+(* Integer convenience wrappers — allocation-free: they ride the
+   unboxed primitives directly. *)
+let get_int t o word = sext32 (get_raw t o word)
+let set_int t o word v = set_raw t o word v
 
 (* Untimed read of the canonical version — result collection after the
    simulation has finished (no scope or timing rules apply). *)
@@ -265,7 +276,7 @@ let with_ro t o f =
    back-end every poll reads the core's own replica, which disturbs no
    other tile (Section VI-B observes DSM's polling advantage), so the
    default cap tightens to [Config.local_poll_backoff]. *)
-let poll_until ?max_backoff t (o : Shared.t) word pred =
+let poll_until_int ?max_backoff t (o : Shared.t) word pred : int =
   let max_backoff =
     match max_backoff with
     | Some b -> b
@@ -275,8 +286,34 @@ let poll_until ?max_backoff t (o : Shared.t) word pred =
           (Machine.config t.machine).Config.local_poll_backoff
         else 512
   in
+  check_word o word;
+  (* the loop body satisfies the discipline by construction (entry_ro;
+     read; exit_ro on the same object), so the scope checks reduce to
+     this single entry check *)
+  if t.check && scope_of t o <> None then
+    fail "poll_until of %a: already in scope" Shared.pp o;
+  let (Backend_sig.B ((module B), b)) = t.backend in
+  let traced = t.trace <> None in
   let rec loop backoff =
-    let v = with_ro t o (fun () -> get t o word) in
+    (* the polling loop is the simulator's hottest client code: with no
+       trace sink attached it calls the back-end hooks directly — same
+       timed operations in the same order, but no per-poll scope push/pop
+       or event construction *)
+    let v =
+      if traced then begin
+        entry_ro t o;
+        match get_raw t o word with
+        | v -> exit_ro t o; v
+        | exception e -> exit_ro t o; raise e
+      end
+      else begin
+        B.entry_ro b o;
+        match B.read_u32_int b o word with
+        | v -> B.exit_ro b o; v
+        | exception e -> B.exit_ro b o; raise e
+      end
+    in
+    let v = sext32 v in
     if pred v then v
     else begin
       Engine.idle (Machine.engine t.machine) backoff;
@@ -284,3 +321,7 @@ let poll_until ?max_backoff t (o : Shared.t) word pred =
     end
   in
   loop 8
+
+let poll_until ?max_backoff t (o : Shared.t) word pred : int32 =
+  Int32.of_int
+    (poll_until_int ?max_backoff t o word (fun v -> pred (Int32.of_int v)))

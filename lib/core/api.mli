@@ -112,3 +112,9 @@ val poll_until :
 (** Spin on a word through read-only scopes until the predicate holds —
     the flag-waiting loop of Fig. 6, with exponential backoff (the
     paper's [sleep()]). *)
+
+val poll_until_int :
+  ?max_backoff:int -> t -> Shared.t -> int -> (int -> bool) -> int
+(** [poll_until] on the unboxed accessor path: the predicate sees the
+    sign-extended word as a plain [int] and no [int32] is allocated per
+    poll.  Timed behaviour is identical to [poll_until]. *)

@@ -31,9 +31,12 @@ module type S = sig
   val fence : t -> unit
   val flush : t -> Shared.t -> unit
 
-  (* Word access within the object; [word] is a word index. *)
-  val read_u32 : t -> Shared.t -> int -> int32
-  val write_u32 : t -> Shared.t -> int -> int32 -> unit
+  (* Word access within the object; [word] is a word index.  The value
+     travels as a plain [int] — the unsigned 32-bit pattern on reads,
+     low 32 bits significant on writes — so the per-access hot path
+     never boxes an [int32]; the API surface converts at its edge. *)
+  val read_u32_int : t -> Shared.t -> int -> int
+  val write_u32_int : t -> Shared.t -> int -> int -> unit
 
   (* Byte access — "in general, only bytes are indivisible" (Sec. IV-A). *)
   val read_u8 : t -> Shared.t -> int -> int

@@ -50,6 +50,5 @@ let wait (t : t) =
         Api.flush api t.sense)
   end
   else
-    ignore
-      (Api.poll_until api t.sense 0 (fun v -> Int32.to_int v = my_sense));
+    ignore (Api.poll_until_int api t.sense 0 (fun v -> v = my_sense));
   Api.fence api

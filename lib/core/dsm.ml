@@ -219,14 +219,14 @@ let flush t (o : Shared.t) =
     Shared.clear_dirty o
   end
 
-let read_u32 t (o : Shared.t) word =
+let read_u32_int t (o : Shared.t) word =
   let core = Machine.core_id t.m in
-  Machine.load_u32 t.m ~shared:true (replica_addr t o ~tile:core + (4 * word))
+  Machine.load_u32_int t.m ~shared:true (replica_addr t o ~tile:core + (4 * word))
 
-let write_u32 t (o : Shared.t) word v =
+let write_u32_int t (o : Shared.t) word v =
   let core = Machine.core_id t.m in
   Shared.mark_dirty o ~core ~lo:(4 * word) ~hi:((4 * word) + 4);
-  Machine.store_u32 t.m ~shared:true
+  Machine.store_u32_int t.m ~shared:true
     (replica_addr t o ~tile:core + (4 * word))
     v
 

@@ -57,9 +57,7 @@ let push (t : t) (data : int32 array) =
   for r = 0 to t.readers - 1 do
     let need = wp - t.depth + 1 in
     if need > 0 then
-      ignore
-        (Api.poll_until api t.read_ptr.(r) 0 (fun v ->
-             Int32.to_int v >= need))
+      ignore (Api.poll_until_int api t.read_ptr.(r) 0 (fun v -> v >= need))
   done;
   Api.fence api;
   let slot = t.buf.(wp mod t.depth) in
@@ -79,7 +77,7 @@ let pop (t : t) ~reader : int32 array =
         Api.get_int api t.read_ptr.(reader) 0)
   in
   (* wait until data is written *)
-  ignore (Api.poll_until api t.write_ptr 0 (fun v -> Int32.to_int v > rp));
+  ignore (Api.poll_until_int api t.write_ptr 0 (fun v -> v > rp));
   Api.fence api;
   let slot = t.buf.(rp mod t.depth) in
   let data =

@@ -25,7 +25,7 @@ let send api ~(data : Shared.t) ~(flag : Shared.t) (values : int32 array) =
   Api.exit_x api flag
 
 let recv api ~(data : Shared.t) ~(flag : Shared.t) : int32 array =
-  ignore (Api.poll_until api flag 0 (fun v -> v = 1l));
+  ignore (Api.poll_until_int api flag 0 (fun v -> v = 1));
   Api.fence api;
   Api.with_x api data (fun () ->
       Array.init (Shared.words data) (fun i -> Api.get api data i))

@@ -37,13 +37,14 @@ let exit_ro _t (o : Shared.t) =
 let fence _t = ()
 let flush _t _o = ()
 
-let read_u32 t (o : Shared.t) word =
+let read_u32_int t (o : Shared.t) word =
   Engine.consume (Machine.engine t.m) Stats.Shared_read_stall 1;
-  Machine.peek_u32 t.m (o.Shared.sdram_addr + (4 * word))
+  Int32.to_int (Machine.peek_u32 t.m (o.Shared.sdram_addr + (4 * word)))
+  land 0xFFFFFFFF
 
-let write_u32 t (o : Shared.t) word v =
+let write_u32_int t (o : Shared.t) word v =
   Engine.consume (Machine.engine t.m) Stats.Write_stall 1;
-  Machine.poke_u32 t.m (o.Shared.sdram_addr + (4 * word)) v
+  Machine.poke_u32 t.m (o.Shared.sdram_addr + (4 * word)) (Int32.of_int v)
 
 let read_u8 t (o : Shared.t) i =
   Engine.consume (Machine.engine t.m) Stats.Shared_read_stall 1;

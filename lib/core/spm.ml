@@ -150,11 +150,11 @@ let spm_addr t (o : Shared.t) word =
       Machine.local_addr t.m ~tile:core ~off:(s.spm_off + (4 * word))
   | None -> scope_error t o ~op:"Spm.access"
 
-let read_u32 t (o : Shared.t) word =
-  Machine.load_u32 t.m ~shared:true (spm_addr t o word)
+let read_u32_int t (o : Shared.t) word =
+  Machine.load_u32_int t.m ~shared:true (spm_addr t o word)
 
-let write_u32 t (o : Shared.t) word v =
-  Machine.store_u32 t.m ~shared:true (spm_addr t o word) v
+let write_u32_int t (o : Shared.t) word v =
+  Machine.store_u32_int t.m ~shared:true (spm_addr t o word) v
 
 let read_u8 t (o : Shared.t) i =
   let core = Machine.core_id t.m in

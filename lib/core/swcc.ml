@@ -57,11 +57,11 @@ let fence _t = ()
 let flush t (o : Shared.t) =
   Machine.wb_inval_range t.m ~addr:o.Shared.sdram_addr ~len:o.Shared.size
 
-let read_u32 t (o : Shared.t) word =
-  Machine.load_u32 t.m ~shared:true (o.Shared.sdram_addr + (4 * word))
+let read_u32_int t (o : Shared.t) word =
+  Machine.load_u32_int t.m ~shared:true (o.Shared.sdram_addr + (4 * word))
 
-let write_u32 t (o : Shared.t) word v =
-  Machine.store_u32 t.m ~shared:true (o.Shared.sdram_addr + (4 * word)) v
+let write_u32_int t (o : Shared.t) word v =
+  Machine.store_u32_int t.m ~shared:true (o.Shared.sdram_addr + (4 * word)) v
 
 let read_u8 t (o : Shared.t) i =
   Machine.load_u8 t.m ~shared:true (o.Shared.sdram_addr + i)

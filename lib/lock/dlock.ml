@@ -67,9 +67,12 @@ let count_acquire t ~transferred =
   if transferred then s.Stats.lock_transfers <- s.Stats.lock_transfers + 1
 
 let emit t (op : Probe.lock_op) ~transferred =
-  Probe.emit (Machine.probe t.m)
-    ~time:(Engine.now (Machine.engine t.m))
-    (Probe.Lock { core = Machine.core_id t.m; lock = t.id; op; transferred })
+  let p = Machine.probe t.m in
+  if Probe.active p then
+    Probe.emit p
+      ~time:(Engine.now (Machine.engine t.m))
+      (Probe.Lock
+         { core = Machine.core_id t.m; lock = t.id; op; transferred })
 
 (* Hand the lock to the next exclusive waiter, if the lock is idle. *)
 let try_grant t =
@@ -149,9 +152,10 @@ let acquire_aux t ~deadline : outcome =
     in
     match deadline with
     | None ->
-        while not (granted ()) do
-          Engine.consume e Stats.Lock_stall poll
-        done;
+        (* the grant check reads only lock bookkeeping and the clock, so
+           the scheduler can run the polling loop without waking us *)
+        Engine.poll_wait e ~cat:Stats.Lock_stall ~quantum:poll
+          ~pred:granted;
         take_grant t ~core;
         Acquired
     | Some limit ->
@@ -212,11 +216,8 @@ let acquire_ro t =
   let cfg = Machine.config t.m in
   let poll = cfg.Config.lock_local_poll_cycles in
   Engine.consume e Stats.Lock_stall poll;
-  while
-    t.owner <> None || t.pending <> None || not (Queue.is_empty t.queue)
-  do
-    Engine.consume e Stats.Lock_stall poll
-  done;
+  Engine.poll_wait e ~cat:Stats.Lock_stall ~quantum:poll ~pred:(fun () ->
+      t.owner = None && t.pending = None && Queue.is_empty t.queue);
   t.readers <- t.readers + 1;
   emit t Probe.Acquire_ro ~transferred:false
 

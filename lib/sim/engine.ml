@@ -2,16 +2,35 @@
 
    Each simulated core runs an ordinary OCaml function written against the
    runtime API.  Timing is cooperative: whenever simulated work costs
-   cycles, the task performs a [Consume] effect; the scheduler advances
+   cycles, the task performs a [Tick] effect; the scheduler advances
    that core's virtual clock and always resumes the task with the smallest
    clock next, so cores interleave exactly as their timing dictates.
    Besides tasks, the event queue carries timed closures ([at]) used by the
    NoC to deliver remote writes at their arrival time.
 
    The simulation is fully deterministic: ties in time are broken by
-   insertion sequence. *)
+   insertion sequence.
 
-type _ Effect.t += Consume : int -> unit Effect.t
+   Scheduling state lives in a preallocated integer-indexed arena with a
+   free list: a pending entry is an index into parallel arrays
+   (time / seq / kind / payload), the wake-wheel's slots are intrusive
+   int chains through [a_next], and the far-future overflow heap orders
+   bare indices.  Steady-state scheduling therefore allocates nothing —
+   the only per-suspension allocations left are the effect machinery's
+   own (handler closure and continuation).  Freed slots are reset to
+   dummies so a popped entry's task or closure is never kept live by the
+   arena (the seed's heap leaked exactly that way). *)
+
+type _ Effect.t += Tick : unit Effect.t
+(* Constant constructor on purpose: performing it allocates nothing; the
+   cycle count travels through [tick_n] below. *)
+
+type _ Effect.t += Wait : unit Effect.t
+(* Suspension of a pure polling loop ([poll_wait]): the predicate,
+   quantum and stall category travel through the [wait_*] fields below.
+   The scheduler re-evaluates the predicate itself on each wake and only
+   resumes the fiber once it holds, so a failed poll costs a queue
+   pop/push instead of a fiber round trip. *)
 
 exception Watchdog of int
 (* raised when a task exceeds [Config.max_cycles] — livelock guard *)
@@ -25,196 +44,318 @@ type task_state =
 
 type task = { core : int; mutable time : int; seq : int; mutable state : task_state }
 
-type entry = Task of task | Event of (unit -> unit)
+let dummy_task = { core = -1; time = 0; seq = -1; state = Finished }
+let dummy_fn : unit -> unit = fun () -> ()
+let dummy_ifn : int -> unit = fun _ -> ()
+let dummy_pred : unit -> bool = fun () -> false
 
-(* Binary min-heap on (time, seq) — the far-future overflow store of the
-   wake-wheel below. *)
-module Heap = struct
-  type elt = { time : int; seq : int; entry : entry }
+(* Arena entry kinds. *)
+let k_free = 0
+let k_task = 1
+let k_closure = 2
+let k_indexed = 3
+let k_wait = 4
 
-  type t = { mutable a : elt array; mutable n : int }
+let wheel_window = 2048 (* power of two: slot index is [time land mask] *)
+let wheel_mask = wheel_window - 1
 
-  let dummy = { time = 0; seq = 0; entry = Event (fun () -> ()) }
-  let create () = { a = Array.make 64 dummy; n = 0 }
-  let is_empty h = h.n = 0
-
-  let top h =
-    assert (h.n > 0);
-    h.a.(0)
-
-  let less x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
-
-  let push h x =
-    if h.n = Array.length h.a then begin
-      let a' = Array.make (2 * h.n) dummy in
-      Array.blit h.a 0 a' 0 h.n;
-      h.a <- a'
-    end;
-    let i = ref h.n in
-    h.n <- h.n + 1;
-    h.a.(!i) <- x;
-    while !i > 0 && less h.a.(!i) h.a.((!i - 1) / 2) do
-      let p = (!i - 1) / 2 in
-      let tmp = h.a.(p) in
-      h.a.(p) <- h.a.(!i);
-      h.a.(!i) <- tmp;
-      i := p
-    done
-
-  let pop h =
-    assert (h.n > 0);
-    let top = h.a.(0) in
-    h.n <- h.n - 1;
-    h.a.(0) <- h.a.(h.n);
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < h.n && less h.a.(l) h.a.(!smallest) then smallest := l;
-      if r < h.n && less h.a.(r) h.a.(!smallest) then smallest := r;
-      if !smallest <> !i then begin
-        let tmp = h.a.(!smallest) in
-        h.a.(!smallest) <- h.a.(!i);
-        h.a.(!i) <- tmp;
-        i := !smallest
-      end
-      else continue := false
-    done;
-    top
-end
-
-(* Indexed wake-wheel: entries due within a [window]-cycle horizon live in
-   per-cycle slots indexed by resume time; entries beyond the horizon wait
-   in the overflow heap.  Simulated time is monotonic (nothing is ever
-   scheduled in the past), so within the horizon every slot holds at most
-   one distinct timestamp and a slot's FIFO order equals creation-sequence
-   order — popping the next occupied slot reproduces the heap's exact
-   (time, seq) order while making push and pop O(1) amortized instead of
-   O(log n).  An occupancy bitmap lets the pop scan skip 63 empty slots
-   per word. *)
-module Wheel = struct
-  let window = 2048 (* power of two: slot index is [time land mask] *)
-  let mask = window - 1
-  let occ_words = (window + 62) / 63
-
-  type t = {
-    slots : Heap.elt Queue.t array;
-    occ : int array;            (* 63 slots per word *)
-    mutable count : int;
-  }
-
-  let create () =
-    {
-      slots = Array.init window (fun _ -> Queue.create ());
-      occ = Array.make occ_words 0;
-      count = 0;
-    }
-
-  let add t slot (x : Heap.elt) =
-    Queue.push x t.slots.(slot);
-    t.occ.(slot / 63) <- t.occ.(slot / 63) lor (1 lsl (slot mod 63));
-    t.count <- t.count + 1
-
-  let lowest_bit_from word bit =
-    (* index of the least significant set bit of [word] at or above [bit],
-       or -1 *)
-    let w = word land lnot ((1 lsl bit) - 1) in
-    if w = 0 then -1
-    else begin
-      let b = ref 0 and w = ref (w land -w) in
-      if !w land 0x7FFFFFFF = 0 then begin b := !b + 31; w := !w lsr 31 end;
-      if !w land 0xFFFF = 0 then begin b := !b + 16; w := !w lsr 16 end;
-      if !w land 0xFF = 0 then begin b := !b + 8; w := !w lsr 8 end;
-      if !w land 0xF = 0 then begin b := !b + 4; w := !w lsr 4 end;
-      if !w land 0x3 = 0 then begin b := !b + 2; w := !w lsr 2 end;
-      if !w land 0x1 = 0 then b := !b + 1;
-      !b
-    end
-
-  (* Next occupied slot at or after [from], scanning the bitmap and
-     wrapping once; the caller guarantees [count > 0]. *)
-  let next_occupied t ~from =
-    let rec scan word bit laps =
-      if word >= occ_words then
-        if laps = 0 then scan 0 0 1 else assert false
-      else
-        match lowest_bit_from t.occ.(word) bit with
-        | -1 -> scan (word + 1) 0 laps
-        | b ->
-            let slot = (word * 63) + b in
-            if slot >= window then scan (word + 1) 0 laps else slot
-    in
-    scan (from / 63) (from mod 63) 0
-
-  let take t slot : Heap.elt =
-    let q = t.slots.(slot) in
-    let x = Queue.pop q in
-    if Queue.is_empty q then
-      t.occ.(slot / 63) <- t.occ.(slot / 63) land lnot (1 lsl (slot mod 63));
-    t.count <- t.count - 1;
-    x
-end
+(* Occupancy bitmap: 32 slots per word, so the word / bit split is a
+   shift and a mask — no division by a 63-slot odd radix on the pop
+   path, which runs once per scheduled event. *)
+let occ_bits = 32
+let occ_shift = 5
+let occ_bmask = occ_bits - 1
+let occ_words = wheel_window / occ_bits
 
 type t = {
   config : Config.t;
   stats : Stats.t;
   probe : Probe.t;
-  wheel : Wheel.t;
-  overflow : Heap.t;
+  (* entry arena (parallel arrays + free list) *)
+  mutable a_time : int array;
+  mutable a_seq : int array;
+  mutable a_next : int array;          (* slot chain / free-list link *)
+  mutable a_kind : int array;
+  mutable a_task : task array;
+  mutable a_fn : (unit -> unit) array;
+  mutable a_ifn : (int -> unit) array;
+  mutable a_arg : int array;
+  mutable a_pred : (unit -> bool) array;
+  mutable a_wcat : Stats.category array;
+  mutable a_free : int;                (* free-list head, -1 = grow *)
+  (* wake-wheel: per-cycle slots as intrusive chains, occupancy bitmap *)
+  wheel_head : int array;
+  wheel_tail : int array;
+  occ : int array;                     (* [occ_bits] slots per word *)
+  mutable wheel_count : int;
+  (* far-future overflow: binary min-heap of arena indices on (time, seq) *)
+  mutable heap : int array;
+  mutable heap_n : int;
   mutable cursor : int;       (* wheel origin: no pending entry is earlier *)
-  mutable current : task option;
+  mutable peek : int;         (* earliest pending time; -1 = unknown *)
+  mutable current : task;     (* dummy_task = none *)
   mutable next_seq : int;
+  mutable tick_n : int;       (* cycles of the Tick being performed *)
+  mutable wait_pred : unit -> bool;   (* parameters of the Wait being *)
+  mutable wait_cat : Stats.category;  (* performed *)
+  mutable wait_quantum : int;
   mutable global_time : int;  (* time of the entry being processed *)
   mutable tasks_live : int;
 }
 
+let initial_arena = 256
+
 let create (config : Config.t) =
+  let a_next = Array.init initial_arena (fun i -> i + 1) in
+  a_next.(initial_arena - 1) <- -1;
   {
     config;
     stats = Stats.create config.cores;
     probe = Probe.create ();
-    wheel = Wheel.create ();
-    overflow = Heap.create ();
+    a_time = Array.make initial_arena 0;
+    a_seq = Array.make initial_arena 0;
+    a_next;
+    a_kind = Array.make initial_arena k_free;
+    a_task = Array.make initial_arena dummy_task;
+    a_fn = Array.make initial_arena dummy_fn;
+    a_ifn = Array.make initial_arena dummy_ifn;
+    a_arg = Array.make initial_arena 0;
+    a_pred = Array.make initial_arena dummy_pred;
+    a_wcat = Array.make initial_arena Stats.Busy;
+    a_free = 0;
+    wheel_head = Array.make wheel_window (-1);
+    wheel_tail = Array.make wheel_window (-1);
+    occ = Array.make occ_words 0;
+    wheel_count = 0;
+    heap = Array.make 64 (-1);
+    heap_n = 0;
     cursor = 0;
-    current = None;
+    peek = -1;
+    current = dummy_task;
     next_seq = 0;
+    tick_n = 0;
+    wait_pred = dummy_pred;
+    wait_cat = Stats.Busy;
+    wait_quantum = 0;
     global_time = 0;
     tasks_live = 0;
   }
+
+(* ---------------- arena ---------------- *)
+
+let grow_arena t =
+  let n = Array.length t.a_time in
+  let n' = 2 * n in
+  let copy dummy a =
+    let a' = Array.make n' dummy in
+    Array.blit a 0 a' 0 n;
+    a'
+  in
+  t.a_time <- copy 0 t.a_time;
+  t.a_seq <- copy 0 t.a_seq;
+  t.a_kind <- copy k_free t.a_kind;
+  t.a_task <- copy dummy_task t.a_task;
+  t.a_fn <- copy dummy_fn t.a_fn;
+  t.a_ifn <- copy dummy_ifn t.a_ifn;
+  t.a_arg <- copy 0 t.a_arg;
+  t.a_pred <- copy dummy_pred t.a_pred;
+  t.a_wcat <- copy Stats.Busy t.a_wcat;
+  let nx = Array.make n' (-1) in
+  Array.blit t.a_next 0 nx 0 n;
+  for i = n to n' - 2 do
+    nx.(i) <- i + 1
+  done;
+  t.a_next <- nx;
+  t.a_free <- n
+
+let alloc_slot t ~time ~seq ~kind =
+  if t.a_free = -1 then grow_arena t;
+  let i = t.a_free in
+  t.a_free <- t.a_next.(i);
+  t.a_time.(i) <- time;
+  t.a_seq.(i) <- seq;
+  t.a_kind.(i) <- kind;
+  i
+
+(* Reset the slot to dummies before recycling it: nothing a popped entry
+   captured (task, closure) stays reachable through the arena. *)
+let free_slot t i =
+  t.a_kind.(i) <- k_free;
+  t.a_task.(i) <- dummy_task;
+  t.a_fn.(i) <- dummy_fn;
+  t.a_ifn.(i) <- dummy_ifn;
+  t.a_pred.(i) <- dummy_pred;
+  t.a_next.(i) <- t.a_free;
+  t.a_free <- i
+
+(* ---------------- overflow heap (indices, keyed on time then seq) ----- *)
+
+let[@inline] heap_less t i j =
+  let ti = t.a_time.(i) and tj = t.a_time.(j) in
+  ti < tj || (ti = tj && t.a_seq.(i) < t.a_seq.(j))
+
+let heap_push t x =
+  if t.heap_n = Array.length t.heap then begin
+    let a' = Array.make (2 * t.heap_n) (-1) in
+    Array.blit t.heap 0 a' 0 t.heap_n;
+    t.heap <- a'
+  end;
+  let a = t.heap in
+  let i = ref t.heap_n in
+  t.heap_n <- t.heap_n + 1;
+  a.(!i) <- x;
+  while !i > 0 && heap_less t a.(!i) a.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = a.(p) in
+    a.(p) <- a.(!i);
+    a.(!i) <- tmp;
+    i := p
+  done
+
+let heap_pop t =
+  assert (t.heap_n > 0);
+  let a = t.heap in
+  let top = a.(0) in
+  t.heap_n <- t.heap_n - 1;
+  a.(0) <- a.(t.heap_n);
+  a.(t.heap_n) <- -1;  (* clear the vacated slot — no stale index *)
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.heap_n && heap_less t a.(l) a.(!smallest) then smallest := l;
+    if r < t.heap_n && heap_less t a.(r) a.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = a.(!smallest) in
+      a.(!smallest) <- a.(!i);
+      a.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  top
+
+(* ---------------- wake-wheel ---------------- *)
+
+(* Indexed wake-wheel: entries due within a [wheel_window]-cycle horizon
+   live in per-cycle slots indexed by resume time; entries beyond the
+   horizon wait in the overflow heap.  Simulated time is monotonic
+   (nothing is ever scheduled in the past), so within the horizon every
+   slot holds at most one distinct timestamp and a slot's FIFO order
+   equals creation-sequence order — popping the next occupied slot
+   reproduces the heap's exact (time, seq) order while making push and
+   pop O(1) amortized.  An occupancy bitmap lets the pop scan skip 63
+   empty slots per word. *)
+
+let wheel_add t slot i =
+  t.a_next.(i) <- -1;
+  let tail = t.wheel_tail.(slot) in
+  if tail = -1 then t.wheel_head.(slot) <- i else t.a_next.(tail) <- i;
+  t.wheel_tail.(slot) <- i;
+  let w = slot lsr occ_shift in
+  t.occ.(w) <- t.occ.(w) lor (1 lsl (slot land occ_bmask));
+  t.wheel_count <- t.wheel_count + 1
+
+let[@inline] lowest_bit_from word bit =
+  (* index of the least significant set bit of [word] at or above [bit],
+     or -1 *)
+  let w = word land lnot ((1 lsl bit) - 1) in
+  if w = 0 then -1
+  else begin
+    let b = ref 0 and w = ref (w land -w) in
+    if !w land 0xFFFF = 0 then begin b := !b + 16; w := !w lsr 16 end;
+    if !w land 0xFF = 0 then begin b := !b + 8; w := !w lsr 8 end;
+    if !w land 0xF = 0 then begin b := !b + 4; w := !w lsr 4 end;
+    if !w land 0x3 = 0 then begin b := !b + 2; w := !w lsr 2 end;
+    if !w land 0x1 = 0 then b := !b + 1;
+    !b
+  end
+
+(* Next occupied slot at or after [from], scanning the bitmap and
+   wrapping once; the caller guarantees [wheel_count > 0]. *)
+let next_occupied t ~from =
+  let rec scan word bit laps =
+    if word >= occ_words then
+      if laps = 0 then scan 0 0 1 else assert false
+    else
+      match lowest_bit_from t.occ.(word) bit with
+      | -1 -> scan (word + 1) 0 laps
+      | b -> (word lsl occ_shift) + b
+  in
+  scan (from lsr occ_shift) (from land occ_bmask) 0
+
+let wheel_take t slot =
+  let i = t.wheel_head.(slot) in
+  let nx = t.a_next.(i) in
+  t.wheel_head.(slot) <- nx;
+  if nx = -1 then begin
+    t.wheel_tail.(slot) <- -1;
+    let w = slot lsr occ_shift in
+    t.occ.(w) <- t.occ.(w) land lnot (1 lsl (slot land occ_bmask))
+  end;
+  t.wheel_count <- t.wheel_count - 1;
+  i
+
+(* ---------------- pending-entry queue ---------------- *)
 
 (* Move overflow entries due at or before [horizon] into the wheel.  They
    were created before anything now being pushed, so their sequence numbers
    are smaller and appending them first keeps every slot's FIFO in
    creation order. *)
 let migrate t ~horizon =
-  while
-    (not (Heap.is_empty t.overflow)) && (Heap.top t.overflow).Heap.time <= horizon
-  do
-    let x = Heap.pop t.overflow in
-    Wheel.add t.wheel (x.Heap.time land Wheel.mask) x
+  while t.heap_n > 0 && t.a_time.(t.heap.(0)) <= horizon do
+    let x = heap_pop t in
+    wheel_add t (t.a_time.(x) land wheel_mask) x
   done
 
-let push_entry t (x : Heap.elt) =
-  if x.Heap.time < t.cursor + Wheel.window then begin
-    migrate t ~horizon:x.Heap.time;
+let push_slot t i =
+  let time = t.a_time.(i) in
+  if t.peek >= 0 && time < t.peek then t.peek <- time;
+  if time < t.cursor + wheel_window then begin
+    migrate t ~horizon:time;
     (* time is never in the past (the sim clock is monotonic); clamp the
        slot defensively so a bad caller degrades to a same-cycle wake *)
-    Wheel.add t.wheel (max x.Heap.time t.cursor land Wheel.mask) x
+    wheel_add t (max time t.cursor land wheel_mask) i
   end
-  else Heap.push t.overflow x
+  else heap_push t i
 
-let pop_entry t : Heap.elt option =
-  if t.wheel.Wheel.count = 0 && Heap.is_empty t.overflow then None
+let pop_slot t =
+  if t.wheel_count = 0 && t.heap_n = 0 then -1
   else begin
-    if t.wheel.Wheel.count = 0 then
+    if t.wheel_count = 0 then
       (* jump the cursor across the empty gap to the overflow cohort *)
-      t.cursor <- (Heap.top t.overflow).Heap.time;
-    migrate t ~horizon:(t.cursor + Wheel.window - 1);
-    let slot = Wheel.next_occupied t.wheel ~from:(t.cursor land Wheel.mask) in
-    let x = Wheel.take t.wheel slot in
-    t.cursor <- max t.cursor x.Heap.time;
-    Some x
+      t.cursor <- t.a_time.(t.heap.(0));
+    migrate t ~horizon:(t.cursor + wheel_window - 1);
+    let slot = next_occupied t ~from:(t.cursor land wheel_mask) in
+    let i = wheel_take t slot in
+    t.cursor <- max t.cursor t.a_time.(i);
+    (* all chain entries in a slot share one timestamp (one distinct
+       time per slot within the horizon), so a non-empty remainder pins
+       the next pending time exactly — no bitmap rescan needed *)
+    t.peek <- (if t.wheel_head.(slot) >= 0 then t.a_time.(i) else -1);
+    i
+  end
+
+(* Earliest pending entry time, [max_int] if none.  Cached between pops:
+   pushes keep the cache current, so a run of fast-path consumes (below)
+   pays for at most one bitmap scan. *)
+let next_pending_time t =
+  if t.peek >= 0 then t.peek
+  else if t.wheel_count = 0 && t.heap_n = 0 then max_int
+  else begin
+    let wt =
+      if t.wheel_count = 0 then max_int
+      else begin
+        let cm = t.cursor land wheel_mask in
+        let slot = next_occupied t ~from:cm in
+        t.cursor + ((slot - cm) land wheel_mask)
+      end
+    in
+    let ht = if t.heap_n = 0 then max_int else t.a_time.(t.heap.(0)) in
+    let p = min wt ht in
+    t.peek <- p;
+    p
   end
 
 let stats t = t.stats
@@ -236,20 +377,54 @@ let spawn ?(start = 0) t ~core f =
       state = Not_started f }
   in
   t.tasks_live <- t.tasks_live + 1;
-  Probe.emit t.probe ~time:task.time (Probe.Task { core; op = Probe.Spawn });
-  push_entry t { time = task.time; seq = task.seq; entry = Task task }
+  if Probe.active t.probe then
+    Probe.emit t.probe ~time:task.time (Probe.Task { core; op = Probe.Spawn });
+  let i = alloc_slot t ~time:task.time ~seq:task.seq ~kind:k_task in
+  t.a_task.(i) <- task;
+  push_slot t i
 
 (* Schedule [f] to run at absolute [time]. *)
 let at t ~time f =
-  push_entry t { time; seq = fresh_seq t; entry = Event f }
+  let i = alloc_slot t ~time ~seq:(fresh_seq t) ~kind:k_closure in
+  t.a_fn.(i) <- f;
+  push_slot t i
+
+(* Allocation-free variant of [at]: [fn] is a preallocated closure, the
+   per-event state travels as its [int] argument through the arena. *)
+let at_indexed t ~time fn arg =
+  let i = alloc_slot t ~time ~seq:(fresh_seq t) ~kind:k_indexed in
+  t.a_ifn.(i) <- fn;
+  t.a_arg.(i) <- arg;
+  push_slot t i
 
 let current_task t =
-  match t.current with
-  | Some task -> task
-  | None -> failwith "Engine: no task running (call from within spawn)"
+  let task = t.current in
+  if task == dummy_task then
+    failwith "Engine: no task running (call from within spawn)"
+  else task
 
 let core_id t = (current_task t).core
 let now t = (current_task t).time
+
+(* Advance [task]'s clock by [n] cycles.  Fast path: when the advanced
+   task would be popped again immediately — nothing else is pending
+   strictly before its new time, and the watchdog is not tripping — the
+   suspend/resume round trip through the effect handler is skipped
+   entirely and the clock simply moves.  The sequence number the
+   suspension would have taken is still burned, so every later entry
+   gets exactly the seq it would have had; since nothing else could have
+   run in the skipped window, the schedule is bit-identical. *)
+let advance t task n =
+  let nt = task.time + n in
+  if nt <= t.config.max_cycles && nt < next_pending_time t then begin
+    task.time <- nt;
+    ignore (fresh_seq t);
+    t.global_time <- nt
+  end
+  else begin
+    t.tick_n <- n;
+    Effect.perform Tick
+  end
 
 (* Advance the current core's clock by [n] cycles, attributed to [cat]. *)
 let consume t cat n =
@@ -257,33 +432,99 @@ let consume t cat n =
   if n > 0 then begin
     let task = current_task t in
     Stats.add (Stats.core t.stats task.core) cat n;
-    Effect.perform (Consume n)
+    advance t task n
   end
 
 (* Advance the clock without statistics (used by pure waiting). *)
-let idle t n = if n > 0 then Effect.perform (Consume n) else ignore t
+let idle t n = if n > 0 then advance t (current_task t) n
 
+(* Pure polling loop, behaviourally identical to
+
+     [while not (pred ()) do consume t cat quantum done]
+
+   for a [pred] that only reads simulation state (no memory accesses, no
+   cycle consumption, no mutation) — the lock-grant and reader-admission
+   waits.  Each failed poll burns the seq, adds the stall cycles and
+   advances the clock exactly like the consume above would; the
+   difference is purely mechanical: once the task suspends, the
+   scheduler re-evaluates [pred] at every wake from the run loop and
+   resumes the fiber only when it holds, so a failed poll costs one
+   queue pop/push instead of a fiber suspend/resume round trip.  The
+   evaluation points in the global (time, seq) order — and hence the
+   state each evaluation sees — are identical to the plain loop's. *)
+let poll_wait t ~cat ~quantum ~pred =
+  if quantum <= 0 then invalid_arg "Engine.poll_wait: quantum <= 0";
+  let task = current_task t in
+  let continue = ref true in
+  while !continue && not (pred ()) do
+    (* the fast path of [advance], inlined around the pred re-check *)
+    Stats.add (Stats.core t.stats task.core) cat quantum;
+    let nt = task.time + quantum in
+    if nt <= t.config.max_cycles && nt < next_pending_time t then begin
+      task.time <- nt;
+      ignore (fresh_seq t);
+      t.global_time <- nt
+    end
+    else begin
+      t.wait_pred <- pred;
+      t.wait_cat <- cat;
+      t.wait_quantum <- quantum;
+      Effect.perform Wait;
+      (* resumed only once the scheduler saw [pred ()] hold *)
+      continue := false
+    end
+  done
+
+(* The per-effect handler closures are built once per task (not per
+   perform): matching on the effect constructor refines the answer type
+   to [unit], so the preallocated [Some f] is returned as-is and a
+   suspension allocates nothing beyond the runtime's continuation. *)
 let handler t task =
+  let on_tick =
+    Some
+      (fun (k : (unit, unit) Effect.Deep.continuation) ->
+        task.time <- task.time + t.tick_n;
+        if task.time > t.config.max_cycles then raise (Watchdog task.time);
+        task.state <- Suspended k;
+        let i =
+          alloc_slot t ~time:task.time ~seq:(fresh_seq t) ~kind:k_task
+        in
+        t.a_task.(i) <- task;
+        push_slot t i)
+  in
+  let on_wait =
+    Some
+      (fun (k : (unit, unit) Effect.Deep.continuation) ->
+        (* the failed poll's stall was already counted and its watchdog
+           bound checked by [poll_wait] *)
+        task.time <- task.time + t.wait_quantum;
+        if task.time > t.config.max_cycles then raise (Watchdog task.time);
+        task.state <- Suspended k;
+        let i =
+          alloc_slot t ~time:task.time ~seq:(fresh_seq t) ~kind:k_wait
+        in
+        t.a_task.(i) <- task;
+        t.a_pred.(i) <- t.wait_pred;
+        t.a_wcat.(i) <- t.wait_cat;
+        t.a_arg.(i) <- t.wait_quantum;
+        t.wait_pred <- dummy_pred;
+        push_slot t i)
+  in
   {
     Effect.Deep.retc =
       (fun () ->
         task.state <- Finished;
         t.tasks_live <- t.tasks_live - 1;
-        Probe.emit t.probe ~time:task.time
-          (Probe.Task { core = task.core; op = Probe.Finish }));
+        if Probe.active t.probe then
+          Probe.emit t.probe ~time:task.time
+            (Probe.Task { core = task.core; op = Probe.Finish }));
     exnc = (fun e -> raise e);
     effc =
-      (fun (type a) (eff : a Effect.t) ->
+      (fun (type a) (eff : a Effect.t) :
+           ((a, unit) Effect.Deep.continuation -> unit) option ->
         match eff with
-        | Consume n ->
-            Some
-              (fun (k : (a, unit) Effect.Deep.continuation) ->
-                task.time <- task.time + n;
-                if task.time > t.config.max_cycles then
-                  raise (Watchdog task.time);
-                task.state <- Suspended k;
-                push_entry t
-                  { time = task.time; seq = fresh_seq t; entry = Task task })
+        | Tick -> on_tick
+        | Wait -> on_wait
         | _ -> None);
   }
 
@@ -294,14 +535,15 @@ let handler t task =
 let run t =
   let continue = ref true in
   while !continue do
-    match pop_entry t with
-    | None -> continue := false
-    | Some { Heap.time; entry; _ } -> (
-    t.global_time <- time;
-    match entry with
-    | Event f -> f ()
-    | Task task -> (
-        t.current <- Some task;
+    let i = pop_slot t in
+    if i < 0 then continue := false
+    else begin
+      t.global_time <- t.a_time.(i);
+      let kind = t.a_kind.(i) in
+      if kind = k_task then begin
+        let task = t.a_task.(i) in
+        free_slot t i;
+        t.current <- task;
         (match task.state with
         | Not_started f ->
             task.state <- Finished;
@@ -311,7 +553,47 @@ let run t =
             task.state <- Finished;
             Effect.Deep.continue k ()
         | Finished -> ());
-        t.current <- None))
+        t.current <- dummy_task
+      end
+      else if kind = k_wait then begin
+        (* a suspended pure poll: re-evaluate in place, resume only when
+           the predicate holds — same (time, seq) trajectory as the
+           resume-check-suspend round trip, without the fiber switch *)
+        let task = t.a_task.(i) in
+        t.current <- task;
+        if t.a_pred.(i) () then begin
+          let k =
+            match task.state with
+            | Suspended k -> k
+            | _ -> assert false
+          in
+          free_slot t i;
+          task.state <- Finished;
+          Effect.Deep.continue k ();
+          t.current <- dummy_task
+        end
+        else begin
+          Stats.add (Stats.core t.stats task.core) (t.a_wcat.(i)) t.a_arg.(i);
+          let nt = task.time + t.a_arg.(i) in
+          if nt > t.config.max_cycles then raise (Watchdog nt);
+          task.time <- nt;
+          t.a_time.(i) <- nt;
+          t.a_seq.(i) <- fresh_seq t;
+          push_slot t i;
+          t.current <- dummy_task
+        end
+      end
+      else if kind = k_closure then begin
+        let f = t.a_fn.(i) in
+        free_slot t i;
+        f ()
+      end
+      else begin
+        let f = t.a_ifn.(i) and arg = t.a_arg.(i) in
+        free_slot t i;
+        f arg
+      end
+    end
   done;
   if t.tasks_live > 0 then
     raise (Deadlock (Printf.sprintf "%d tasks never finished" t.tasks_live))

@@ -1,27 +1,34 @@
 (** Discrete-event execution engine.
 
     Simulated cores are ordinary OCaml functions; whenever simulated work
-    costs cycles they perform a [Consume] effect, and the scheduler always
-    resumes the task with the smallest virtual clock, so cores interleave
-    exactly as their timing dictates.  Timed closures ([at]) share the
-    event queue — the NoC uses them to deliver posted writes.
+    costs cycles they perform an internal effect, and the scheduler
+    always resumes the task with the smallest virtual clock, so cores
+    interleave exactly as their timing dictates.  Timed closures ([at])
+    share the event queue — the NoC uses them to deliver posted writes.
 
     Fully deterministic: ties in time break by creation sequence.
 
     {2 Scheduling structure}
 
-    The ready queue is an {e indexed wake-wheel}: entries due within a
-    fixed cycle horizon sit in per-cycle slots indexed by resume time
-    (O(1) push and pop), while entries beyond the horizon wait in an
-    overflow min-heap keyed on [(time, seq)] and migrate into the wheel
-    as the cursor advances.  Simulated time is monotonic — nothing is
-    ever scheduled in the past — so each slot's FIFO order equals
-    creation-sequence order and the wheel preserves the deterministic
-    [(time, seq)] dequeue order of a plain heap, bit for bit, at a
-    fraction of the cost on the simulator's hot path (polling loops wake
-    every few cycles). *)
+    Pending entries live in a preallocated integer-indexed {e arena}
+    with a free list (parallel time/seq/kind/payload arrays), so
+    steady-state scheduling allocates nothing.  The ready queue is an
+    {e indexed wake-wheel}: entries due within a fixed cycle horizon sit
+    in per-cycle slots (intrusive int chains through the arena, O(1)
+    push and pop), while entries beyond the horizon wait in an overflow
+    min-heap of arena indices keyed on [(time, seq)] and migrate into
+    the wheel as the cursor advances.  Simulated time is monotonic —
+    nothing is ever scheduled in the past — so each slot's FIFO order
+    equals creation-sequence order and the wheel preserves the
+    deterministic [(time, seq)] dequeue order of a plain heap, bit for
+    bit, at a fraction of the cost on the simulator's hot path (polling
+    loops wake every few cycles).
 
-type _ Effect.t += Consume : int -> unit Effect.t
+    When an advancing task would be the very next entry popped anyway,
+    [consume] skips the suspend/resume round trip entirely (burning the
+    sequence number the suspension would have taken, so all later
+    tie-breaks are unchanged) — the dominant case in single-task phases
+    and uncontended stretches. *)
 
 exception Watchdog of int
 (** A task exceeded [Config.max_cycles] — livelock guard. *)
@@ -46,6 +53,12 @@ val spawn : ?start:int -> t -> core:int -> (unit -> unit) -> unit
 val at : t -> time:int -> (unit -> unit) -> unit
 (** Schedule a closure at an absolute time. *)
 
+val at_indexed : t -> time:int -> (int -> unit) -> int -> unit
+(** Allocation-free variant of {!at}: schedule [fn arg] at an absolute
+    time.  [fn] should be a preallocated closure — the per-event state
+    travels as the [int] argument through the engine's arena, so
+    scheduling it allocates nothing. *)
+
 val core_id : t -> int
 (** The core of the currently running task.  Must be called from within
     a spawned computation. *)
@@ -59,6 +72,25 @@ val consume : t -> Stats.category -> int -> unit
 
 val idle : t -> int -> unit
 (** Advance the clock without statistics (pure waiting). *)
+
+val poll_wait :
+  t -> cat:Stats.category -> quantum:int -> pred:(unit -> bool) -> unit
+(** [poll_wait t ~cat ~quantum ~pred] behaves exactly like
+
+    {[ while not (pred ()) do consume t cat quantum done ]}
+
+    — same stall accounting, same clock trajectory, same sequence-number
+    burns, same watchdog — but once the task suspends, the scheduler
+    re-evaluates [pred] itself at every wake and resumes the fiber only
+    when it holds, so each failed poll costs a queue pop/push instead of
+    a fiber suspend/resume round trip.
+
+    [pred] must be {e pure with respect to the simulation}: it may read
+    engine or host bookkeeping state (including {!now}) but must not
+    consume cycles, access simulated memory, or mutate anything.  It is
+    called both from the polling task and from the scheduler loop (with
+    the task's identity installed, so {!now} and {!core_id} are valid
+    either way). *)
 
 val run : t -> unit
 (** Run until every task has finished and every event has fired.

@@ -15,7 +15,13 @@
    Data movement happens at the *start* of an access's latency window;
    cycle costs are consumed afterwards.  This keeps the simulation
    deterministic and single-threaded while cores interleave at every
-   consume point. *)
+   consume point.
+
+   All memories are flat [Mem.t] stores and the timed access paths below
+   decode addresses inline (no [place] construction), read cache
+   outcomes as int bitmasks, and stage NoC payloads into reusable
+   buffers — a steady-state access allocates nothing but the boxed
+   [int32] a load returns. *)
 
 type code_state = {
   mutable pc : int;
@@ -31,7 +37,7 @@ type t = {
   sdram : Sdram.t;
   dcaches : Cache.t array;
   icaches : Icache.t array;
-  locals : Bytes.t array;
+  locals : Mem.t array;
   noc : Noc.t;
   uncached_base : int;
   local_base : int;
@@ -42,6 +48,8 @@ type t = {
   spm_sp : int array;            (* per-tile SPM stack pointer *)
   private_base : int array;      (* per-core private arena (cached SDRAM) *)
   code : code_state array;
+  scratch : Mem.t;               (* staging for single-word posted writes *)
+  staging : Mem.t array;         (* per-core NoC push staging, grown on use *)
 }
 
 let private_bytes = 16 * 1024
@@ -58,17 +66,17 @@ let create (cfg : Config.t) : t =
     Array.init cfg.cores (fun _ ->
         Cache.create ~sets:cfg.dcache_sets ~ways:cfg.dcache_ways
           ~line_bytes:cfg.line_bytes
-          ~backing_read:(fun addr buf -> Sdram.read_line sdram addr buf)
-          ~backing_write:(fun addr buf -> Sdram.write_line sdram addr buf))
+          ~backing_read:(fun addr dst pos ->
+            Sdram.read_line sdram addr dst ~pos ~len:cfg.line_bytes)
+          ~backing_write:(fun addr src pos ->
+            Sdram.write_line sdram addr src ~pos ~len:cfg.line_bytes))
   in
   let icaches =
     Array.init cfg.cores (fun _ ->
         Icache.create ~sets:cfg.icache_sets ~ways:cfg.icache_ways
           ~line_bytes:cfg.line_bytes)
   in
-  let locals =
-    Array.init cfg.cores (fun _ -> Bytes.make cfg.local_mem_bytes '\000')
-  in
+  let locals = Array.init cfg.cores (fun _ -> Mem.create cfg.local_mem_bytes) in
   let noc = Noc.create cfg fault engine locals in
   let seed_prng = Prng.create cfg.seed in
   let code =
@@ -96,6 +104,8 @@ let create (cfg : Config.t) : t =
       spm_sp = Array.make cfg.cores (cfg.local_mem_bytes / 2);
       private_base = Array.make cfg.cores 0;
       code;
+      scratch = Mem.create 8;
+      staging = Array.init cfg.cores (fun _ -> Mem.create 64);
     }
   in
   (* carve out per-core private arenas from the cached region *)
@@ -188,26 +198,30 @@ let decode m addr : place =
   else if addr >= m.uncached_base then Uncached_sdram addr
   else Cached_sdram addr
 
+(* Mem accessors are unsafe; the timed paths below re-establish the
+   bounds [decode] used to delegate to checked [Bytes] accesses. *)
+let[@inline] check_local m off len =
+  if off > m.cfg.local_mem_bytes - len then
+    invalid_arg "Machine: local access out of bounds"
+
 (* ---------------- timed accesses ---------------- *)
 
-let miss_cycles m oc =
+let[@inline] miss_cycles m oc =
   let c = ref 0 in
-  if oc.Cache.refilled then begin
+  if Cache.refilled oc then
     c := !c + Sdram.contend_line m.sdram ~now:(now m)
-         + m.cfg.sdram_line_cycles
-  end;
-  if oc.Cache.wrote_back then begin
+         + m.cfg.sdram_line_cycles;
+  if Cache.wrote_back oc then
     c := !c + Sdram.contend_line m.sdram ~now:(now m)
-         + m.cfg.sdram_line_cycles
-  end;
+         + m.cfg.sdram_line_cycles;
   !c
 
-let count_dcache m core (oc : Cache.outcome) =
+let[@inline] count_dcache m core (oc : Cache.outcome) =
   let s = Stats.core (stats m) core in
-  if oc.hit then s.Stats.dcache_hits <- s.Stats.dcache_hits + 1
+  if Cache.hit oc then s.Stats.dcache_hits <- s.Stats.dcache_hits + 1
   else s.Stats.dcache_misses <- s.Stats.dcache_misses + 1
 
-let read_stall_cat ~shared =
+let[@inline] read_stall_cat ~shared =
   if shared then Stats.Shared_read_stall else Stats.Private_read_stall
 
 exception Remote_read of { core : int; tile : int }
@@ -221,8 +235,9 @@ let maybe_stall m ~core =
   if Fault.enabled m.fault then begin
     let cycles = Fault.tile_stall m.fault ~core in
     if cycles > 0 then begin
-      Probe.emit (probe m) ~time:(now m)
-        (Probe.Fault (Probe.F_tile_stall { core; cycles }));
+      if Probe.active (probe m) then
+        Probe.emit (probe m) ~time:(now m)
+          (Probe.Fault (Probe.F_tile_stall { core; cycles }));
       Engine.idle m.engine cycles
     end
   end
@@ -236,8 +251,9 @@ let sdram_read_faults m ~core ~cat =
     let attempt = ref 0 in
     while Fault.sdram_error m.fault ~core do
       incr attempt;
-      Probe.emit (probe m) ~time:(now m)
-        (Probe.Fault (Probe.F_sdram_retry { core; attempt = !attempt }));
+      if Probe.active (probe m) then
+        Probe.emit (probe m) ~time:(now m)
+          (Probe.Fault (Probe.F_sdram_retry { core; attempt = !attempt }));
       if !attempt > m.cfg.sdram_retry_limit then
         Pmc_error.raise_error ~core ~op:"Machine.sdram_read"
           "transient SDRAM read error persisted after %d retries"
@@ -246,127 +262,185 @@ let sdram_read_faults m ~core ~cat =
     done
   end
 
-let load_u32 m ~shared addr : int32 =
+let[@inline] check_addr addr =
+  if addr < 0 then invalid_arg "Machine: negative address"
+
+(* Book-keep one posted write of [len] bytes and pay its injection
+   stall. *)
+let[@inline] charge_post m ~core ~len =
+  let s = Stats.core (stats m) core in
+  s.Stats.noc_writes <- s.Stats.noc_writes + 1;
+  s.Stats.noc_flits <- s.Stats.noc_flits + 2;
+  Engine.consume m.engine Stats.Write_stall (Noc.injection_cost m.noc ~len)
+
+let load_u32_int m ~shared addr : int =
+  check_addr addr;
   let core = core_id m in
   maybe_stall m ~core;
-  match decode m addr with
-  | Cached_sdram a ->
-      let v, oc = Cache.load_u32 m.dcaches.(core) a in
-      count_dcache m core oc;
-      Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
-      if not oc.Cache.hit then begin
-        Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc);
-        sdram_read_faults m ~core ~cat:(read_stall_cat ~shared)
-      end
-      else if oc.Cache.wrote_back then
-        Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc);
-      v
-  | Uncached_sdram a ->
-      let wait = Sdram.contend_word m.sdram ~now:(now m) in
-      Engine.consume m.engine (read_stall_cat ~shared)
-        (wait + m.cfg.sdram_word_cycles);
-      sdram_read_faults m ~core ~cat:(read_stall_cat ~shared);
-      Sdram.read_u32 m.sdram a
-  | Local { tile; off } ->
-      if tile <> core then raise (Remote_read { core; tile });
-      Engine.consume m.engine (read_stall_cat ~shared) m.cfg.local_mem_cycles;
-      Bytes.get_int32_le m.locals.(tile) off
+  if addr >= m.local_base then begin
+    let rel = addr - m.local_base in
+    let tile = rel / m.cfg.local_mem_bytes in
+    let off = rel mod m.cfg.local_mem_bytes in
+    if tile >= m.cfg.cores then invalid_arg "Machine: bad local address";
+    if tile <> core then raise (Remote_read { core; tile });
+    check_local m off 4;
+    Engine.consume m.engine (read_stall_cat ~shared) m.cfg.local_mem_cycles;
+    Mem.get_u32_int m.locals.(tile) off
+  end
+  else if addr >= m.uncached_base then begin
+    let wait = Sdram.contend_word m.sdram ~now:(now m) in
+    Engine.consume m.engine (read_stall_cat ~shared)
+      (wait + m.cfg.sdram_word_cycles);
+    sdram_read_faults m ~core ~cat:(read_stall_cat ~shared);
+    Sdram.read_u32_int m.sdram addr
+  end
+  else begin
+    let c = m.dcaches.(core) in
+    let v = Cache.load_u32_int c addr in
+    let oc = Cache.last c in
+    count_dcache m core oc;
+    Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
+    if not (Cache.hit oc) then begin
+      Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc);
+      sdram_read_faults m ~core ~cat:(read_stall_cat ~shared)
+    end
+    else if Cache.wrote_back oc then
+      Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc);
+    v
+  end
 
-let store_u32 m ~shared:_ addr (v : int32) : unit =
+let store_u32_int m ~shared:_ addr (x : int) : unit =
+  check_addr addr;
   let core = core_id m in
-  match decode m addr with
-  | Cached_sdram a ->
-      let oc = Cache.store_u32 m.dcaches.(core) a v in
-      count_dcache m core oc;
-      Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
-      if oc.Cache.refilled || oc.Cache.wrote_back then
-        Engine.consume m.engine Stats.Write_stall (miss_cycles m oc)
-  | Uncached_sdram a ->
-      let wait = Sdram.contend_word m.sdram ~now:(now m) in
-      Engine.consume m.engine Stats.Write_stall
-        (wait + m.cfg.sdram_word_cycles);
-      Sdram.write_u32 m.sdram a v
-  | Local { tile; off } ->
-      if tile = core then begin
-        Engine.consume m.engine Stats.Write_stall m.cfg.local_mem_cycles;
-        Bytes.set_int32_le m.locals.(tile) off v
-      end
-      else begin
-        (* posted write over the NoC *)
-        let buf = Bytes.create 4 in
-        Bytes.set_int32_le buf 0 v;
-        let s = Stats.core (stats m) core in
-        s.Stats.noc_writes <- s.Stats.noc_writes + 1;
-        s.Stats.noc_flits <- s.Stats.noc_flits + 2;
-        Engine.consume m.engine Stats.Write_stall
-          (Noc.injection_cost m.noc buf);
-        ignore (Noc.post_write m.noc ~src:core ~dst:tile ~off buf)
-      end
+  if addr >= m.local_base then begin
+    let rel = addr - m.local_base in
+    let tile = rel / m.cfg.local_mem_bytes in
+    let off = rel mod m.cfg.local_mem_bytes in
+    if tile >= m.cfg.cores then invalid_arg "Machine: bad local address";
+    check_local m off 4;
+    if tile = core then begin
+      Engine.consume m.engine Stats.Write_stall m.cfg.local_mem_cycles;
+      Mem.set_u32_int m.locals.(tile) off x
+    end
+    else begin
+      (* posted write over the NoC *)
+      charge_post m ~core ~len:4;
+      Mem.set_u32_int m.scratch 0 x;
+      ignore
+        (Noc.post_write m.noc ~src:core ~dst:tile ~off m.scratch ~pos:0
+           ~len:4)
+    end
+  end
+  else if addr >= m.uncached_base then begin
+    let wait = Sdram.contend_word m.sdram ~now:(now m) in
+    Engine.consume m.engine Stats.Write_stall
+      (wait + m.cfg.sdram_word_cycles);
+    Sdram.write_u32_int m.sdram addr x
+  end
+  else begin
+    let c = m.dcaches.(core) in
+    Cache.store_u32_int c addr x;
+    let oc = Cache.last c in
+    count_dcache m core oc;
+    Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
+    if Cache.refilled oc || Cache.wrote_back oc then
+      Engine.consume m.engine Stats.Write_stall (miss_cycles m oc)
+  end
+
+let load_u32 m ~shared addr : int32 = Int32.of_int (load_u32_int m ~shared addr)
+let store_u32 m ~shared addr (v : int32) = store_u32_int m ~shared addr (Int32.to_int v)
 
 let load_u8 m ~shared addr : int =
+  check_addr addr;
   let core = core_id m in
   maybe_stall m ~core;
-  match decode m addr with
-  | Cached_sdram a ->
-      let v, oc = Cache.load_u8 m.dcaches.(core) a in
-      count_dcache m core oc;
-      Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
-      if not oc.Cache.hit then begin
-        Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc);
-        sdram_read_faults m ~core ~cat:(read_stall_cat ~shared)
-      end;
-      v
-  | Uncached_sdram a ->
-      let wait = Sdram.contend_word m.sdram ~now:(now m) in
-      Engine.consume m.engine (read_stall_cat ~shared)
-        (wait + m.cfg.sdram_word_cycles);
-      sdram_read_faults m ~core ~cat:(read_stall_cat ~shared);
-      Sdram.read_u8 m.sdram a
-  | Local { tile; off } ->
-      if tile <> core then raise (Remote_read { core; tile });
-      Engine.consume m.engine (read_stall_cat ~shared) m.cfg.local_mem_cycles;
-      Char.code (Bytes.get m.locals.(tile) off)
+  if addr >= m.local_base then begin
+    let rel = addr - m.local_base in
+    let tile = rel / m.cfg.local_mem_bytes in
+    let off = rel mod m.cfg.local_mem_bytes in
+    if tile >= m.cfg.cores then invalid_arg "Machine: bad local address";
+    if tile <> core then raise (Remote_read { core; tile });
+    Engine.consume m.engine (read_stall_cat ~shared) m.cfg.local_mem_cycles;
+    Mem.get_u8 m.locals.(tile) off
+  end
+  else if addr >= m.uncached_base then begin
+    let wait = Sdram.contend_word m.sdram ~now:(now m) in
+    Engine.consume m.engine (read_stall_cat ~shared)
+      (wait + m.cfg.sdram_word_cycles);
+    sdram_read_faults m ~core ~cat:(read_stall_cat ~shared);
+    Sdram.read_u8 m.sdram addr
+  end
+  else begin
+    let c = m.dcaches.(core) in
+    let v = Cache.load_u8 c addr in
+    let oc = Cache.last c in
+    count_dcache m core oc;
+    Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
+    if not (Cache.hit oc) then begin
+      Engine.consume m.engine (read_stall_cat ~shared) (miss_cycles m oc);
+      sdram_read_faults m ~core ~cat:(read_stall_cat ~shared)
+    end;
+    v
+  end
 
 let store_u8 m ~shared:_ addr (v : int) : unit =
+  check_addr addr;
   let core = core_id m in
-  match decode m addr with
-  | Cached_sdram a ->
-      let oc = Cache.store_u8 m.dcaches.(core) a v in
-      count_dcache m core oc;
-      Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
-      if oc.Cache.refilled || oc.Cache.wrote_back then
-        Engine.consume m.engine Stats.Write_stall (miss_cycles m oc)
-  | Uncached_sdram a ->
-      let wait = Sdram.contend_word m.sdram ~now:(now m) in
-      Engine.consume m.engine Stats.Write_stall
-        (wait + m.cfg.sdram_word_cycles);
-      Sdram.write_u8 m.sdram a v
-  | Local { tile; off } ->
-      if tile = core then begin
-        Engine.consume m.engine Stats.Write_stall m.cfg.local_mem_cycles;
-        Bytes.set m.locals.(tile) off (Char.chr (v land 0xff))
-      end
-      else begin
-        let buf = Bytes.make 1 (Char.chr (v land 0xff)) in
-        let s = Stats.core (stats m) core in
-        s.Stats.noc_writes <- s.Stats.noc_writes + 1;
-        s.Stats.noc_flits <- s.Stats.noc_flits + 2;
-        Engine.consume m.engine Stats.Write_stall
-          (Noc.injection_cost m.noc buf);
-        ignore (Noc.post_write m.noc ~src:core ~dst:tile ~off buf)
-      end
+  if addr >= m.local_base then begin
+    let rel = addr - m.local_base in
+    let tile = rel / m.cfg.local_mem_bytes in
+    let off = rel mod m.cfg.local_mem_bytes in
+    if tile >= m.cfg.cores then invalid_arg "Machine: bad local address";
+    if tile = core then begin
+      Engine.consume m.engine Stats.Write_stall m.cfg.local_mem_cycles;
+      Mem.set_u8 m.locals.(tile) off v
+    end
+    else begin
+      charge_post m ~core ~len:1;
+      Mem.set_u8 m.scratch 0 v;
+      ignore
+        (Noc.post_write m.noc ~src:core ~dst:tile ~off m.scratch ~pos:0
+           ~len:1)
+    end
+  end
+  else if addr >= m.uncached_base then begin
+    let wait = Sdram.contend_word m.sdram ~now:(now m) in
+    Engine.consume m.engine Stats.Write_stall
+      (wait + m.cfg.sdram_word_cycles);
+    Sdram.write_u8 m.sdram addr v
+  end
+  else begin
+    let c = m.dcaches.(core) in
+    Cache.store_u8 c addr v;
+    let oc = Cache.last c in
+    count_dcache m core oc;
+    Engine.consume m.engine Stats.Busy m.cfg.dcache_hit_cycles;
+    if Cache.refilled oc || Cache.wrote_back oc then
+      Engine.consume m.engine Stats.Write_stall (miss_cycles m oc)
+  end
 
 (* Unordered remote write with caller-chosen latency: the Fig. 1 machine,
    where different memories sit at different distances. *)
 let store_u32_remote_raw m ~dst ~off ~latency (v : int32) =
   let core = core_id m in
-  let buf = Bytes.create 4 in
-  Bytes.set_int32_le buf 0 v;
-  let s = Stats.core (stats m) core in
-  s.Stats.noc_writes <- s.Stats.noc_writes + 1;
-  s.Stats.noc_flits <- s.Stats.noc_flits + 2;
-  Engine.consume m.engine Stats.Write_stall (Noc.injection_cost m.noc buf);
-  ignore (Noc.post_write_at m.noc ~src:core ~dst ~off ~latency buf)
+  charge_post m ~core ~len:4;
+  Mem.set_u32 m.scratch 0 v;
+  ignore
+    (Noc.post_write_at m.noc ~src:core ~dst ~off ~latency m.scratch ~pos:0
+       ~len:4)
+
+(* Snapshot [len] bytes of [core]'s local memory into its staging buffer
+   *before* the injection stall is consumed — a NoC delivery landing in
+   the source range during the stall must not change what was posted. *)
+let stage_push m ~core ~src_off ~len =
+  if Mem.length m.staging.(core) < len then begin
+    let cap = ref (Mem.length m.staging.(core)) in
+    while !cap < len do
+      cap := 2 * !cap
+    done;
+    m.staging.(core) <- Mem.create !cap
+  end;
+  Mem.blit m.locals.(core) src_off m.staging.(core) 0 len
 
 (* Push [len] bytes of my local memory at [src_off] into tile [dst] at
    [dst_off] over the NoC (the DSM back-end's replication primitive).
@@ -374,12 +448,14 @@ let store_u32_remote_raw m ~dst ~off ~latency (v : int32) =
 let noc_push_arrival m ~dst ~src_off ~dst_off ~len : int =
   let core = core_id m in
   if dst = core then invalid_arg "noc_push to self";
-  let buf = Bytes.sub m.locals.(core) src_off len in
+  check_local m src_off len;
+  stage_push m ~core ~src_off ~len;
   let s = Stats.core (stats m) core in
   s.Stats.noc_writes <- s.Stats.noc_writes + 1;
   s.Stats.noc_flits <- s.Stats.noc_flits + 1 + ((len + 3) / 4);
-  Engine.consume m.engine Stats.Write_stall (Noc.injection_cost m.noc buf);
-  Noc.post_write m.noc ~src:core ~dst ~off:dst_off buf
+  Engine.consume m.engine Stats.Write_stall (Noc.injection_cost m.noc ~len);
+  Noc.post_write m.noc ~src:core ~dst ~off:dst_off m.staging.(core) ~pos:0
+    ~len
 
 let noc_push m ~dst ~src_off ~dst_off ~len =
   ignore (noc_push_arrival m ~dst ~src_off ~dst_off ~len)
@@ -396,12 +472,15 @@ let noc_push_multi m ~dsts ~src_off ~dst_off ~len : int =
   match dsts with
   | [] -> now m
   | dsts when m.cfg.Config.noc_multicast ->
-      let buf = Bytes.sub m.locals.(core) src_off len in
+      check_local m src_off len;
+      stage_push m ~core ~src_off ~len;
       let s = Stats.core (stats m) core in
       s.Stats.noc_writes <- s.Stats.noc_writes + List.length dsts;
       s.Stats.noc_flits <- s.Stats.noc_flits + 1 + ((len + 3) / 4);
-      Engine.consume m.engine Stats.Write_stall (Noc.injection_cost m.noc buf);
-      Noc.post_multicast m.noc ~src:core ~dsts ~off:dst_off buf
+      Engine.consume m.engine Stats.Write_stall
+        (Noc.injection_cost m.noc ~len);
+      Noc.post_multicast m.noc ~src:core ~dsts ~off:dst_off m.staging.(core)
+        ~pos:0 ~len
   | dsts ->
       List.fold_left
         (fun acc dst ->
@@ -411,9 +490,11 @@ let noc_push_multi m ~dsts ~src_off ~dst_off ~len : int =
 (* DMA data paths between SDRAM and a tile's local memory (the SPM
    staging copies).  Data only — the caller charges the burst timing. *)
 let blit_sdram_to_local m ~core ~sdram ~off ~len =
+  check_local m off len;
   Sdram.blit_to m.sdram ~addr:sdram m.locals.(core) ~pos:off ~len
 
 let blit_local_to_sdram m ~core ~off ~sdram ~len =
+  check_local m off len;
   Sdram.blit_from m.sdram ~addr:sdram m.locals.(core) ~pos:off ~len
 
 (* One SDRAM port arbitration for a single word access — the per-word
@@ -462,27 +543,28 @@ let maint_cycles m (r : Cache.maint) =
 
 let wb_inval_range m ~addr ~len =
   let core = core_id m in
-  (match decode m addr with
-  | Cached_sdram _ -> ()
-  | _ -> invalid_arg "wb_inval_range: not a cached address");
+  if addr < 0 || addr >= m.uncached_base then
+    invalid_arg "wb_inval_range: not a cached address";
   let r = Cache.wb_inval_range m.dcaches.(core) ~addr ~len in
   let s = Stats.core (stats m) core in
   s.Stats.flushes <- s.Stats.flushes + 1;
-  Probe.emit (probe m) ~time:(now m)
-    (Probe.Cache_maint
-       { core; op = Probe.Wb_inval; addr; len;
-         lines_touched = r.Cache.lines_touched;
-         lines_written_back = r.Cache.lines_written_back });
+  if Probe.active (probe m) then
+    Probe.emit (probe m) ~time:(now m)
+      (Probe.Cache_maint
+         { core; op = Probe.Wb_inval; addr; len;
+           lines_touched = r.Cache.lines_touched;
+           lines_written_back = r.Cache.lines_written_back });
   Engine.consume m.engine Stats.Flush_overhead (maint_cycles m r)
 
 let inval_range m ~addr ~len =
   let core = core_id m in
   let r = Cache.inval_range m.dcaches.(core) ~addr ~len in
-  Probe.emit (probe m) ~time:(now m)
-    (Probe.Cache_maint
-       { core; op = Probe.Inval; addr; len;
-         lines_touched = r.Cache.lines_touched;
-         lines_written_back = r.Cache.lines_written_back });
+  if Probe.active (probe m) then
+    Probe.emit (probe m) ~time:(now m)
+      (Probe.Cache_maint
+         { core; op = Probe.Inval; addr; len;
+           lines_touched = r.Cache.lines_touched;
+           lines_written_back = r.Cache.lines_written_back });
   Engine.consume m.engine Stats.Flush_overhead (maint_cycles m r)
 
 (* ---------------- instruction stream ---------------- *)
@@ -549,12 +631,16 @@ let private_store m idx v =
 let peek_u32 m addr : int32 =
   match decode m addr with
   | Cached_sdram a | Uncached_sdram a -> Sdram.read_u32 m.sdram a
-  | Local { tile; off } -> Bytes.get_int32_le m.locals.(tile) off
+  | Local { tile; off } ->
+      check_local m off 4;
+      Mem.get_u32 m.locals.(tile) off
 
 let poke_u32 m addr v =
   match decode m addr with
   | Cached_sdram a | Uncached_sdram a -> Sdram.write_u32 m.sdram a v
-  | Local { tile; off } -> Bytes.set_int32_le m.locals.(tile) off v
+  | Local { tile; off } ->
+      check_local m off 4;
+      Mem.set_u32 m.locals.(tile) off v
 
 let dcache m ~core = m.dcaches.(core)
 

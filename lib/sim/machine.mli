@@ -70,6 +70,13 @@ exception Remote_read of { core : int; tile : int }
 (** Reading another tile's local memory is impossible on the write-only
     interconnect. *)
 
+val load_u32_int : t -> shared:bool -> int -> int
+(** Unboxed variant of {!load_u32}: the unsigned 32-bit pattern as a
+    plain [int] — the hot-path primitive (no [int32] box). *)
+
+val store_u32_int : t -> shared:bool -> int -> int -> unit
+(** Unboxed variant of {!store_u32}; low 32 bits significant. *)
+
 val load_u32 : t -> shared:bool -> int -> int32
 (** Timed load; [shared] selects the Fig. 8 stall category.  Cached SDRAM
     goes through the core's D-cache; uncached pays the contended SDRAM

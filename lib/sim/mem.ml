@@ -1,0 +1,74 @@
+(* Flat byte store on a Bigarray — the backing representation of every
+   simulated memory (tile-local memories, the shared SDRAM, cache line
+   data).
+
+   All indexed accessors are *unsafe*: callers are the address decoders
+   and allocators, which establish bounds before any hot-path access, so
+   the per-access cost is the load/store itself — no bounds check, no
+   temporary buffer, no boxing beyond the [int32] result of [get_u32].
+   Word access is little-endian, composed from four byte operations
+   (Bigarray has no unaligned multi-byte view of a char array).
+
+   [blit] is a manual byte loop rather than [Bigarray.Array1.sub] +
+   [blit]: the sub descriptors are heap-allocated, and the loop keeps
+   the simulator's steady state allocation-free. *)
+
+type t = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create n : t =
+  let a = Bigarray.Array1.create Bigarray.Char Bigarray.C_layout n in
+  Bigarray.Array1.fill a '\000';
+  a
+
+let length (m : t) = Bigarray.Array1.dim m
+
+let[@inline] get_char (m : t) i = Bigarray.Array1.unsafe_get m i
+let[@inline] set_char (m : t) i c = Bigarray.Array1.unsafe_set m i c
+let[@inline] get_u8 (m : t) i = Char.code (Bigarray.Array1.unsafe_get m i)
+
+let[@inline] set_u8 (m : t) i v =
+  Bigarray.Array1.unsafe_set m i (Char.unsafe_chr (v land 0xff))
+
+(* Unboxed word accessors: the value travels as a plain [int] holding
+   the unsigned 32-bit pattern (reads) or any int whose low 32 bits are
+   the value (writes).  The hot path — cache lines, machine loads and
+   stores, the back-ends — stays entirely in immediate ints; only the
+   API surface boxes an [int32]. *)
+let[@inline] get_u32_int (m : t) i : int =
+  let b0 = get_u8 m i
+  and b1 = get_u8 m (i + 1)
+  and b2 = get_u8 m (i + 2)
+  and b3 = get_u8 m (i + 3) in
+  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+let[@inline] set_u32_int (m : t) i x =
+  set_u8 m i x;
+  set_u8 m (i + 1) (x lsr 8);
+  set_u8 m (i + 2) (x lsr 16);
+  set_u8 m (i + 3) (x lsr 24)
+
+let[@inline] get_u32 (m : t) i : int32 = Int32.of_int (get_u32_int m i)
+let[@inline] set_u32 (m : t) i (v : int32) = set_u32_int m i (Int32.to_int v)
+
+let blit (src : t) src_pos (dst : t) dst_pos len =
+  for k = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set dst (dst_pos + k)
+      (Bigarray.Array1.unsafe_get src (src_pos + k))
+  done
+
+let blit_of_bytes (src : Bytes.t) src_pos (dst : t) dst_pos len =
+  for k = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set dst (dst_pos + k)
+      (Bytes.unsafe_get src (src_pos + k))
+  done
+
+let blit_to_bytes (src : t) src_pos (dst : Bytes.t) dst_pos len =
+  for k = 0 to len - 1 do
+    Bytes.unsafe_set dst (dst_pos + k)
+      (Bigarray.Array1.unsafe_get src (src_pos + k))
+  done
+
+let to_bytes (src : t) ~pos ~len =
+  let b = Bytes.create len in
+  blit_to_bytes src pos b 0 len;
+  b

@@ -9,6 +9,14 @@
    where two memories sit behind paths of different latency, and is what
    the broken-flag demonstration uses.
 
+   Fault-free fast path.  A posted write stages its payload into a pooled
+   [Mem.t] buffer held by an integer-indexed delivery arena and schedules
+   a single preallocated closure via [Engine.at_indexed], so the
+   steady-state post/deliver cycle allocates nothing: no payload copies
+   on the OCaml heap, no per-delivery closure.  Buffers stay attached to
+   their arena slot and are reused; one grows (once) if a later payload
+   needs more room.
+
    Resilient transport (the chaos plane).  When the fault plane is armed,
    every posted write becomes a sequenced, checksummed packet on its
    (src, dst) link and delivery runs through a per-link worker:
@@ -51,34 +59,101 @@ type t = {
   cfg : Config.t;
   engine : Engine.t;
   fault : Fault.t;
-  locals : Bytes.t array;                  (* per-tile local memories *)
+  locals : Mem.t array;                    (* per-tile local memories *)
   outstanding : int array;                 (* in-flight writes per source *)
   last_arrival : int array;                (* latest arrival time per source *)
   link_last : int array array;             (* per (src, dst) FIFO ordering *)
   links : link array array;                (* resilient path, per (src, dst) *)
   mutable total_writes : int;
+  (* fault-free delivery arena: pooled payload buffers + parallel fields,
+     dispatched by one preallocated closure via [Engine.at_indexed] *)
+  mutable d_buf : Mem.t array;
+  mutable d_src : int array;
+  mutable d_dst : int array;
+  mutable d_off : int array;
+  mutable d_len : int array;
+  mutable d_next : int array;              (* free list *)
+  mutable d_free : int;
+  mutable deliver_fn : int -> unit;
 }
 
-let create (cfg : Config.t) (fault : Fault.t) (engine : Engine.t)
-    (locals : Bytes.t array) =
-  {
-    cfg;
-    engine;
-    fault;
-    locals;
-    outstanding = Array.make cfg.cores 0;
-    last_arrival = Array.make cfg.cores 0;
-    link_last = Array.make_matrix cfg.cores cfg.cores 0;
-    links =
-      Array.init cfg.cores (fun _ ->
-          Array.init cfg.cores (fun _ ->
-              { q = Queue.create (); busy = false; dead = false; next_seq = 0 }));
-    total_writes = 0;
-  }
+let no_buf : Mem.t = Bigarray.Array1.create Bigarray.Char Bigarray.C_layout 0
 
-let deliver t ~src ~dst ~off (data : Bytes.t) () =
-  Bytes.blit data 0 t.locals.(dst) off (Bytes.length data);
-  t.outstanding.(src) <- t.outstanding.(src) - 1
+let initial_deliveries = 64
+
+let create (cfg : Config.t) (fault : Fault.t) (engine : Engine.t)
+    (locals : Mem.t array) =
+  let d_next = Array.init initial_deliveries (fun i -> i + 1) in
+  d_next.(initial_deliveries - 1) <- -1;
+  let t =
+    {
+      cfg;
+      engine;
+      fault;
+      locals;
+      outstanding = Array.make cfg.cores 0;
+      last_arrival = Array.make cfg.cores 0;
+      link_last = Array.make_matrix cfg.cores cfg.cores 0;
+      links =
+        Array.init cfg.cores (fun _ ->
+            Array.init cfg.cores (fun _ ->
+                { q = Queue.create (); busy = false; dead = false;
+                  next_seq = 0 }));
+      total_writes = 0;
+      d_buf = Array.make initial_deliveries no_buf;
+      d_src = Array.make initial_deliveries 0;
+      d_dst = Array.make initial_deliveries 0;
+      d_off = Array.make initial_deliveries 0;
+      d_len = Array.make initial_deliveries 0;
+      d_next;
+      d_free = 0;
+      deliver_fn = (fun _ -> ());
+    }
+  in
+  t.deliver_fn <-
+    (fun i ->
+      Mem.blit t.d_buf.(i) 0 t.locals.(t.d_dst.(i)) t.d_off.(i) t.d_len.(i);
+      t.outstanding.(t.d_src.(i)) <- t.outstanding.(t.d_src.(i)) - 1;
+      t.d_next.(i) <- t.d_free;
+      t.d_free <- i);
+  t
+
+let grow_deliveries t =
+  let n = Array.length t.d_buf in
+  let n' = 2 * n in
+  let copy dummy a =
+    let a' = Array.make n' dummy in
+    Array.blit a 0 a' 0 n;
+    a'
+  in
+  t.d_buf <- copy no_buf t.d_buf;
+  t.d_src <- copy 0 t.d_src;
+  t.d_dst <- copy 0 t.d_dst;
+  t.d_off <- copy 0 t.d_off;
+  t.d_len <- copy 0 t.d_len;
+  let nx = Array.make n' (-1) in
+  Array.blit t.d_next 0 nx 0 n;
+  for i = n to n' - 2 do
+    nx.(i) <- i + 1
+  done;
+  t.d_next <- nx;
+  t.d_free <- n
+
+(* Round buffer capacity up so a slot settles quickly instead of
+   reallocating for every distinct payload size it sees. *)
+let rec round_cap c len = if c >= len then c else round_cap (2 * c) len
+
+let alloc_delivery t ~src ~dst ~off ~len =
+  if t.d_free = -1 then grow_deliveries t;
+  let i = t.d_free in
+  t.d_free <- t.d_next.(i);
+  if Mem.length t.d_buf.(i) < len then
+    t.d_buf.(i) <- Mem.create (round_cap 8 len);
+  t.d_src.(i) <- src;
+  t.d_dst.(i) <- dst;
+  t.d_off.(i) <- off;
+  t.d_len.(i) <- len;
+  i
 
 let emit_fault t ~time f =
   Probe.emit (Engine.probe t.engine) ~time (Probe.Fault f)
@@ -92,7 +167,7 @@ let emit_fault t ~time f =
 let rec complete t ~src ~dst link ~time () =
   let p = Queue.pop link.q in
   assert (Fault.checksum p.data = p.csum);
-  Bytes.blit p.data 0 t.locals.(dst) p.off (Bytes.length p.data);
+  Mem.blit_of_bytes p.data 0 t.locals.(dst) p.off (Bytes.length p.data);
   t.outstanding.(src) <- t.outstanding.(src) - 1;
   next t ~src ~dst link ~time
 
@@ -172,17 +247,18 @@ and service t ~src ~dst link ~time () =
 
 (* Enqueue one packet on the resilient path.  Returns the nominal
    (fault-free) arrival time; the actual landing may be later. *)
-let post_resilient t ~now ~src ~dst ~off (data : Bytes.t) : int =
-  let words = (Bytes.length data + 3) / 4 in
+let post_resilient t ~now ~src ~dst ~off (mem : Mem.t) ~pos ~len : int =
+  let words = (len + 3) / 4 in
   let latency = Config.noc_latency t.cfg ~src ~dst ~words in
   let nominal = max (now + latency) (t.link_last.(src).(dst) + 1) in
   t.link_last.(src).(dst) <- nominal;
   let link = t.links.(src).(dst) in
+  let data = Mem.to_bytes mem ~pos ~len in
   let p =
     {
       seq = link.next_seq;
       off;
-      data = Bytes.copy data;
+      data;
       csum = Fault.checksum data;
       nominal;
       attempts = 0;
@@ -193,8 +269,9 @@ let post_resilient t ~now ~src ~dst ~off (data : Bytes.t) : int =
   t.outstanding.(src) <- t.outstanding.(src) + 1;
   t.last_arrival.(src) <- max t.last_arrival.(src) nominal;
   t.total_writes <- t.total_writes + 1;
-  Probe.emit (Engine.probe t.engine) ~time:now
-    (Probe.Noc_post { src; dst; off; bytes = Bytes.length data; arrival = nominal });
+  if Probe.active (Engine.probe t.engine) then
+    Probe.emit (Engine.probe t.engine) ~time:now
+      (Probe.Noc_post { src; dst; off; bytes = len; arrival = nominal });
   if not link.busy then begin
     link.busy <- true;
     Engine.at t.engine ~time:nominal (service t ~src ~dst link ~time:nominal)
@@ -203,25 +280,34 @@ let post_resilient t ~now ~src ~dst ~off (data : Bytes.t) : int =
 
 (* ---------------- public posting interface ---------------- *)
 
-(* Post [data] to offset [off] of tile [dst]'s local memory.  Returns the
-   arrival time.  The caller charges the injection cost. *)
-let post_write t ~src ~dst ~off (data : Bytes.t) : int =
+(* Book-keep one fault-free posted write landing at [arrival] and stage
+   its payload in the delivery arena. *)
+let post_plain t ~now ~src ~dst ~off ~arrival (mem : Mem.t) ~pos ~len =
+  t.outstanding.(src) <- t.outstanding.(src) + 1;
+  t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
+  t.total_writes <- t.total_writes + 1;
+  if Probe.active (Engine.probe t.engine) then
+    Probe.emit (Engine.probe t.engine) ~time:now
+      (Probe.Noc_post { src; dst; off; bytes = len; arrival });
+  let i = alloc_delivery t ~src ~dst ~off ~len in
+  Mem.blit mem pos t.d_buf.(i) 0 len;
+  Engine.at_indexed t.engine ~time:arrival t.deliver_fn i
+
+(* Post [len] bytes of [mem] at [pos] to offset [off] of tile [dst]'s
+   local memory.  Returns the arrival time.  The caller charges the
+   injection cost. *)
+let post_write t ~src ~dst ~off (mem : Mem.t) ~pos ~len : int =
   if src = dst then invalid_arg "Noc.post_write: src = dst";
   let now = Engine.now t.engine in
-  if Fault.enabled t.fault then post_resilient t ~now ~src ~dst ~off data
+  if Fault.enabled t.fault then
+    post_resilient t ~now ~src ~dst ~off mem ~pos ~len
   else begin
-    let words = (Bytes.length data + 3) / 4 in
+    let words = (len + 3) / 4 in
     let latency = Config.noc_latency t.cfg ~src ~dst ~words in
     (* FIFO per link: never deliver before an earlier write on this link *)
     let arrival = max (now + latency) (t.link_last.(src).(dst) + 1) in
     t.link_last.(src).(dst) <- arrival;
-    t.outstanding.(src) <- t.outstanding.(src) + 1;
-    t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
-    t.total_writes <- t.total_writes + 1;
-    Probe.emit (Engine.probe t.engine) ~time:now
-      (Probe.Noc_post { src; dst; off; bytes = Bytes.length data; arrival });
-    Engine.at t.engine ~time:arrival
-      (deliver t ~src ~dst ~off (Bytes.copy data));
+    post_plain t ~now ~src ~dst ~off ~arrival mem ~pos ~len;
     arrival
   end
 
@@ -233,28 +319,21 @@ let post_write t ~src ~dst ~off (data : Bytes.t) : int =
    sequence of unicast posts — only the injection side is cheaper.
    Under faults each destination's copy fails and retries independently.
    Returns the latest nominal arrival time. *)
-let post_multicast t ~src ~dsts ~off (data : Bytes.t) : int =
+let post_multicast t ~src ~dsts ~off (mem : Mem.t) ~pos ~len : int =
   let now = Engine.now t.engine in
-  let words = (Bytes.length data + 3) / 4 in
+  let words = (len + 3) / 4 in
   let last = ref now in
   let faulty = Fault.enabled t.fault in
   List.iter
     (fun dst ->
       if dst = src then invalid_arg "Noc.post_multicast: src in dsts";
       let arrival =
-        if faulty then post_resilient t ~now ~src ~dst ~off data
+        if faulty then post_resilient t ~now ~src ~dst ~off mem ~pos ~len
         else begin
           let latency = Config.noc_latency t.cfg ~src ~dst ~words in
           let arrival = max (now + latency) (t.link_last.(src).(dst) + 1) in
           t.link_last.(src).(dst) <- arrival;
-          t.outstanding.(src) <- t.outstanding.(src) + 1;
-          t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
-          t.total_writes <- t.total_writes + 1;
-          Probe.emit (Engine.probe t.engine) ~time:now
-            (Probe.Noc_post
-               { src; dst; off; bytes = Bytes.length data; arrival });
-          Engine.at t.engine ~time:arrival
-            (deliver t ~src ~dst ~off (Bytes.copy data));
+          post_plain t ~now ~src ~dst ~off ~arrival mem ~pos ~len;
           arrival
         end
       in
@@ -265,20 +344,14 @@ let post_multicast t ~src ~dsts ~off (data : Bytes.t) : int =
 (* Unordered variant with caller-chosen latency (Fig. 1 machine).  This
    models a raw memory path, not the sequenced link protocol, so the
    fault plane does not apply to it. *)
-let post_write_at t ~src ~dst ~off ~latency (data : Bytes.t) : int =
+let post_write_at t ~src ~dst ~off ~latency (mem : Mem.t) ~pos ~len : int =
   let now = Engine.now t.engine in
   let arrival = now + latency in
-  t.outstanding.(src) <- t.outstanding.(src) + 1;
-  t.last_arrival.(src) <- max t.last_arrival.(src) arrival;
-  t.total_writes <- t.total_writes + 1;
-  Probe.emit (Engine.probe t.engine) ~time:now
-    (Probe.Noc_post { src; dst; off; bytes = Bytes.length data; arrival });
-  Engine.at t.engine ~time:arrival
-    (deliver t ~src ~dst ~off (Bytes.copy data));
+  post_plain t ~now ~src ~dst ~off ~arrival mem ~pos ~len;
   arrival
 
-let injection_cost t (data : Bytes.t) =
-  let words = (Bytes.length data + 3) / 4 in
+let injection_cost t ~len =
+  let words = (len + 3) / 4 in
   t.cfg.Config.noc_word_cycles * words
 
 (* Cycles the source must wait for all of its posted writes to land.

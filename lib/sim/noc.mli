@@ -5,6 +5,12 @@
     (source, destination) link, like the connectionless NoC of the
     paper's platform.
 
+    Payloads are passed as ([Mem.t], position, length) ranges — no
+    intermediate [Bytes.t].  On the fault-free path the payload is
+    staged into a pooled buffer of an integer-indexed delivery arena and
+    dispatched by one preallocated closure, so the steady-state
+    post/deliver cycle allocates nothing.
+
     When the fault plane ({!Fault}) is armed, every posted write becomes
     a sequenced, checksummed packet served strictly in order by its
     link: drops and checksum-caught corruptions are retransmitted under
@@ -17,17 +23,27 @@
 
 type t
 
-val create : Config.t -> Fault.t -> Engine.t -> Bytes.t array -> t
+val create : Config.t -> Fault.t -> Engine.t -> Mem.t array -> t
 (** [create cfg fault engine locals] — [locals] are the per-tile
     memories the NoC delivers into; [fault] is the machine's fault
     plane. *)
 
-val post_write : t -> src:int -> dst:int -> off:int -> Bytes.t -> int
-(** Post [data] to tile [dst] at offset [off]; returns the nominal
-    arrival time (under faults the actual landing may be later).  The
-    caller charges {!injection_cost}. *)
+val post_write :
+  t -> src:int -> dst:int -> off:int -> Mem.t -> pos:int -> len:int -> int
+(** Post [len] bytes of the given memory at [pos] to tile [dst] at
+    offset [off]; returns the nominal arrival time (under faults the
+    actual landing may be later).  The payload is snapshot at post time.
+    The caller charges {!injection_cost}. *)
 
-val post_multicast : t -> src:int -> dsts:int list -> off:int -> Bytes.t -> int
+val post_multicast :
+  t ->
+  src:int ->
+  dsts:int list ->
+  off:int ->
+  Mem.t ->
+  pos:int ->
+  len:int ->
+  int
 (** One injected burst delivers the same payload to every tile in [dsts]
     (the coalesced DSM flush).  Per-destination arrival times and the
     per-link FIFO are identical to a sequence of {!post_write}s — only
@@ -37,15 +53,24 @@ val post_multicast : t -> src:int -> dsts:int list -> off:int -> Bytes.t -> int
     latest nominal arrival time. *)
 
 val post_write_at :
-  t -> src:int -> dst:int -> off:int -> latency:int -> Bytes.t -> int
+  t ->
+  src:int ->
+  dst:int ->
+  off:int ->
+  latency:int ->
+  Mem.t ->
+  pos:int ->
+  len:int ->
+  int
 (** Unordered variant with caller-chosen latency — the Fig. 1 machine,
     where different memories sit behind paths of different latency.
     Models a raw memory path, not the link protocol: the fault plane
     does not apply. *)
 
-val injection_cost : t -> Bytes.t -> int
-(** Cycles the sender stalls to inject a payload (per-word cost; the
-    network latency is paid by the in-flight write, not the sender). *)
+val injection_cost : t -> len:int -> int
+(** Cycles the sender stalls to inject a payload of [len] bytes
+    (per-word cost; the network latency is paid by the in-flight write,
+    not the sender). *)
 
 val drain_wait : t -> src:int -> int
 (** Cycles until every posted write of [src] currently scheduled —

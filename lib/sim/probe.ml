@@ -53,11 +53,18 @@ type event =
 
 type sink = time:int -> event -> unit
 
-type t = { mutable sink : sink option }
+(* [enabled] mirrors [sink <> None] as a flat flag: emitting call sites
+   test it *before* constructing an event record, so an untraced run
+   pays one load-and-branch — not one allocation — per would-be event. *)
+type t = { mutable sink : sink option; mutable enabled : bool }
 
-let create () = { sink = None }
-let set t sink = t.sink <- sink
-let active t = t.sink <> None
+let create () = { sink = None; enabled = false }
+
+let set t sink =
+  t.sink <- sink;
+  t.enabled <- (match sink with None -> false | Some _ -> true)
+
+let[@inline] active t = t.enabled
 
 let emit t ~time ev =
   match t.sink with None -> () | Some f -> f ~time ev

@@ -66,8 +66,9 @@ val set : t -> sink option -> unit
 (** Install or remove the sink (at most one per probe). *)
 
 val active : t -> bool
-(** Whether a sink is installed — lets callers skip building expensive
-    event payloads. *)
+(** Whether a sink is installed — a single flag load.  Emitting call
+    sites check it {e before} constructing an event record, so untraced
+    runs pay one branch, not one allocation, per would-be event. *)
 
 val emit : t -> time:int -> event -> unit
 (** Deliver an event to the sink, if any. *)

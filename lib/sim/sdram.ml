@@ -3,10 +3,16 @@
    The memory port can start a new access only when the previous one has
    released it; an access arriving while the port is busy queues.  The
    returned latency therefore grows when many cores hammer the SDRAM — the
-   effect that dominates the 'no CC' bars of Fig. 8. *)
+   effect that dominates the 'no CC' bars of Fig. 8.
+
+   The store is a flat [Mem.t].  Word/byte accessors keep an explicit
+   bounds check (they can be fed arbitrary decoded addresses, and [Mem]'s
+   accessors are unsafe); the line and blit paths are driven by the cache
+   and DMA engines, whose addresses are validated by construction. *)
 
 type t = {
-  bytes : Bytes.t;
+  mem : Mem.t;
+  size : int;
   word_occupancy : int;  (* port busy time per word access *)
   line_occupancy : int;  (* port busy time per line transfer *)
   mutable busy_until : int;
@@ -16,7 +22,8 @@ type t = {
 
 let create ~size ~word_occupancy ~line_occupancy =
   {
-    bytes = Bytes.make size '\000';
+    mem = Mem.create size;
+    size;
     word_occupancy;
     line_occupancy;
     busy_until = 0;
@@ -24,7 +31,10 @@ let create ~size ~word_occupancy ~line_occupancy =
     queued_cycles = 0;
   }
 
-let size t = Bytes.length t.bytes
+let size t = t.size
+
+let[@inline] check t addr len op =
+  if addr < 0 || addr + len > t.size then invalid_arg op
 
 (* Queuing delay for an access starting at [now] that occupies the port
    for [occupancy] cycles.  Returns the wait before service begins. *)
@@ -45,16 +55,31 @@ let contend_burst t ~now ~lines =
   contend t ~now ~occupancy:(lines * t.line_occupancy)
 
 (* Data-path operations (timing handled by the caller). *)
-let read_u32 t addr = Bytes.get_int32_le t.bytes addr
-let write_u32 t addr v = Bytes.set_int32_le t.bytes addr v
-let read_u8 t addr = Char.code (Bytes.get t.bytes addr)
-let write_u8 t addr v = Bytes.set t.bytes addr (Char.chr (v land 0xff))
+let read_u32_int t addr =
+  check t addr 4 "Sdram.read_u32";
+  Mem.get_u32_int t.mem addr
 
-let blit_to t ~addr (dst : Bytes.t) ~pos ~len = Bytes.blit t.bytes addr dst pos len
-let blit_from t ~addr (src : Bytes.t) ~pos ~len = Bytes.blit src pos t.bytes addr len
+let write_u32_int t addr x =
+  check t addr 4 "Sdram.write_u32";
+  Mem.set_u32_int t.mem addr x
 
-let read_line t addr (buf : Bytes.t) =
-  Bytes.blit t.bytes addr buf 0 (Bytes.length buf)
+let read_u32 t addr = Int32.of_int (read_u32_int t addr)
+let write_u32 t addr (v : int32) = write_u32_int t addr (Int32.to_int v)
 
-let write_line t addr (buf : Bytes.t) =
-  Bytes.blit buf 0 t.bytes addr (Bytes.length buf)
+let read_u8 t addr =
+  check t addr 1 "Sdram.read_u8";
+  Mem.get_u8 t.mem addr
+
+let write_u8 t addr v =
+  check t addr 1 "Sdram.write_u8";
+  Mem.set_u8 t.mem addr v
+
+let blit_to t ~addr (dst : Mem.t) ~pos ~len = Mem.blit t.mem addr dst pos len
+
+let blit_from t ~addr (src : Mem.t) ~pos ~len =
+  Mem.blit src pos t.mem addr len
+
+let read_line t addr (dst : Mem.t) ~pos ~len = Mem.blit t.mem addr dst pos len
+
+let write_line t addr (src : Mem.t) ~pos ~len =
+  Mem.blit src pos t.mem addr len

@@ -56,14 +56,21 @@ let core_create () =
     flushes = 0;
   }
 
-let index_of cat =
-  let rec go i = function
-    | [] -> assert false
-    | c :: rest -> if c = cat then i else go (i + 1) rest
-  in
-  go 0 categories
+(* Direct index per constructor — [add] sits on the engine's per-consume
+   hot path, where a list walk with polymorphic equality is measurable. *)
+let[@inline] index_of = function
+  | Busy -> 0
+  | Private_read_stall -> 1
+  | Shared_read_stall -> 2
+  | Write_stall -> 3
+  | Icache_stall -> 4
+  | Lock_stall -> 5
+  | Flush_overhead -> 6
 
-let add (c : core) cat n = c.cycles.(index_of cat) <- c.cycles.(index_of cat) + n
+let[@inline] add (c : core) cat n =
+  let i = index_of cat in
+  Array.unsafe_set c.cycles i (Array.unsafe_get c.cycles i + n)
+
 let get (c : core) cat = c.cycles.(index_of cat)
 let total (c : core) = Array.fold_left ( + ) 0 c.cycles
 

@@ -8,6 +8,7 @@ let () =
       Test_observe.suite;
       Test_litmus.suite;
       Test_engine.suite;
+      Test_flat.suite;
       Test_cache.suite;
       Test_sim.suite;
       Test_lock.suite;

@@ -70,7 +70,7 @@ let prop_json_roundtrip =
 (* ---------------- synthetic reports for compare ---------------- *)
 
 let mk_sample ?(ok = true) ?(deterministic = true) ?(flits = 1000)
-    ?(flushes = 50) ?(handovers = 100) ~cycles app =
+    ?(flushes = 50) ?(handovers = 100) ?(rate = 0.0) ~cycles app =
   {
     Pmc_bench.Measure.case =
       { Pmc_bench.Spec.app; backend = Pmc.Backends.Swcc; cores = 4;
@@ -91,6 +91,8 @@ let mk_sample ?(ok = true) ?(deterministic = true) ?(flits = 1000)
         utilization = 0.5;
       };
     host_s = 0.001;
+    host_cycles_per_s = rate;
+    minor_words = 0.0;
   }
 
 let mk_report samples =
@@ -217,6 +219,67 @@ let test_report_roundtrip () =
            false
          with Failure _ -> true))
 
+let test_host_rate_gate () =
+  let base = mk_report [ mk_sample ~cycles:1000 ~rate:1e6 "a" ] in
+  let gate cur = Pmc_bench.Compare.run ~base ~cur () in
+  (* 0.7x of the baseline rate is above the 0.6 floor *)
+  let o = gate (mk_report [ mk_sample ~cycles:1000 ~rate:7e5 "a" ]) in
+  Alcotest.(check bool) "0.7x rate passes" true (Pmc_bench.Compare.ok o);
+  (* 0.5x collapses through the floor *)
+  let o = gate (mk_report [ mk_sample ~cycles:1000 ~rate:5e5 "a" ]) in
+  Alcotest.(check bool) "0.5x rate fails" false (Pmc_bench.Compare.ok o);
+  Alcotest.(check int) "one rate failure" 1
+    (List.length (Pmc_bench.Compare.rate_failures o));
+  (* a rate-less report (pre-v3 baseline, zero host time) never gates *)
+  let o =
+    Pmc_bench.Compare.run
+      ~base:(mk_report [ mk_sample ~cycles:1000 ~rate:0.0 "a" ])
+      ~cur:(mk_report [ mk_sample ~cycles:1000 ~rate:5e5 "a" ])
+      ()
+  in
+  Alcotest.(check bool) "no baseline rate, no gate" true
+    (Pmc_bench.Compare.ok o);
+  (* a faster current run obviously passes *)
+  let o = gate (mk_report [ mk_sample ~cycles:1000 ~rate:5e6 "a" ]) in
+  Alcotest.(check bool) "faster passes" true (Pmc_bench.Compare.ok o)
+
+(* a v2 report (no host_cycles_per_s / minor_words) still loads, with
+   the rate reconstructed from cycles / host_s *)
+let test_schema_v2_compat () =
+  let v3 = mk_report [ mk_sample ~cycles:5000 "a" ] in
+  let strip = function
+    | J.Obj kvs ->
+        J.Obj
+          (List.filter_map
+             (fun (k, v) ->
+               match (k, v) with
+               | "schema", _ -> Some (k, J.int 2)
+               | "results", J.List l ->
+                   Some
+                     ( k,
+                       J.List
+                         (List.map
+                            (function
+                              | J.Obj fields ->
+                                  J.Obj
+                                    (List.filter
+                                       (fun (f, _) ->
+                                         f <> "host_cycles_per_s"
+                                         && f <> "minor_words")
+                                       fields)
+                              | v -> v)
+                            l) )
+               | _ -> Some (k, v))
+             kvs)
+    | j -> j
+  in
+  let r = Pmc_bench.Report.of_json (strip (Pmc_bench.Report.to_json v3)) in
+  let s = List.hd r.Pmc_bench.Report.samples in
+  Alcotest.(check (float 1.0)) "rate reconstructed"
+    (5000.0 /. 0.001) s.Pmc_bench.Measure.host_cycles_per_s;
+  Alcotest.(check (float 1e-9)) "minor words marked absent" (-1.0)
+    s.Pmc_bench.Measure.minor_words
+
 let test_trimmed_mean () =
   Alcotest.(check (float 1e-9)) "outliers dropped" 2.0
     (Pmc_bench.Measure.trimmed_mean [ 100.0; 2.0; 2.0; 2.0; 0.0 ]);
@@ -307,6 +370,8 @@ let suite =
       Alcotest.test_case "tolerance overrides" `Quick
         test_tolerance_overrides;
       Alcotest.test_case "report roundtrip" `Quick test_report_roundtrip;
+      Alcotest.test_case "host rate gate" `Quick test_host_rate_gate;
+      Alcotest.test_case "schema v2 compat" `Quick test_schema_v2_compat;
       Alcotest.test_case "trimmed mean" `Quick test_trimmed_mean;
       QCheck_alcotest.to_alcotest prop_batching_equivalence;
       Alcotest.test_case "batching perf gate" `Slow test_batching_gate;

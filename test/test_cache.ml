@@ -4,55 +4,50 @@
 
 open Pmc_sim
 
-let make_backing size =
-  let mem = Bytes.make size '\000' in
-  ( mem,
-    (fun addr buf -> Bytes.blit mem addr buf 0 (Bytes.length buf)),
-    fun addr buf -> Bytes.blit buf 0 mem addr (Bytes.length buf) )
-
 let make ?(sets = 4) ?(ways = 2) ?(line = 16) ?(size = 4096) () =
-  let mem, br, bw = make_backing size in
+  let mem = Mem.create size in
   ( mem,
-    Cache.create ~sets ~ways ~line_bytes:line ~backing_read:br
-      ~backing_write:bw )
+    Cache.create ~sets ~ways ~line_bytes:line
+      ~backing_read:(fun addr dst pos -> Mem.blit mem addr dst pos line)
+      ~backing_write:(fun addr src pos -> Mem.blit src pos mem addr line) )
 
 let test_miss_then_hit () =
   let _, c = make () in
-  let _, oc1 = Cache.load_u32 c 0 in
-  Alcotest.(check bool) "first access misses" false oc1.Cache.hit;
-  let _, oc2 = Cache.load_u32 c 4 in
-  Alcotest.(check bool) "same line hits" true oc2.Cache.hit;
-  let _, oc3 = Cache.load_u32 c 16 in
-  Alcotest.(check bool) "next line misses" false oc3.Cache.hit
+  ignore (Cache.load_u32 c 0);
+  Alcotest.(check bool) "first access misses" false (Cache.hit (Cache.last c));
+  ignore (Cache.load_u32 c 4);
+  Alcotest.(check bool) "same line hits" true (Cache.hit (Cache.last c));
+  ignore (Cache.load_u32 c 16);
+  Alcotest.(check bool) "next line misses" false (Cache.hit (Cache.last c))
 
 let test_write_read_back () =
   let _, c = make () in
-  ignore (Cache.store_u32 c 8 0xDEADBEEFl);
-  let v, _ = Cache.load_u32 c 8 in
+  Cache.store_u32 c 8 0xDEADBEEFl;
+  let v = Cache.load_u32 c 8 in
   Alcotest.(check int32) "read back written value" 0xDEADBEEFl v
 
 let test_dirty_not_in_backing () =
   let mem, c = make () in
-  ignore (Cache.store_u32 c 0 7l);
+  Cache.store_u32 c 0 7l;
   Alcotest.(check int32) "backing store still zero (write-back)" 0l
-    (Bytes.get_int32_le mem 0);
+    (Mem.get_u32 mem 0);
   Alcotest.(check bool) "line dirty" true (Cache.dirty c 0)
 
 let test_wb_inval_flushes () =
   let mem, c = make () in
-  ignore (Cache.store_u32 c 0 7l);
+  Cache.store_u32 c 0 7l;
   let r = Cache.wb_inval_range c ~addr:0 ~len:4 in
   Alcotest.(check int) "one line written back" 1 r.Cache.lines_written_back;
-  Alcotest.(check int32) "backing updated" 7l (Bytes.get_int32_le mem 0);
+  Alcotest.(check int32) "backing updated" 7l (Mem.get_u32 mem 0);
   Alcotest.(check bool) "line gone" false (Cache.resident c 0)
 
 let test_inval_discards () =
   let mem, c = make () in
-  ignore (Cache.store_u32 c 0 7l);
+  Cache.store_u32 c 0 7l;
   let r = Cache.inval_range c ~addr:0 ~len:4 in
   Alcotest.(check int) "nothing written back" 0 r.Cache.lines_written_back;
   Alcotest.(check int32) "modification lost (MicroBlaze invalidate)" 0l
-    (Bytes.get_int32_le mem 0);
+    (Mem.get_u32 mem 0);
   Alcotest.(check bool) "line gone" false (Cache.resident c 0)
 
 let test_eviction_writes_back () =
@@ -60,13 +55,13 @@ let test_eviction_writes_back () =
      eviction *)
   let mem, c = make () in
   let set0_line n = n * 4 * 16 in
-  ignore (Cache.store_u32 c (set0_line 0) 1l);
-  ignore (Cache.store_u32 c (set0_line 1) 2l);
-  let oc = Cache.store_u32 c (set0_line 2) 3l in
+  Cache.store_u32 c (set0_line 0) 1l;
+  Cache.store_u32 c (set0_line 1) 2l;
+  Cache.store_u32 c (set0_line 2) 3l;
   Alcotest.(check bool) "eviction wrote back a dirty victim" true
-    oc.Cache.wrote_back;
+    (Cache.wrote_back (Cache.last c));
   Alcotest.(check int32) "LRU victim (line 0) landed in backing" 1l
-    (Bytes.get_int32_le mem (set0_line 0))
+    (Mem.get_u32 mem (set0_line 0))
 
 let test_lru_order () =
   let _, c = make () in
@@ -85,26 +80,26 @@ let test_staleness () =
      until invalidation — the non-coherence the paper manages in software *)
   let mem, c = make () in
   ignore (Cache.load_u32 c 0);
-  Bytes.set_int32_le mem 0 99l;
-  let v, _ = Cache.load_u32 c 0 in
+  Mem.set_u32 mem 0 99l;
+  let v = Cache.load_u32 c 0 in
   Alcotest.(check int32) "cached read is stale" 0l v;
   ignore (Cache.inval_range c ~addr:0 ~len:4);
-  let v', _ = Cache.load_u32 c 0 in
+  let v' = Cache.load_u32 c 0 in
   Alcotest.(check int32) "after invalidate the new value is seen" 99l v'
 
 let test_flush_all () =
   let mem, c = make () in
-  ignore (Cache.store_u32 c 0 1l);
-  ignore (Cache.store_u32 c 64 2l);
+  Cache.store_u32 c 0 1l;
+  Cache.store_u32 c 64 2l;
   let r = Cache.flush_all c in
   Alcotest.(check int) "two lines written back" 2 r.Cache.lines_written_back;
-  Alcotest.(check int32) "first landed" 1l (Bytes.get_int32_le mem 0);
-  Alcotest.(check int32) "second landed" 2l (Bytes.get_int32_le mem 64)
+  Alcotest.(check int32) "first landed" 1l (Mem.get_u32 mem 0);
+  Alcotest.(check int32) "second landed" 2l (Mem.get_u32 mem 64)
 
 let test_byte_ops () =
   let _, c = make () in
-  ignore (Cache.store_u8 c 3 0xAB);
-  let v, _ = Cache.load_u8 c 3 in
+  Cache.store_u8 c 3 0xAB;
+  let v = Cache.load_u8 c 3 in
   Alcotest.(check int) "byte read back" 0xAB v
 
 (* Functional equivalence: random traffic through the cache (including
@@ -120,11 +115,7 @@ let prop_flush_equiv =
   QCheck.Test.make ~count:150 ~name:"cache ops + flush leave flat state"
     gen (fun ops ->
       let size = 1024 in
-      let mem, br, bw = make_backing size in
-      let c =
-        Cache.create ~sets:4 ~ways:2 ~line_bytes:16 ~backing_read:br
-          ~backing_write:bw
-      in
+      let mem, c = make ~sets:4 ~ways:2 ~line:16 ~size () in
       let flat = Bytes.make size '\000' in
       let ok = ref true in
       List.iter
@@ -132,17 +123,17 @@ let prop_flush_equiv =
           let addr = word mod (size / 4) * 4 in
           match op with
           | 0 ->
-              ignore (Cache.store_u32 c addr (Int32.of_int v));
+              Cache.store_u32 c addr (Int32.of_int v);
               Bytes.set_int32_le flat addr (Int32.of_int v)
           | 1 ->
-              let got, _ = Cache.load_u32 c addr in
+              let got = Cache.load_u32 c addr in
               if got <> Bytes.get_int32_le flat addr then ok := false
           | _ ->
               (* wb_inval keeps the contents equivalent (unlike inval) *)
               ignore (Cache.wb_inval_range c ~addr ~len:16))
         ops;
       ignore (Cache.flush_all c);
-      !ok && Bytes.equal mem flat)
+      !ok && Bytes.equal (Mem.to_bytes mem ~pos:0 ~len:size) flat)
 
 let suite =
   ( "cache",

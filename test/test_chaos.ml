@@ -104,14 +104,19 @@ let test_outstanding_includes_retries () =
   let fault = Fault.create cfg in
   let locals =
     Array.init cfg.Config.cores (fun _ ->
-        Bytes.make cfg.Config.local_mem_bytes '\000')
+        Mem.create cfg.Config.local_mem_bytes)
   in
   let noc = Noc.create cfg fault engine locals in
+  let payload = Mem.create 8 in
+  for i = 0 to 7 do
+    Mem.set_char payload i 'q'
+  done;
   let polls = ref 0 in
   Engine.spawn engine ~core:0 (fun () ->
       for i = 0 to 15 do
         ignore
-          (Noc.post_write noc ~src:0 ~dst:1 ~off:(8 * i) (Bytes.make 8 'q'))
+          (Noc.post_write noc ~src:0 ~dst:1 ~off:(8 * i) payload ~pos:0
+             ~len:8)
       done;
       Alcotest.(check bool) "posted writes are outstanding" true
         (Noc.outstanding noc ~src:0 > 0);
@@ -130,7 +135,7 @@ let test_outstanding_includes_retries () =
     Alcotest.(check string)
       (Printf.sprintf "packet %d intact" i)
       "qqqqqqqq"
-      (Bytes.sub_string locals.(1) (8 * i) 8)
+      (Bytes.to_string (Mem.to_bytes locals.(1) ~pos:(8 * i) ~len:8))
   done
 
 let test_corruption_never_lands_silently () =

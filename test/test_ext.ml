@@ -216,8 +216,8 @@ module Broken_swcc = struct
   let exit_ro = Pmc.Swcc.exit_ro
   let fence = Pmc.Swcc.fence
   let flush = Pmc.Swcc.flush
-  let read_u32 = Pmc.Swcc.read_u32
-  let write_u32 = Pmc.Swcc.write_u32
+  let read_u32_int = Pmc.Swcc.read_u32_int
+  let write_u32_int = Pmc.Swcc.write_u32_int
   let read_u8 = Pmc.Swcc.read_u8
   let write_u8 = Pmc.Swcc.write_u8
   let peek_u32 = Pmc.Swcc.peek_u32
@@ -278,8 +278,8 @@ module Broken_dsm = struct
   let exit_ro = Pmc.Dsm.exit_ro
   let fence = Pmc.Dsm.fence
   let flush = Pmc.Dsm.flush
-  let read_u32 = Pmc.Dsm.read_u32
-  let write_u32 = Pmc.Dsm.write_u32
+  let read_u32_int = Pmc.Dsm.read_u32_int
+  let write_u32_int = Pmc.Dsm.write_u32_int
   let read_u8 = Pmc.Dsm.read_u8
   let write_u8 = Pmc.Dsm.write_u8
   let peek_u32 = Pmc.Dsm.peek_u32
