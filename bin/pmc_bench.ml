@@ -21,7 +21,37 @@ let load_report path =
 
 (* ---------------- run ---------------- *)
 
-let run_cmd suite_name label out unbatched warmup repeat jobs quiet =
+(* Apply the --app / --cores / --topology overrides to every case of the
+   suite; topology names resolve against the (possibly overridden) core
+   count. *)
+let override_cases ~apps ~topology ~cores (spec : Pmc_bench.Spec.t) =
+  let keep (c : Pmc_bench.Spec.case) =
+    apps = [] || List.mem c.Pmc_bench.Spec.app apps
+  in
+  let cases =
+    List.map
+      (fun (c : Pmc_bench.Spec.case) ->
+        let c =
+          match cores with None -> c | Some n -> { c with Pmc_bench.Spec.cores = n }
+        in
+        match topology with
+        | None -> c
+        | Some name -> (
+            match Pmc_sim.Topology.resolve name ~cores:c.Pmc_bench.Spec.cores with
+            | Ok t -> { c with Pmc_bench.Spec.topology = t }
+            | Error e ->
+                Fmt.epr "%s@." e;
+                exit 1))
+      (List.filter keep spec.Pmc_bench.Spec.cases)
+  in
+  if cases = [] then begin
+    Fmt.epr "--app filter matched no case of the suite@.";
+    exit 1
+  end;
+  { spec with Pmc_bench.Spec.cases }
+
+let run_cmd suite_name label out unbatched warmup repeat apps topology cores
+    jobs quiet =
   match
     Pmc_bench.Spec.suite ~label ~unbatched ~warmup ~repeat suite_name
   with
@@ -30,6 +60,7 @@ let run_cmd suite_name label out unbatched warmup repeat jobs quiet =
         (String.concat ", " Pmc_bench.Spec.suite_names);
       exit 1
   | Some spec ->
+      let spec = override_cases ~apps ~topology ~cores spec in
       let report =
         Pmc_par.Pool.with_pool ~jobs (fun pool ->
             Pmc_bench.Report.run ~pool spec)
@@ -60,7 +91,33 @@ let suite_t =
   Arg.(
     value & opt string "smoke"
     & info [ "suite" ] ~docv:"NAME"
-        ~doc:"Benchmark suite: $(b,smoke) (the CI gate) or $(b,full).")
+        ~doc:
+          "Benchmark suite: $(b,smoke) (the CI gate), $(b,full), or \
+           $(b,scale) (served-traffic apps on 256- and 1024-tile routed \
+           fabrics).")
+
+let apps_t =
+  Arg.(
+    value & opt_all string []
+    & info [ "app" ] ~docv:"NAME"
+        ~doc:
+          "Keep only the suite's cases for application $(docv) \
+           (repeatable).  Default: every case.")
+
+let topology_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "topology" ] ~docv:"FABRIC"
+        ~doc:
+          "Override every case's fabric: star, mesh[:XxY], torus[:XxY] or \
+           hier[:CxS].  Bare names pick a near-square factorization of \
+           each case's core count.")
+
+let cores_t =
+  Arg.(
+    value & opt (some int) None
+    & info [ "cores"; "c" ] ~docv:"N"
+        ~doc:"Override every case's tile count.")
 
 let label_t =
   Arg.(
@@ -105,7 +162,7 @@ let quiet_t =
 let run_term =
   Term.(
     const run_cmd $ suite_t $ label_t $ out_t $ unbatched_t $ warmup_t
-    $ repeat_t $ jobs_t $ quiet_t)
+    $ repeat_t $ apps_t $ topology_t $ cores_t $ jobs_t $ quiet_t)
 
 let run_info =
   Cmd.info "run" ~doc:"Measure a benchmark suite and emit a JSON report"
@@ -117,7 +174,7 @@ let run_info =
 
 (* ---------------- compare ---------------- *)
 
-let compare_cmd base_path cur_path tolerance_spec =
+let compare_cmd base_path cur_path tolerance_spec no_rate_gate =
   let tolerances =
     match tolerance_spec with
     | None -> Pmc_bench.Compare.default_tolerances
@@ -132,7 +189,10 @@ let compare_cmd base_path cur_path tolerance_spec =
       Fmt.epr "%s@." msg;
       exit 2
   | Ok base, Ok cur ->
-      let outcome = Pmc_bench.Compare.run ~tolerances ~base ~cur () in
+      let outcome =
+        Pmc_bench.Compare.run ~tolerances ~gate_rate:(not no_rate_gate)
+          ~base ~cur ()
+      in
       Fmt.pr "%a" Pmc_bench.Compare.pp outcome;
       if not (Pmc_bench.Compare.ok outcome) then exit 1
 
@@ -158,7 +218,18 @@ let tolerance_t =
            $(b,cycles=0.05,noc_flits=0.1).  Unnamed metrics keep their \
            defaults (cycles/noc_flits/flushes 2%, lock_transfers 10%).")
 
-let compare_term = Term.(const compare_cmd $ base_t $ cur_t $ tolerance_t)
+let no_rate_gate_t =
+  Arg.(
+    value & flag
+    & info [ "no-rate-gate" ]
+        ~doc:
+          "Disable the host-speed rate gate (architectural metrics are \
+           still gated).  For comparing two arms of the same run — the \
+           $(b,--jobs) equality gates — where both arms shared the host \
+           and their relative speed carries no signal.")
+
+let compare_term =
+  Term.(const compare_cmd $ base_t $ cur_t $ tolerance_t $ no_rate_gate_t)
 
 let compare_info =
   Cmd.info "compare"

@@ -38,6 +38,13 @@ let parse_app s =
         (String.concat ", " Pmc_apps.Registry.names);
       exit 2
 
+let parse_topology ~cores s =
+  match Topology.resolve s ~cores with
+  | Ok t -> t
+  | Error e ->
+      Fmt.epr "%s@." e;
+      exit 2
+
 (* The smoke matrix: three kernels with distinct traffic shapes at a
    geometry small enough for CI. *)
 let smoke_apps = [ "histogram"; "reduce"; "stencil" ]
@@ -57,12 +64,13 @@ let soak_exit_code (reports : Pmc_apps.Chaos.report list) =
   then 4
   else 3
 
-let chaos_job ~app ~backend ~cores ~scale ~seed ~intensity ~model_check
-    ~replay_budget =
+let chaos_job ~app ~backend ~topology ~cores ~scale ~seed ~intensity
+    ~model_check ~replay_budget =
   Pmc_jobs.Job.Chaos
     {
       Pmc_jobs.Job.c_app = app;
       c_backend = backend;
+      c_topology = topology;
       c_cores = cores;
       c_scale = scale;
       seed;
@@ -71,12 +79,13 @@ let chaos_job ~app ~backend ~cores ~scale ~seed ~intensity ~model_check
       replay_budget;
     }
 
-let soak_cmd app backend cores scale seeds seed_base intensity smoke
+let soak_cmd app backend topology cores scale seeds seed_base intensity smoke
     no_model_check replay_budget jobs quiet =
   ignore (parse_backend backend);
   (* smoke geometry: small enough that every trace fits the replay
      budget and the model checker runs on every completed seed *)
   let cores, scale = if smoke then (4, min scale 4) else (cores, scale) in
+  ignore (parse_topology ~cores topology);
   let app_names =
     match app with
     | Some a ->
@@ -95,8 +104,8 @@ let soak_cmd app backend cores scale seeds seed_base intensity smoke
       (fun a ->
         List.map
           (fun seed ->
-            chaos_job ~app:a ~backend ~cores ~scale ~seed ~intensity
-              ~model_check:(not no_model_check) ~replay_budget)
+            chaos_job ~app:a ~backend ~topology ~cores ~scale ~seed
+              ~intensity ~model_check:(not no_model_check) ~replay_budget)
           seeds)
       app_names
   in
@@ -129,13 +138,14 @@ let soak_cmd app backend cores scale seeds seed_base intensity smoke
 
 (* ---------------- run ---------------- *)
 
-let run_cmd app backend cores scale seed intensity no_model_check
+let run_cmd app backend topology cores scale seed intensity no_model_check
     replay_budget =
   ignore (parse_app app);
   ignore (parse_backend backend);
+  ignore (parse_topology ~cores topology);
   let r =
     Pmc_jobs.Run.run
-      (chaos_job ~app ~backend ~cores ~scale ~seed ~intensity
+      (chaos_job ~app ~backend ~topology ~cores ~scale ~seed ~intensity
          ~model_check:(not no_model_check) ~replay_budget)
   in
   Fmt.pr "%a" Pmc_jobs.Result.pp r;
@@ -191,7 +201,8 @@ let zerocost_baseline ~path ~seed ~quiet =
       let cfg =
         Config.no_faults
           (Config.chaos ~seed
-             { Config.default with cores = case.Pmc_bench.Spec.cores })
+             { Config.default with cores = case.Pmc_bench.Spec.cores;
+               topology = case.Pmc_bench.Spec.topology })
       in
       let cfg =
         if report.Pmc_bench.Report.unbatched then Config.unbatched cfg
@@ -263,6 +274,16 @@ let backend_t =
 
 let cores_t =
   Arg.(value & opt int 8 & info [ "cores"; "c" ] ~doc:"Number of tiles.")
+
+let topology_t =
+  Arg.(
+    value & opt string "star"
+    & info [ "topology" ] ~docv:"FABRIC"
+        ~doc:
+          "Fabric the tiles are wired in: star, mesh[:XxY], torus[:XxY] \
+           or hier[:CxS].  Bare mesh/torus/hier pick a near-square \
+           factorization of the core count; on routed fabrics chaos \
+           draws one fault outcome per physical link of each route.")
 
 let scale_t =
   Arg.(value & opt int 16 & info [ "scale"; "s" ] ~doc:"Workload scale.")
@@ -340,8 +361,8 @@ let soak_c =
              ~doc:"a model replay found a trace PMC-inconsistent.";
          ])
     Term.(
-      const soak_cmd $ app_opt_t $ backend_t $ cores_t $ scale_t $ seeds_t
-      $ seed_base_t $ intensity_t $ smoke_t $ no_model_check_t
+      const soak_cmd $ app_opt_t $ backend_t $ topology_t $ cores_t $ scale_t
+      $ seeds_t $ seed_base_t $ intensity_t $ smoke_t $ no_model_check_t
       $ replay_budget_t $ jobs_t $ quiet_t)
 
 let run_c =
@@ -356,8 +377,8 @@ let run_c =
              ~doc:"the model replay found the trace PMC-inconsistent.";
          ])
     Term.(
-      const run_cmd $ app_t $ backend_t $ cores_t $ scale_t $ seed_t
-      $ intensity_t $ no_model_check_t $ replay_budget_t)
+      const run_cmd $ app_t $ backend_t $ topology_t $ cores_t $ scale_t
+      $ seed_t $ intensity_t $ no_model_check_t $ replay_budget_t)
 
 let zerocost_c =
   Cmd.v

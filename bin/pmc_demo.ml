@@ -12,8 +12,8 @@
 open Cmdliner
 open Pmc_sim
 
-let run_app app_name backend_name cores scale breakdown verify trace_file
-    race_check model_check capacity =
+let run_app app_name backend_name topology_name cores scale breakdown verify
+    trace_file race_check model_check capacity =
   match Pmc_apps.Registry.find app_name with
   | None ->
       Fmt.epr "unknown app %S; try --list@." app_name;
@@ -25,7 +25,14 @@ let run_app app_name backend_name cores scale breakdown verify trace_file
             backend_name;
           exit 1
       | Some backend ->
-          let cfg = { Config.default with cores } in
+          let topology =
+            match Topology.resolve topology_name ~cores with
+            | Ok t -> t
+            | Error e ->
+                Fmt.epr "%s@." e;
+                exit 1
+          in
+          let cfg = { Config.default with cores; topology } in
           let tracing = trace_file <> None || race_check || model_check in
           let recorder = ref None in
           let on_api =
@@ -128,6 +135,17 @@ let backend_t =
 let cores_t =
   Arg.(value & opt int 32 & info [ "cores"; "c" ] ~doc:"Number of tiles.")
 
+let topology_t =
+  Arg.(
+    value & opt string "star"
+    & info [ "topology" ] ~docv:"FABRIC"
+        ~doc:
+          "Fabric the tiles are wired in: $(b,star) (uniform ring-distance \
+           hops), $(b,mesh:XxY), $(b,torus:XxY) or $(b,hier:CxS) (C \
+           clusters of S tiles around a hub ring).  Bare $(b,mesh), \
+           $(b,torus) and $(b,hier) pick a near-square factorization of \
+           the core count.")
+
 let scale_t =
   Arg.(value & opt int 64 & info [ "scale"; "s" ] ~doc:"Workload scale.")
 
@@ -171,12 +189,12 @@ let capacity_t =
     & info [ "trace-capacity" ] ~docv:"N"
         ~doc:"Per-core trace ring capacity (default 65536 events).")
 
-let main app backend cores scale breakdown verify trace race_check
+let main app backend topology cores scale breakdown verify trace race_check
     model_check capacity list =
   if list then list_apps ()
   else
-    run_app app backend cores scale breakdown verify trace race_check
-      model_check capacity
+    run_app app backend topology cores scale breakdown verify trace
+      race_check model_check capacity
 
 (* The exit-code contract, surfaced in --help so scripts and CI can rely
    on it. *)
@@ -197,8 +215,8 @@ let cmd =
     (Cmd.info "pmc_demo" ~doc:"Run PMC-annotated apps on simulated SoCs"
        ~exits)
     Term.(
-      const main $ app_t $ backend_t $ cores_t $ scale_t $ breakdown_t
-      $ verify_t $ trace_t $ race_check_t $ model_check_t $ capacity_t
-      $ list_t)
+      const main $ app_t $ backend_t $ topology_t $ cores_t $ scale_t
+      $ breakdown_t $ verify_t $ trace_t $ race_check_t $ model_check_t
+      $ capacity_t $ list_t)
 
 let () = exit (Cmd.eval cmd)

@@ -182,19 +182,22 @@ let submit_check_cmd socket local no_wait max_cycles max_states builtin file =
     (Job.Check { Job.name; source })
 
 let submit_bench_cmd socket local no_wait max_cycles max_states app backend
-    cores scale unbatched warmup repeat =
+    topology cores scale unbatched warmup repeat =
   submit_job ~socket ~local ~no_wait
     ~budget:(budget_of max_cycles max_states)
-    (Job.Bench { Job.app; backend; cores; scale; unbatched; warmup; repeat })
+    (Job.Bench
+       { Job.app; backend; topology; cores; scale; unbatched; warmup;
+         repeat })
 
 let submit_chaos_cmd socket local no_wait max_cycles max_states app backend
-    cores scale seed intensity no_model_check replay_budget =
+    topology cores scale seed intensity no_model_check replay_budget =
   submit_job ~socket ~local ~no_wait
     ~budget:(budget_of max_cycles max_states)
     (Job.Chaos
        {
          Job.c_app = app;
          c_backend = backend;
+         c_topology = topology;
          c_cores = cores;
          c_scale = scale;
          seed;
@@ -378,6 +381,14 @@ let backend_t =
 let cores_t =
   Arg.(value & opt int 8 & info [ "cores"; "c" ] ~doc:"Number of tiles.")
 
+let topology_t =
+  Arg.(
+    value & opt string "star"
+    & info [ "topology" ] ~docv:"FABRIC"
+        ~doc:
+          "Fabric the tiles are wired in: star, mesh[:XxY], torus[:XxY] \
+           or hier[:CxS].")
+
 let scale_t =
   Arg.(value & opt int 16 & info [ "scale"; "s" ] ~doc:"Workload scale.")
 
@@ -405,8 +416,8 @@ let submit_bench_c =
     (Cmd.info "bench" ~doc:"Submit a benchmark case job" ~exits:exit_codes_doc)
     Term.(
       const submit_bench_cmd $ socket_t $ local_t $ no_wait_t $ max_cycles_t
-      $ max_states_t $ app_t $ backend_t $ cores_t $ scale_t $ unbatched_t
-      $ warmup_t $ repeat_t)
+      $ max_states_t $ app_t $ backend_t $ topology_t $ cores_t $ scale_t
+      $ unbatched_t $ warmup_t $ repeat_t)
 
 let submit_chaos_c =
   let app_t =
@@ -439,8 +450,8 @@ let submit_chaos_c =
        ~exits:exit_codes_doc)
     Term.(
       const submit_chaos_cmd $ socket_t $ local_t $ no_wait_t $ max_cycles_t
-      $ max_states_t $ app_t $ backend_t $ cores_t $ scale_t $ seed_t
-      $ intensity_t $ no_model_check_t $ replay_budget_t)
+      $ max_states_t $ app_t $ backend_t $ topology_t $ cores_t $ scale_t
+      $ seed_t $ intensity_t $ no_model_check_t $ replay_budget_t)
 
 let submit_c =
   Cmd.group

@@ -77,8 +77,11 @@ let default_replay_budget = 10_000
 
 let run_one ?(intensity = 1.0) ?(model_check = true)
     ?(replay_budget = default_replay_budget) ?capacity ?max_cycles
-    (a : Runner.app) ~backend ~cores ~scale ~seed : report =
-  let cfg = Config.chaos ~intensity ~seed { Config.default with cores } in
+    ?(topology = Topology.Star) (a : Runner.app) ~backend ~cores ~scale
+    ~seed : report =
+  let cfg =
+    Config.chaos ~intensity ~seed { Config.default with cores; topology }
+  in
   let cfg =
     (* a per-request budget only ever tightens the livelock watchdog *)
     match max_cycles with
@@ -178,10 +181,10 @@ let summarize (reports : report list) : soak =
   }
 
 let soak ?(intensity = 1.0) ?(model_check = true) ?replay_budget ?capacity
-    ?progress ?pool ~apps ~backend ~cores ~scale ~seeds () : soak =
+    ?progress ?pool ?topology ~apps ~backend ~cores ~scale ~seeds () : soak =
   let one (a : Runner.app) seed =
-    run_one ?capacity ?replay_budget ~intensity ~model_check a ~backend
-      ~cores ~scale ~seed
+    run_one ?capacity ?replay_budget ?topology ~intensity ~model_check a
+      ~backend ~cores ~scale ~seed
   in
   let reports =
     match pool with

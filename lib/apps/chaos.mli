@@ -52,7 +52,7 @@ val default_replay_budget : int
 
 val run_one :
   ?intensity:float -> ?model_check:bool -> ?replay_budget:int ->
-  ?capacity:int -> ?max_cycles:int ->
+  ?capacity:int -> ?max_cycles:int -> ?topology:Pmc_sim.Topology.t ->
   Runner.app -> backend:Pmc.Backends.kind -> cores:int -> scale:int ->
   seed:int -> report
 (** One traced run under [Config.chaos ~intensity ~seed].  The model
@@ -61,7 +61,10 @@ val run_one :
     (default {!default_replay_budget}); [capacity] sizes the per-core
     trace rings; [max_cycles] tightens the livelock watchdog to a
     per-request cycle budget (a budget overrun surfaces as a
-    [Typed_error] watchdog verdict). *)
+    [Typed_error] watchdog verdict); [topology] (default
+    {!Pmc_sim.Topology.Star}) selects the fabric — on routed fabrics the
+    plane draws one outcome per physical link of each route (by-hop
+    fault addressing, {!Pmc_sim.Fault.route_outcome}). *)
 
 type soak = {
   reports : report list;  (** in run order *)
@@ -75,6 +78,7 @@ type soak = {
 val soak :
   ?intensity:float -> ?model_check:bool -> ?replay_budget:int ->
   ?capacity:int -> ?progress:(report -> unit) -> ?pool:Pmc_par.Pool.t ->
+  ?topology:Pmc_sim.Topology.t ->
   apps:Runner.app list -> backend:Pmc.Backends.kind -> cores:int ->
   scale:int -> seeds:int list -> unit -> soak
 (** The wall of seeds: every app × every seed.  With a [pool] wider than

@@ -48,7 +48,7 @@ module Histogram = struct
         group;
       !sum
 
-  let reference ~cores ~scale =
+  let reference ~seed:_ ~cores ~scale =
     let bins = Array.make (groups * bins_per_group) 0 in
     for core = 0 to cores - 1 do
       for i = 0 to scale - 1 do
@@ -106,7 +106,7 @@ module Reduce = struct
     done;
     fun () -> Int64.of_int (Pmc.Api.peek_int api acc 0)
 
-  let reference ~cores ~scale =
+  let reference ~seed:_ ~cores ~scale =
     let total = ref 0 in
     for core = 0 to cores - 1 do
       for i = 0 to scale - 1 do

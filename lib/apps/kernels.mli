@@ -4,11 +4,17 @@
     scopes. *)
 module Histogram : sig
   val groups : int
+  (** Lock groups the bins are partitioned into. *)
+
   val bins_per_group : int
+  (** Bins guarded by each group's lock. *)
+
   val app : Runner.app
+  (** The registered application (name ["histogram"]). *)
 end
 
 (** Linear hand-off reduction: a chain of Fig. 6 publishes. *)
 module Reduce : sig
   val app : Runner.app
+  (** The registered application (name ["reduce"]). *)
 end

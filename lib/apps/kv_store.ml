@@ -1,0 +1,107 @@
+(* Zipfian keyed key-value store: the served-traffic workload of the
+   scale suite.
+
+   The store is [shards] multi-word shared objects of [slots] values
+   each.  Every core issues [scale] requests against it: a request picks
+   a key from a Zipfian popularity distribution (heavy-tailed — a few
+   keys absorb most of the traffic, so the hot shards' locks and
+   replicas are genuinely contended), then either reads the key under a
+   read-only scope (90%) or bumps it under an exclusive scope (10%).
+
+   Determinism on every back-end and fabric: the request stream is a
+   pure hash of (Config.seed, core, request index), and updates are
+   commutative modular additions, so the final store contents — and
+   therefore the checksum — depend only on the multiset of puts, not on
+   the interleaving.  Reads feed latency accounting, never the checksum.
+   Each request's latency (entry to exit of its scope, in simulated
+   cycles) is recorded with [Service.record]; the harness reports
+   throughput and exact p50/p99/p999 over the stream. *)
+
+open Pmc_sim
+
+let shards = 64
+let slots = 8          (* values per shard *)
+let keys = shards * slots
+let theta = 0.99       (* YCSB-style skew *)
+let put_permille = 100 (* 10% of requests are puts *)
+let mask = 0x3FFFFFFF  (* updates are additions mod 2^30 (commutative) *)
+
+let key_of zipf ~seed ~core ~i =
+  Service.Zipf.sample zipf ~u:(Service.uniform_draw ~seed ~core ~i ~tag:1)
+
+let is_put ~seed ~core ~i =
+  Service.int_draw ~seed ~core ~i ~tag:2 ~bound:1000 < put_permille
+
+let delta ~seed ~core ~i =
+  1 + Service.int_draw ~seed ~core ~i ~tag:3 ~bound:255
+
+let checksum_of values =
+  let sum = ref 0L in
+  Array.iteri
+    (fun k v ->
+      sum :=
+        Int64.add !sum
+          (Runner.mix64 (Int64.of_int ((k * 1_000_003) + v))))
+    values;
+  !sum
+
+let setup (api : Pmc.Api.t) ~scale =
+  let m = Pmc.Api.machine api in
+  let cfg = Machine.config m in
+  let cores = cfg.Config.cores in
+  let seed = cfg.Config.seed in
+  let zipf = Service.Zipf.create ~n:keys ~theta in
+  let shard =
+    Array.init shards (fun s ->
+        Pmc.Api.alloc_words api ~name:(Printf.sprintf "kv%d" s) ~words:slots)
+  in
+  for core = 0 to cores - 1 do
+    Machine.spawn m ~core (fun () ->
+        for i = 0 to scale - 1 do
+          (* request parsing / dispatch work *)
+          Machine.instr m 8;
+          let key = key_of zipf ~seed ~core ~i in
+          let s = key / slots and b = key mod slots in
+          let t0 = Engine.now (Machine.engine m) in
+          if is_put ~seed ~core ~i then
+            Pmc.Api.with_x api shard.(s) (fun () ->
+                let v = Pmc.Api.get_int api shard.(s) b in
+                Pmc.Api.set_int api shard.(s) b
+                  ((v + delta ~seed ~core ~i) land mask))
+          else
+            Pmc.Api.with_ro api shard.(s) (fun () ->
+                ignore (Pmc.Api.get_int api shard.(s) b));
+          Service.record (Engine.now (Machine.engine m) - t0)
+        done)
+  done;
+  fun () ->
+    let values = Array.make keys 0 in
+    Array.iteri
+      (fun s o ->
+        for b = 0 to slots - 1 do
+          values.((s * slots) + b) <- Pmc.Api.peek_int api o b
+        done)
+      shard;
+    checksum_of values
+
+let reference ~seed ~cores ~scale =
+  let zipf = Service.Zipf.create ~n:keys ~theta in
+  let values = Array.make keys 0 in
+  for core = 0 to cores - 1 do
+    for i = 0 to scale - 1 do
+      if is_put ~seed ~core ~i then begin
+        let key = key_of zipf ~seed ~core ~i in
+        values.(key) <- (values.(key) + delta ~seed ~core ~i) land mask
+      end
+    done
+  done;
+  checksum_of values
+
+let app : Runner.app =
+  {
+    name = "kv_store";
+    code_footprint = 6 * 1024;
+    jump_prob = 0.04;
+    setup;
+    reference;
+  }

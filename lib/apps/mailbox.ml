@@ -1,0 +1,91 @@
+(* Sharded actor-mailbox service: the second served-traffic workload.
+
+   Every core owns one mailbox — a two-word shared object holding
+   (message count, running sum).  Each core issues [scale] sends: it
+   picks a destination actor from a Zipfian popularity distribution over
+   the cores (theta 1.2 — hotter than the KV store, so a handful of
+   celebrity actors serialize most of the traffic on their owner's
+   lock), then appends a message by bumping the destination's count and
+   folding the message value into its sum under an exclusive scope.
+
+   Like kv_store, the send stream is a pure hash of (Config.seed, core,
+   send index) and the sum update is a commutative modular addition, so
+   the final mailbox contents are interleaving-independent and the
+   checksum matches the host reference on every back-end and fabric.
+   Per-send latency (entry to exit of the destination scope) feeds the
+   service summary. *)
+
+open Pmc_sim
+
+let theta = 1.2
+let mask = 0x3FFFFFFF (* sums are additions mod 2^30 (commutative) *)
+
+let dest_of zipf ~seed ~core ~i =
+  Service.Zipf.sample zipf ~u:(Service.uniform_draw ~seed ~core ~i ~tag:1)
+
+let payload ~seed ~core ~i =
+  1 + Service.int_draw ~seed ~core ~i ~tag:2 ~bound:1021
+
+let checksum_of boxes =
+  let sum = ref 0L in
+  Array.iteri
+    (fun owner (count, total) ->
+      sum :=
+        Int64.add !sum
+          (Runner.mix64
+             (Int64.of_int ((owner * 1_000_003) + (count * 31) + total))))
+    boxes;
+  !sum
+
+let setup (api : Pmc.Api.t) ~scale =
+  let m = Pmc.Api.machine api in
+  let cfg = Machine.config m in
+  let cores = cfg.Config.cores in
+  let seed = cfg.Config.seed in
+  let zipf = Service.Zipf.create ~n:cores ~theta in
+  let box =
+    Array.init cores (fun owner ->
+        Pmc.Api.alloc_words api ~name:(Printf.sprintf "mbox%d" owner) ~words:2)
+  in
+  for core = 0 to cores - 1 do
+    Machine.spawn m ~core (fun () ->
+        for i = 0 to scale - 1 do
+          (* message marshalling work *)
+          Machine.instr m 6;
+          let dst = dest_of zipf ~seed ~core ~i in
+          let v = payload ~seed ~core ~i in
+          let t0 = Engine.now (Machine.engine m) in
+          Pmc.Api.with_x api box.(dst) (fun () ->
+              Pmc.Api.set_int api box.(dst) 0
+                (Pmc.Api.get_int api box.(dst) 0 + 1);
+              Pmc.Api.set_int api box.(dst) 1
+                ((Pmc.Api.get_int api box.(dst) 1 + v) land mask));
+          Service.record (Engine.now (Machine.engine m) - t0)
+        done)
+  done;
+  fun () ->
+    checksum_of
+      (Array.map
+         (fun o -> (Pmc.Api.peek_int api o 0, Pmc.Api.peek_int api o 1))
+         box)
+
+let reference ~seed ~cores ~scale =
+  let zipf = Service.Zipf.create ~n:cores ~theta in
+  let boxes = Array.make cores (0, 0) in
+  for core = 0 to cores - 1 do
+    for i = 0 to scale - 1 do
+      let dst = dest_of zipf ~seed ~core ~i in
+      let count, total = boxes.(dst) in
+      boxes.(dst) <- (count + 1, (total + payload ~seed ~core ~i) land mask)
+    done
+  done;
+  checksum_of boxes
+
+let app : Runner.app =
+  {
+    name = "mailbox";
+    code_footprint = 4 * 1024;
+    jump_prob = 0.03;
+    setup;
+    reference;
+  }

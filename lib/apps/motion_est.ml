@@ -124,7 +124,7 @@ let setup (api : Pmc.Api.t) ~scale =
     done;
     !sum
 
-let reference ~cores:_ ~scale =
+let reference ~seed:_ ~cores:_ ~scale =
   let sum = ref 0L in
   for b = 0 to scale - 1 do
     let dx, dy =

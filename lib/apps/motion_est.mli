@@ -4,13 +4,25 @@
     refetching through a narrow-line cache. *)
 
 val block_dim : int
+(** Side length of a macroblock, in pixels. *)
+
 val range : int
+(** Search range in each direction around the co-located block. *)
+
 val window_dim : int
+(** Side length of the search window ([block_dim + 2*range]). *)
+
 val window_words : int
+(** Words per shared search-window object. *)
+
 val block_words : int
+(** Words per current-block object. *)
+
 val candidates : int
+(** Candidate vectors evaluated per block (full search). *)
 
 val true_vector : block:int -> int * int
 (** The planted motion vector of a block — full search must find it. *)
 
 val app : Runner.app
+(** The registered application (name ["motion"]). *)

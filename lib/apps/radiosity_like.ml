@@ -97,7 +97,7 @@ let setup (api : Pmc.Api.t) ~scale =
       patch;
     !sum
 
-let reference ~cores:_ ~scale =
+let reference ~seed:_ ~cores:_ ~scale =
   let state = Array.make (patches * patch_words) 0l in
   for task = 0 to scale - 1 do
     let _, writes, delta = task_plan ~task in

@@ -4,5 +4,10 @@
     schedule-independent. *)
 
 val patches : int
+(** Shared patches the task graph scatters its reads and writes over. *)
+
 val patch_words : int
+(** Words per patch object. *)
+
 val app : Runner.app
+(** The registered application (name ["radiosity"]). *)

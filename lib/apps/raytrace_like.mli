@@ -4,5 +4,10 @@
     batches, collapsing the shared-read stall. *)
 
 val scene_chunks : int
+(** Shared scene objects, each published once by core 0. *)
+
 val chunk_words : int
+(** Words per scene chunk. *)
+
 val app : Runner.app
+(** The registered application (name ["raytrace"]). *)

@@ -10,6 +10,8 @@ let all : Runner.app list =
     Stencil.app;
     Kernels.Histogram.app;
     Kernels.Reduce.app;
+    Kv_store.app;
+    Mailbox.app;
   ]
 
 let find name =

@@ -1,5 +1,12 @@
 (** All applications by name, for the CLI and the benches. *)
 
 val all : Runner.app list
+(** Every registered application, in registration order — the paper's
+    eight workloads plus the served-traffic apps ({!Kv_store},
+    {!Mailbox}). *)
+
 val find : string -> Runner.app option
+(** Look an application up by its {!Runner.app.name}. *)
+
 val names : string list
+(** The names of {!all}, for CLI help and error messages. *)

@@ -16,8 +16,9 @@ type app = {
   (* Allocate shared state and spawn one task per core; returns a closure
      that collects the checksum after the run. *)
   setup : Pmc.Api.t -> scale:int -> (unit -> int64);
-  (* Sequential reference checksum. *)
-  reference : cores:int -> scale:int -> int64;
+  (* Sequential reference checksum.  [seed] is the workload PRNG seed
+     ([Config.seed]) — only the served-traffic apps consume it. *)
+  reference : seed:int -> cores:int -> scale:int -> int64;
 }
 
 type result = {
@@ -27,6 +28,7 @@ type result = {
   scale : int;
   wall : int;                (* wall-clock cycles of the whole run *)
   summary : Stats.summary;
+  service : Service.summary option;  (* served-traffic apps only *)
   checksum : int64;
   reference : int64;
 }
@@ -41,6 +43,7 @@ let run ?(cfg = Config.default) ?on_api (a : app) ~backend ~scale : result =
      with them on another domain of a [Pmc_par.Pool]. *)
   Pmc.Shared.reset_ids ();
   Pmc_lock.Dlock.reset_ids ();
+  Service.reset ();
   let m = Machine.create cfg in
   for core = 0 to cfg.Config.cores - 1 do
     Machine.set_code m ~core ~footprint:a.code_footprint
@@ -51,15 +54,23 @@ let run ?(cfg = Config.default) ?on_api (a : app) ~backend ~scale : result =
   Option.iter (fun f -> f api) on_api;
   let collect = a.setup api ~scale in
   Machine.run m;
+  (* explicit bindings: the checksum collection must run before the
+     service summary is taken (both touch post-run state), and record
+     field evaluation order is unspecified *)
+  let wall = Engine.wall_time (Machine.engine m) in
+  let checksum = collect () in
+  let service = Service.take ~wall () in
   {
     app = a.name;
     backend;
     cores = cfg.Config.cores;
     scale;
-    wall = Engine.wall_time (Machine.engine m);
+    wall;
     summary = Stats.summarize (Machine.stats m);
-    checksum = collect ();
-    reference = a.reference ~cores:cfg.Config.cores ~scale;
+    service;
+    checksum;
+    reference =
+      a.reference ~seed:cfg.Config.seed ~cores:cfg.Config.cores ~scale;
   }
 
 let pp_result ppf (r : result) =
@@ -69,7 +80,10 @@ let pp_result ppf (r : result) =
     r.cores r.scale r.wall
     (100.0 *. Stats.utilization r.summary)
     (if ok r then "OK" else
-       Printf.sprintf "CHECKSUM MISMATCH (%Ld vs %Ld)" r.checksum r.reference)
+       Printf.sprintf "CHECKSUM MISMATCH (%Ld vs %Ld)" r.checksum r.reference);
+  Option.iter
+    (fun s -> Fmt.pf ppf "  %a@." Service.pp_summary s)
+    r.service
 
 (* Mix for checksums (order-independent accumulation uses addition). *)
 let mix64 (x : int64) =

@@ -9,7 +9,10 @@ type app = {
   setup : Pmc.Api.t -> scale:int -> (unit -> int64);
       (** allocate shared state and spawn one task per core; the returned
           closure collects the checksum after the run *)
-  reference : cores:int -> scale:int -> int64;
+  reference : seed:int -> cores:int -> scale:int -> int64;
+      (** sequential reference checksum; [seed] is the workload PRNG seed
+          ({!Pmc_sim.Config.t.seed}) — only the served-traffic apps
+          ({!Kv_store}, {!Mailbox}) consume it *)
 }
 
 type result = {
@@ -19,6 +22,9 @@ type result = {
   scale : int;
   wall : int;
   summary : Pmc_sim.Stats.summary;
+  service : Service.summary option;
+      (** request throughput and latency percentiles; [Some] only for the
+          served-traffic apps ({!Kv_store}, {!Mailbox}) *)
   checksum : int64;
   reference : int64;
 }

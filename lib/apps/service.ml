@@ -1,0 +1,157 @@
+(* Served-traffic instrumentation for the scale workloads.
+
+   The kv_store and mailbox apps model a machine serving a stream of
+   requests; besides the simulator's stall accounting they report
+   service metrics: throughput and exact order-statistic request-latency
+   percentiles (p50/p99/p999).  Three pieces live here:
+
+     - deterministic synthetic request streams: every draw is a pure
+       splitmix64 hash of (seed, core, request index, tag), so the
+       stream — and therefore each request's simulated latency — is a
+       pure function of (seed, topology, backend, cores), independent of
+       host scheduling or [--jobs] width (the qcheck purity property);
+     - a Zipfian popularity sampler for heavy-tailed key/actor choice;
+     - a per-run latency recorder.  Like the handle/lock id counters
+       (DESIGN.md §11) it is domain-local state reset by [Runner.run],
+       so concurrent runs on a [Pmc_par.Pool] never share a stream.
+
+   Percentiles are exact nearest-rank order statistics over the recorded
+   stream — no interpolation: p(q) of n sorted samples is the sample at
+   1-based rank ceil(q·n).  The unit tests pin this on known streams. *)
+
+(* splitmix64 finalizer — same mixer as the fault plane's, kept separate
+   so Service does not depend on Runner (which depends on Service). *)
+let mix64 (x : int64) =
+  let x = Int64.logxor x (Int64.shift_right_logical x 33) in
+  let x = Int64.mul x 0xFF51AFD7ED558CCDL in
+  let x = Int64.logxor x (Int64.shift_right_logical x 33) in
+  let x = Int64.mul x 0xC4CEB9FE1A85EC53L in
+  Int64.logxor x (Int64.shift_right_logical x 33)
+
+let fold h v = mix64 (Int64.add h (Int64.of_int v))
+
+(* One independent uniform 64-bit draw per (seed, core, request, tag). *)
+let draw ~seed ~core ~i ~tag =
+  fold (fold (fold (fold (mix64 (Int64.of_int (seed lxor 0x517C_C1B7)))
+                      core) i) tag) 0
+
+let uniform_draw ~seed ~core ~i ~tag =
+  Int64.to_float (Int64.shift_right_logical (draw ~seed ~core ~i ~tag) 11)
+  *. (1.0 /. 9007199254740992.0)
+
+let int_draw ~seed ~core ~i ~tag ~bound =
+  if bound <= 0 then 0
+  else
+    Int64.to_int
+      (Int64.rem
+         (Int64.shift_right_logical (draw ~seed ~core ~i ~tag) 1)
+         (Int64.of_int bound))
+
+(* ---------------- Zipfian popularity ---------------- *)
+
+module Zipf = struct
+  (* Precomputed CDF over ranks 1..n with weight 1/rank^theta; sampling
+     is a binary search, so a request costs O(log n) host work. *)
+  type t = { cdf : float array }
+
+  let create ~n ~theta =
+    if n < 1 then invalid_arg "Zipf.create: n < 1";
+    let cdf = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for k = 0 to n - 1 do
+      total := !total +. (1.0 /. Float.pow (float_of_int (k + 1)) theta);
+      cdf.(k) <- !total
+    done;
+    for k = 0 to n - 1 do
+      cdf.(k) <- cdf.(k) /. !total
+    done;
+    { cdf }
+
+  let n t = Array.length t.cdf
+
+  (* Smallest rank whose CDF covers [u]; u in [0, 1). *)
+  let sample t ~u =
+    let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo
+end
+
+(* ---------------- exact percentiles ---------------- *)
+
+(* Nearest-rank on a sorted copy: the sample at 1-based rank
+   ceil(permille·n/1000), computed in integers so there is no float
+   rounding to get wrong.  permille 500 = p50, 990 = p99, 999 = p999. *)
+let percentile xs ~permille =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Service.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = min n (max 1 (((permille * n) + 999) / 1000)) in
+  sorted.(rank - 1)
+
+(* ---------------- the per-run recorder ---------------- *)
+
+type summary = {
+  requests : int;
+  p50 : int;
+  p99 : int;
+  p999 : int;
+  max_latency : int;
+  throughput : float;  (* requests per 1000 simulated cycles *)
+  lat_digest : int;
+      (* splitmix64 fold of the latency stream in recorded order — one
+         integer that pins every per-request latency, compared exactly
+         by the purity property and the scale-smoke CI gate *)
+}
+
+type recorder = { mutable buf : int array; mutable n : int }
+
+let key = Domain.DLS.new_key (fun () -> { buf = [||]; n = 0 })
+
+let reset () =
+  let r = Domain.DLS.get key in
+  r.n <- 0
+
+let record lat =
+  let r = Domain.DLS.get key in
+  if r.n >= Array.length r.buf then begin
+    let cap = max 1024 (2 * Array.length r.buf) in
+    let buf = Array.make cap 0 in
+    Array.blit r.buf 0 buf 0 r.n;
+    r.buf <- buf
+  end;
+  r.buf.(r.n) <- lat;
+  r.n <- r.n + 1
+
+let take ~wall () =
+  let r = Domain.DLS.get key in
+  if r.n = 0 then None
+  else begin
+    let xs = Array.sub r.buf 0 r.n in
+    let digest = ref (Int64.of_int r.n) in
+    Array.iter (fun lat -> digest := fold !digest lat) xs;
+    let s =
+      {
+        requests = r.n;
+        p50 = percentile xs ~permille:500;
+        p99 = percentile xs ~permille:990;
+        p999 = percentile xs ~permille:999;
+        max_latency = Array.fold_left max 0 xs;
+        throughput =
+          (if wall > 0 then 1000.0 *. float_of_int r.n /. float_of_int wall
+           else 0.0);
+        (* masked to 49 bits: the bench JSON layer stores numbers as
+           floats and prints integers exactly only below 1e15 *)
+        lat_digest = Int64.to_int (Int64.logand !digest 0x1FFFFFFFFFFFFL);
+      }
+    in
+    r.n <- 0;
+    Some s
+  end
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%d req, %.3f req/kcycle, lat p50=%d p99=%d p999=%d max=%d"
+    s.requests s.throughput s.p50 s.p99 s.p999 s.max_latency

@@ -1,0 +1,78 @@
+(** Served-traffic instrumentation for the scale workloads.
+
+    The {!Kv_store} and {!Mailbox} apps model a machine serving a
+    stream of requests.  This module provides their three shared
+    pieces:
+
+    - deterministic synthetic request streams — every draw is a pure
+      splitmix64 hash of (seed, core, request index, tag), so each
+      request's simulated latency is a pure function of
+      (seed, topology, backend, cores);
+    - a Zipfian popularity sampler for heavy-tailed key/actor choice;
+    - a per-run request-latency recorder whose summary (throughput and
+      exact p50/p99/p999 percentiles) lands in
+      {!Runner.result.service} and, via the bench harness, in schema-4
+      reports.
+
+    The recorder is domain-local state reset by {!Runner.run} — the
+    same discipline as the handle/lock id counters (DESIGN.md §11) —
+    so concurrent runs on a {!Pmc_par.Pool} never share a stream. *)
+
+val draw : seed:int -> core:int -> i:int -> tag:int -> int64
+(** One independent uniform 64-bit draw per (seed, core, request index,
+    tag) — the request-stream primitive. *)
+
+val uniform_draw : seed:int -> core:int -> i:int -> tag:int -> float
+(** {!draw} mapped to a uniform float in [0, 1). *)
+
+val int_draw : seed:int -> core:int -> i:int -> tag:int -> bound:int -> int
+(** {!draw} mapped to a uniform int in [0, bound); [0] when
+    [bound <= 0]. *)
+
+(** Zipfian popularity over ranks [0 .. n-1]: rank k is drawn with
+    probability proportional to [1/(k+1)^theta].  The CDF is
+    precomputed once; sampling is a binary search. *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> theta:float -> t
+  val n : t -> int
+
+  val sample : t -> u:float -> int
+  (** Smallest rank whose CDF covers [u]; [u] must be in [0, 1). *)
+end
+
+val percentile : int array -> permille:int -> int
+(** Exact nearest-rank percentile, no interpolation: the sample at
+    1-based rank [ceil(permille·n/1000)] of the sorted array (rank
+    clamped to [1, n]).  [permille] 500 = p50, 990 = p99, 999 = p999.
+    Raises [Invalid_argument] on an empty array. *)
+
+type summary = {
+  requests : int;
+  p50 : int;           (** exact request-latency percentiles, in cycles *)
+  p99 : int;
+  p999 : int;
+  max_latency : int;
+  throughput : float;  (** requests per 1000 simulated cycles *)
+  lat_digest : int;
+      (** splitmix64 fold of the latency stream in recorded order — one
+          integer pinning every per-request latency, compared exactly by
+          the purity property and the scale-smoke CI gate; masked to 49
+          bits so it survives the float-backed bench JSON exactly *)
+}
+
+val reset : unit -> unit
+(** Clear the calling domain's recorder.  {!Runner.run} calls this at
+    the start of every run. *)
+
+val record : int -> unit
+(** Append one request latency (in simulated cycles) to the calling
+    domain's recorder.  Apps call this once per completed request. *)
+
+val take : wall:int -> unit -> summary option
+(** Summarize and clear the recorder; [None] when the run recorded no
+    requests (all pre-scale apps).  [wall] is the run's wall-clock cycle
+    count, used for the throughput rate. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -31,7 +31,7 @@ let step_cell_int ~up ~down ~left ~right ~center =
   ((s lsl 31) asr 31) / 5
 
 (* Sequential reference on the full grid. *)
-let reference ~cores ~scale =
+let reference ~seed:_ ~cores ~scale =
   let rows = cores * rows_per_core in
   let g =
     Array.init rows (fun r -> Array.init width (fun c -> init_cell ~row:r ~col:c))

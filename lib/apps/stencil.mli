@@ -4,5 +4,11 @@
     Bit-identical to the sequential reference on every back-end. *)
 
 val width : int
+(** Columns of the grid (each core owns full-width row strips). *)
+
 val rows_per_core : int
+(** Rows in one core's strip; the top and bottom rows are the halos
+    neighbours read. *)
+
 val app : Runner.app
+(** The registered application (name ["stencil"]). *)

@@ -61,7 +61,7 @@ let setup (api : Pmc.Api.t) ~scale =
       done);
   fun () -> !sink_total
 
-let reference ~cores ~scale =
+let reference ~seed:_ ~cores ~scale =
   let filters = max 1 (cores - 2) in
   let total = ref 0L in
   for s = 0 to scale - 1 do

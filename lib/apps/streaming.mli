@@ -3,5 +3,11 @@
     pointer polling stays in local memories. *)
 
 val elem_words : int
+(** Words per stream element. *)
+
 val fifo_depth : int
+(** Slots in each inter-stage FIFO. *)
+
 val app : Runner.app
+(** The registered application (name ["streaming"]); needs at least
+    three cores (source, filter, sink). *)

@@ -117,7 +117,7 @@ let setup (api : Pmc.Api.t) ~scale =
     done;
     !sum
 
-let reference ~cores ~scale =
+let reference ~seed:_ ~cores ~scale =
   let sum = ref 0L in
   for core = 0 to cores - 1 do
     let acc = ref 0l in

@@ -3,6 +3,13 @@
     the L1 capacity. *)
 
 val octree_nodes : int
+(** Nodes of the shared octree every ray walks. *)
+
 val bricks : int
+(** Voxel bricks of the read-only volume. *)
+
 val brick_words : int
+(** Words per voxel brick. *)
+
 val app : Runner.app
+(** The registered application (name ["volrend"]). *)

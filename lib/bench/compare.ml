@@ -81,8 +81,8 @@ let judge ~tol ~base ~cur =
   in
   (delta, verdict)
 
-let run ?(tolerances = default_tolerances) ~(base : Report.t)
-    ~(cur : Report.t) () : outcome =
+let run ?(tolerances = default_tolerances) ?(gate_rate = true)
+    ~(base : Report.t) ~(cur : Report.t) () : outcome =
   let index (r : Report.t) =
     List.map (fun (s : Measure.sample) -> (Spec.case_id s.Measure.case, s))
       r.Report.samples
@@ -138,8 +138,12 @@ let run ?(tolerances = default_tolerances) ~(base : Report.t)
             let rb = b.Measure.host_cycles_per_s
             and rc = c.Measure.host_cycles_per_s in
             let rate_ok =
-              (* only gate when both reports carry a real rate *)
-              rb <= 0.0 || rc <= 0.0 || rc >= host_rate_floor *. rb
+              (* only gate when asked to and both reports carry a real
+                 rate — comparing two arms of the same run (the --jobs
+                 equality gates) shares the host between arms, so their
+                 relative host speed is meaningless *)
+              (not gate_rate) || rb <= 0.0 || rc <= 0.0
+              || rc >= host_rate_floor *. rb
             in
             Some
               { host_case_id = id; host_base = hb; host_cur = hc; speedup;

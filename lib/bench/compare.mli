@@ -58,10 +58,16 @@ val default_tolerances : (string * float) list
 
 val run :
   ?tolerances:(string * float) list ->
+  ?gate_rate:bool ->
   base:Report.t ->
   cur:Report.t ->
   unit ->
   outcome
+(** [gate_rate] (default [true]) arms the host-speed rate gate.  Pass
+    [false] when the two reports are arms of the same run sharing the
+    host — the [--jobs] equality gates — where relative host speed
+    carries no signal (host time is never part of the metric gate
+    either way). *)
 
 val regressions : outcome -> row list
 

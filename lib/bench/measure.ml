@@ -20,6 +20,13 @@ type metrics = {
   dcache_misses : int;
   instructions : int;
   utilization : float;
+  (* served-traffic metrics; requests = 0 marks "app records none" *)
+  requests : int;
+  p50 : int;             (* exact request-latency percentiles, cycles *)
+  p99 : int;
+  p999 : int;
+  lat_digest : int;      (* order-sensitive digest of the latency stream *)
+  throughput : float;    (* requests per 1000 simulated cycles *)
 }
 
 type sample = {
@@ -35,6 +42,8 @@ type sample = {
 
 let metrics_of_result (r : Pmc_apps.Runner.result) : metrics =
   let s = r.Pmc_apps.Runner.summary in
+  let sv = r.Pmc_apps.Runner.service in
+  let svc f d = match sv with Some v -> f v | None -> d in
   {
     cycles = r.Pmc_apps.Runner.wall;
     noc_flits = s.Stats.noc_flits;
@@ -45,6 +54,12 @@ let metrics_of_result (r : Pmc_apps.Runner.result) : metrics =
     dcache_misses = s.Stats.dcache_misses;
     instructions = s.Stats.instructions;
     utilization = Stats.utilization s;
+    requests = svc (fun v -> v.Pmc_apps.Service.requests) 0;
+    p50 = svc (fun v -> v.Pmc_apps.Service.p50) 0;
+    p99 = svc (fun v -> v.Pmc_apps.Service.p99) 0;
+    p999 = svc (fun v -> v.Pmc_apps.Service.p999) 0;
+    lat_digest = svc (fun v -> v.Pmc_apps.Service.lat_digest) 0;
+    throughput = svc (fun v -> v.Pmc_apps.Service.throughput) 0.0;
   }
 
 let trimmed_mean xs =
@@ -72,7 +87,10 @@ let run_case ?max_cycles ~unbatched ~warmup ~repeat (c : Spec.case) : sample =
     | None -> raise (Unknown_app c.Spec.app)
   in
   let cfg =
-    let base = { Config.default with cores = c.Spec.cores } in
+    let base =
+      { Config.default with cores = c.Spec.cores;
+        topology = c.Spec.topology }
+    in
     if unbatched then Config.unbatched base else base
   in
   let cfg =
@@ -121,14 +139,18 @@ let run_case ?max_cycles ~unbatched ~warmup ~repeat (c : Spec.case) : sample =
     minor_words = trimmed_mean words;
   }
 
-(* ---------------- JSON (schema v3) ----------------
+(* ---------------- JSON (schema v4) ----------------
 
-   v3 (this build): v2 plus per-sample [host_cycles_per_s] (the gated
-   host-speed metric) and [minor_words] (mean minor-heap allocation per
-   run).  v1 and v2 reports still load: the rate is reconstructed from
+   v4 (this build): v3 plus the per-case [topology] (absent means star,
+   so pre-topology reports load unchanged) and the served-traffic
+   metrics [requests]/[p50]/[p99]/[p999]/[lat_digest]/[throughput]
+   (absent or requests = 0 means the app records none).
+   v3: v2 plus per-sample [host_cycles_per_s] (the gated host-speed
+   metric) and [minor_words] (mean minor-heap allocation per run).  v1
+   and v2 reports still load: the rate is reconstructed from
    cycles / host_s and minor_words defaults to absent (negative). *)
 
-let schema_version = 3
+let schema_version = 4
 
 let metrics_to_json (m : metrics) : Json.t =
   Json.Obj
@@ -142,6 +164,12 @@ let metrics_to_json (m : metrics) : Json.t =
       ("dcache_misses", Json.int m.dcache_misses);
       ("instructions", Json.int m.instructions);
       ("utilization", Json.float m.utilization);
+      ("requests", Json.int m.requests);
+      ("p50", Json.int m.p50);
+      ("p99", Json.int m.p99);
+      ("p999", Json.int m.p999);
+      ("lat_digest", Json.int m.lat_digest);
+      ("throughput", Json.float m.throughput);
     ]
 
 let sample_to_json (s : sample) : Json.t =
@@ -149,6 +177,7 @@ let sample_to_json (s : sample) : Json.t =
     [
       ("app", Json.Str s.case.Spec.app);
       ("backend", Json.Str (Pmc.Backends.to_string s.case.Spec.backend));
+      ("topology", Json.Str (Topology.to_string s.case.Spec.topology));
       ("cores", Json.int s.case.Spec.cores);
       ("scale", Json.int s.case.Spec.scale);
       ("ok", Json.Bool s.ok);
@@ -174,6 +203,13 @@ let metrics_of_json (j : Json.t) : metrics =
     dcache_misses = req "dcache_misses" (Json.get_int "dcache_misses" j);
     instructions = req "instructions" (Json.get_int "instructions" j);
     utilization = req "utilization" (Json.get_num "utilization" j);
+    (* pre-v4 reports carry no served-traffic metrics *)
+    requests = Option.value ~default:0 (Json.get_int "requests" j);
+    p50 = Option.value ~default:0 (Json.get_int "p50" j);
+    p99 = Option.value ~default:0 (Json.get_int "p99" j);
+    p999 = Option.value ~default:0 (Json.get_int "p999" j);
+    lat_digest = Option.value ~default:0 (Json.get_int "lat_digest" j);
+    throughput = Option.value ~default:0.0 (Json.get_num "throughput" j);
   }
 
 let sample_of_json (j : Json.t) : sample =
@@ -185,12 +221,23 @@ let sample_of_json (j : Json.t) : sample =
   in
   let metrics = metrics_of_json (req "metrics" (Json.member "metrics" j)) in
   let host_s = req "host_s" (Json.get_num "host_s" j) in
+  let cores = req "cores" (Json.get_int "cores" j) in
+  let topology =
+    (* pre-v4 reports carry no topology — they are all star *)
+    match Json.get_str "topology" j with
+    | None -> Topology.Star
+    | Some s -> (
+        match Topology.resolve s ~cores with
+        | Ok t -> t
+        | Error e -> fail e)
+  in
   {
     case =
       {
         Spec.app = req "app" (Json.get_str "app" j);
         backend;
-        cores = req "cores" (Json.get_int "cores" j);
+        topology;
+        cores;
         scale = req "scale" (Json.get_int "scale" j);
       };
     ok = req "ok" (Json.get_bool "ok" j);
@@ -214,7 +261,8 @@ let sample_of_json (j : Json.t) : sample =
 (* The numeric metrics a {!Compare} run can gate on, with accessors. *)
 let metric_names =
   [ "cycles"; "noc_flits"; "noc_writes"; "flushes"; "lock_acquires";
-    "lock_transfers"; "dcache_misses"; "instructions" ]
+    "lock_transfers"; "dcache_misses"; "instructions"; "requests";
+    "p50"; "p99"; "p999"; "lat_digest" ]
 
 let metric (m : metrics) = function
   | "cycles" -> float_of_int m.cycles
@@ -225,4 +273,9 @@ let metric (m : metrics) = function
   | "lock_transfers" -> float_of_int m.lock_transfers
   | "dcache_misses" -> float_of_int m.dcache_misses
   | "instructions" -> float_of_int m.instructions
+  | "requests" -> float_of_int m.requests
+  | "p50" -> float_of_int m.p50
+  | "p99" -> float_of_int m.p99
+  | "p999" -> float_of_int m.p999
+  | "lat_digest" -> float_of_int m.lat_digest
   | other -> invalid_arg ("Measure.metric: unknown metric " ^ other)

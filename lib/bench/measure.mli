@@ -17,6 +17,16 @@ type metrics = {
   dcache_misses : int;
   instructions : int;
   utilization : float;   (** busy fraction of summed core time (Fig. 8) *)
+  requests : int;
+      (** served requests; [0] marks an app that records none (all
+          pre-scale apps, and any report older than schema 4) *)
+  p50 : int;             (** exact request-latency percentiles, in cycles *)
+  p99 : int;
+  p999 : int;
+  lat_digest : int;
+      (** splitmix64 digest of the per-request latency stream — pins
+          every individual latency, gated exactly by [scale-smoke] *)
+  throughput : float;    (** requests per 1000 simulated cycles *)
 }
 
 type sample = {

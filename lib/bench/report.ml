@@ -113,5 +113,11 @@ let pp ppf (t : t) =
          else "-")
         (if not s.Measure.ok then "CHECKSUM MISMATCH"
          else if not s.Measure.deterministic then "NONDETERMINISTIC"
-         else "ok"))
+         else "ok");
+      (* served-traffic cases report their request-latency tail too *)
+      if m.Measure.requests > 0 then
+        Fmt.pf ppf
+          "  %-26s   %d req, %.3f req/kcycle, lat p50=%d p99=%d p999=%d@."
+          "" m.Measure.requests m.Measure.throughput m.Measure.p50
+          m.Measure.p99 m.Measure.p999)
     t.samples

@@ -1,11 +1,14 @@
-(* What to benchmark: a suite is a list of (app, backend, cores, scale)
-   cases plus the measurement discipline (warmup runs, timed repeats,
-   batched or unbatched machine).  The committed smoke suite is small
-   enough for a CI gate; the full suite covers the whole registry. *)
+(* What to benchmark: a suite is a list of (app, backend, topology,
+   cores, scale) cases plus the measurement discipline (warmup runs,
+   timed repeats, batched or unbatched machine).  The committed smoke
+   suite is small enough for a CI gate; the full suite covers the whole
+   registry; the scale suite runs the served-traffic apps on the big
+   routed fabrics (256-tile mesh, 1024-tile hierarchy). *)
 
 type case = {
   app : string;
   backend : Pmc.Backends.kind;
+  topology : Pmc_sim.Topology.t;
   cores : int;
   scale : int;
 }
@@ -19,15 +22,26 @@ type t = {
   cases : case list;
 }
 
+(* Star cases keep the historic id so baselines recorded before
+   topologies existed still join in [Compare]. *)
 let case_id (c : case) =
-  Printf.sprintf "%s/%s/c%d/s%d" c.app
-    (Pmc.Backends.to_string c.backend)
-    c.cores c.scale
+  match c.topology with
+  | Pmc_sim.Topology.Star ->
+      Printf.sprintf "%s/%s/c%d/s%d" c.app
+        (Pmc.Backends.to_string c.backend)
+        c.cores c.scale
+  | t ->
+      Printf.sprintf "%s/%s/%s/c%d/s%d" c.app
+        (Pmc.Backends.to_string c.backend)
+        (Pmc_sim.Topology.to_string t)
+        c.cores c.scale
 
-let mk ~cores backends apps =
+let mk ?(topology = Pmc_sim.Topology.Star) ~cores backends apps =
   List.concat_map
     (fun (app, scale) ->
-      List.map (fun backend -> { app; backend; cores; scale }) backends)
+      List.map
+        (fun backend -> { app; backend; topology; cores; scale })
+        backends)
     apps
 
 (* The CI gate: three kernels with distinct traffic shapes (lock-handover
@@ -55,6 +69,24 @@ let full_cases =
       ("reduce", 2048);
     ]
 
+(* Served traffic on the big routed fabrics.  All five back-ends —
+   including seqcst, the only suite that covers it — so the scale report
+   answers "which Table II implementation keeps its latency tail at a
+   thousand tiles".  The hierarchical tier runs the KV store only: the
+   mailbox's celebrity actors make 1024-core runs needlessly slow for a
+   CI-adjacent suite. *)
+let all_backends =
+  [ Pmc.Backends.Seqcst; Pmc.Backends.Nocc; Pmc.Backends.Swcc;
+    Pmc.Backends.Dsm; Pmc.Backends.Spm ]
+
+let scale_cases =
+  mk ~topology:(Pmc_sim.Topology.Mesh { x = 16; y = 16 }) ~cores:256
+    all_backends
+    [ ("kv_store", 8); ("mailbox", 8) ]
+  @ mk ~topology:(Pmc_sim.Topology.Hier { clusters = 32; size = 32 })
+      ~cores:1024 all_backends
+      [ ("kv_store", 4) ]
+
 let suite ?(label = "bench") ?(unbatched = false) ?(warmup = 1) ?(repeat = 3)
     name =
   match name with
@@ -62,6 +94,8 @@ let suite ?(label = "bench") ?(unbatched = false) ?(warmup = 1) ?(repeat = 3)
                       cases = smoke_cases }
   | "full" -> Some { label; suite = name; unbatched; warmup; repeat;
                      cases = full_cases }
+  | "scale" -> Some { label; suite = name; unbatched; warmup; repeat;
+                      cases = scale_cases }
   | _ -> None
 
-let suite_names = [ "smoke"; "full" ]
+let suite_names = [ "smoke"; "full"; "scale" ]

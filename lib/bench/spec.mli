@@ -1,9 +1,10 @@
-(** Benchmark suite descriptions: which (app, back-end, cores, scale)
-    combinations to run and with what measurement discipline. *)
+(** Benchmark suite descriptions: which (app, back-end, topology, cores,
+    scale) combinations to run and with what measurement discipline. *)
 
 type case = {
   app : string;       (** registry name, see {!Pmc_apps.Registry} *)
   backend : Pmc.Backends.kind;
+  topology : Pmc_sim.Topology.t;  (** fabric the case runs on *)
   cores : int;
   scale : int;
 }
@@ -20,8 +21,10 @@ type t = {
 }
 
 val case_id : case -> string
-(** Stable identifier ["app/backend/cN/sM"] used to join baseline and
-    current reports in {!Compare}. *)
+(** Stable identifier used to join baseline and current reports in
+    {!Compare}: ["app/backend/cN/sM"] on {!Pmc_sim.Topology.Star} (the
+    historic form, so pre-topology baselines still join) and
+    ["app/backend/topology/cN/sM"] on routed fabrics. *)
 
 val smoke_cases : case list
 (** The CI gate: three kernels with distinct traffic shapes on every
@@ -29,6 +32,11 @@ val smoke_cases : case list
 
 val full_cases : case list
 (** Every registered application at the 32-core geometry. *)
+
+val scale_cases : case list
+(** Served-traffic apps on the big routed fabrics: kv_store and mailbox
+    on a 256-tile mesh, kv_store on a 1024-tile hierarchy, all five
+    back-ends. *)
 
 val suite :
   ?label:string ->

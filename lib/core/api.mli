@@ -18,6 +18,7 @@
 exception Discipline_error of string
 
 type mode = X | Ro
+(** Scope kind: exclusive or read-only. *)
 
 type event =
   | Ev_entry of mode * Shared.t
@@ -33,21 +34,34 @@ type event =
           location's initial value for model replay *)
 
 type t
+(** An annotation API instance: one back-end on one machine. *)
 
 val create : ?check:bool -> Backend_sig.backend -> t
+(** Wrap a back-end; [check] (default [true]) enables the runtime
+    discipline checker. *)
 
 val of_backend :
   (module Backend_sig.S with type t = 'a) -> 'a -> t
+(** Wrap a first-class back-end module directly (used by the back-end
+    implementations themselves and the tests). *)
 
 val machine : t -> Pmc_sim.Machine.t
+(** The simulated machine underneath. *)
+
 val backend_name : t -> string
+(** The back-end's CLI name ({!Backends.to_string}). *)
 
 val set_trace : t -> (core:int -> event -> unit) option -> unit
+(** Install (or remove, with [None]) the trace hook receiving every
+    annotation and access. *)
 
 (** {1 Allocation} *)
 
 val alloc : t -> name:string -> bytes:int -> Shared.t
+(** Allocate and place a shared object of [bytes] bytes. *)
+
 val alloc_words : t -> name:string -> words:int -> Shared.t
+(** {!alloc} sized in 32-bit words. *)
 
 (** {1 The six annotations of Section V-A} *)
 
@@ -61,6 +75,7 @@ val entry_ro : t -> Shared.t -> unit
 (** Begin non-exclusive read-only access. *)
 
 val exit_ro : t -> Shared.t -> unit
+(** End a read-only scope. *)
 
 val fence : t -> unit
 (** ≺F: order this core's operations across locations. *)
@@ -87,25 +102,36 @@ val get8 : t -> Shared.t -> int -> int
 (** Byte read — the truly indivisible access of Section IV-A. *)
 
 val set8 : t -> Shared.t -> int -> int -> unit
+(** Byte write, inside an exclusive scope. *)
 
 val get_int : t -> Shared.t -> int -> int
+(** {!get} on the unboxed accessor path: the sign-extended word as a
+    plain [int], no allocation (DESIGN.md §13). *)
+
 val set_int : t -> Shared.t -> int -> int -> unit
+(** {!set} on the unboxed accessor path. *)
 
 val peek : t -> Shared.t -> int -> int32
 (** Untimed read of the canonical version — for result collection after
     the simulation finished. *)
 
 val peek_int : t -> Shared.t -> int -> int
+(** {!peek} on the unboxed accessor path. *)
 
 val poke : t -> Shared.t -> int -> int32 -> unit
 (** Untimed initialization write, visible on every core. *)
 
 val poke_int : t -> Shared.t -> int -> int -> unit
+(** {!poke} on the unboxed accessor path. *)
 
 (** {1 Scoped helpers — the ScopeX / ScopeRO of Fig. 10} *)
 
 val with_x : t -> Shared.t -> (unit -> 'a) -> 'a
+(** [with_x t o f] brackets [f] with {!entry_x}/{!exit_x} (exit runs on
+    exception too). *)
+
 val with_ro : t -> Shared.t -> (unit -> 'a) -> 'a
+(** [with_ro t o f] brackets [f] with {!entry_ro}/{!exit_ro}. *)
 
 val poll_until :
   ?max_backoff:int -> t -> Shared.t -> int -> (int32 -> bool) -> int32

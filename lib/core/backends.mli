@@ -9,8 +9,18 @@ type kind =
   | Spm     (** scratch-pad staging (column 3) *)
 
 val all : kind list
+(** Every back-end, in Table II order (with the two baselines first). *)
+
 val to_string : kind -> string
+(** The CLI name: ["seqcst"], ["nocc"], ["swcc"], ["dsm"] or ["spm"]. *)
+
 val of_string : string -> kind option
+(** Inverse of {!to_string}. *)
 
 val make_backend : kind -> Pmc_sim.Machine.t -> Backend_sig.backend
+(** Instantiate the raw back-end operations on a machine (no API
+    wrapper). *)
+
 val create : ?check:bool -> kind -> Pmc_sim.Machine.t -> Api.t
+(** Instantiate a back-end and wrap it in the annotation {!Api};
+    [check] (default [true]) enables the runtime discipline checker. *)

@@ -6,6 +6,12 @@
     tracks its phase parity, so use one waiter per core. *)
 
 type t
+(** A barrier over [parties] cores. *)
 
 val create : Api.t -> name:string -> parties:int -> t
+(** Allocate the shared counter and release flag; [name] prefixes the
+    underlying shared objects' names (tracing and error messages). *)
+
 val wait : t -> unit
+(** Arrive, and block (in simulated time) until all [parties] cores of
+    the current phase have arrived. *)

@@ -10,9 +10,13 @@
     handled (absolute 63-bit counts). *)
 
 type t
+(** A broadcast FIFO handle. *)
 
 val create :
   Api.t -> name:string -> depth:int -> elem_words:int -> readers:int -> t
+(** Allocate a FIFO of [depth] slots of [elem_words] words each,
+    broadcast to [readers] readers; [name] prefixes the underlying
+    shared objects' names. *)
 
 val push : t -> int32 array -> unit
 (** Blocks (spinning in simulated time) while the slot is still unread by

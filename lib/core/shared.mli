@@ -36,10 +36,18 @@ val atomic_threshold : unit -> int
     [ablate] bench. *)
 
 val set_atomic_threshold : int -> unit
+(** Set the calling domain's {!atomic_threshold}. *)
 
 val is_atomic_sized : t -> bool
+(** Whether entry_ro of this object may skip locking (its size is at
+    most {!atomic_threshold}). *)
+
 val words : t -> int
+(** Object size in 32-bit words (rounded up). *)
+
 val make : name:string -> size:int -> lock:Pmc_lock.Dlock.t -> t
+(** Create a handle with a fresh domain-local id; placement fields start
+    unset (back-ends fill them at allocation). *)
 
 val reset_ids : unit -> unit
 (** Restart handle-id allocation at 0 in the calling domain.  Ids are
@@ -53,6 +61,7 @@ val dsm_track : t -> cores:int -> unit
     version 0 (replicas are made equal before the simulation begins). *)
 
 val clear_dirty : t -> unit
+(** Forget the dirty range (after the owning back-end published it). *)
 
 val mark_dirty : t -> core:int -> lo:int -> hi:int -> unit
 (** Record that [core] modified bytes [[lo, hi)] of its replica.
@@ -60,3 +69,4 @@ val mark_dirty : t -> core:int -> lo:int -> hi:int -> unit
     tracking to a conservative whole-object range. *)
 
 val pp : Format.formatter -> t -> unit
+(** Debug printer: id, name, size and placement. *)

@@ -24,6 +24,7 @@ type check = {
 type bench = {
   app : string;
   backend : string;
+  topology : string;       (* fabric name ("star", "mesh:4x4", ...) *)
   cores : int;
   scale : int;
   unbatched : bool;
@@ -34,6 +35,7 @@ type bench = {
 type chaos = {
   c_app : string;
   c_backend : string;
+  c_topology : string;
   c_cores : int;
   c_scale : int;
   seed : int;
@@ -85,6 +87,7 @@ let to_json (t : t) : Json.t =
           ("kind", Json.Str "bench");
           ("app", Json.Str b.app);
           ("backend", Json.Str b.backend);
+          ("topology", Json.Str b.topology);
           ("cores", Json.int b.cores);
           ("scale", Json.int b.scale);
           ("unbatched", Json.Bool b.unbatched);
@@ -97,6 +100,7 @@ let to_json (t : t) : Json.t =
           ("kind", Json.Str "chaos");
           ("app", Json.Str c.c_app);
           ("backend", Json.Str c.c_backend);
+          ("topology", Json.Str c.c_topology);
           ("cores", Json.int c.c_cores);
           ("scale", Json.int c.c_scale);
           ("seed", Json.int c.seed);
@@ -107,6 +111,12 @@ let to_json (t : t) : Json.t =
 
 let fail msg = failwith ("Pmc_jobs.Job: malformed job: " ^ msg)
 let req what = function Some v -> v | None -> fail ("missing " ^ what)
+
+(* Jobs encoded before fabrics existed carry no topology field; they all
+   ran on the star fabric, so defaulting keeps old encodings meaning
+   exactly what they meant (verdict-cache soundness). *)
+let get_topology j =
+  Option.value ~default:"star" (Json.get_str "topology" j)
 
 let get_opt_int key j =
   match Json.member key j with
@@ -142,6 +152,7 @@ let of_json (j : Json.t) : t =
         {
           app = req "app" (Json.get_str "app" j);
           backend = req "backend" (Json.get_str "backend" j);
+          topology = get_topology j;
           cores = req "cores" (Json.get_int "cores" j);
           scale = req "scale" (Json.get_int "scale" j);
           unbatched = req "unbatched" (Json.get_bool "unbatched" j);
@@ -153,6 +164,7 @@ let of_json (j : Json.t) : t =
         {
           c_app = req "app" (Json.get_str "app" j);
           c_backend = req "backend" (Json.get_str "backend" j);
+          c_topology = get_topology j;
           c_cores = req "cores" (Json.get_int "cores" j);
           c_scale = req "scale" (Json.get_int "scale" j);
           seed = req "seed" (Json.get_int "seed" j);
@@ -169,7 +181,9 @@ let pp ppf t =
   | Litmus l -> Fmt.pf ppf "litmus %s" l.program
   | Check c -> Fmt.pf ppf "check %s" c.name
   | Bench b ->
-      Fmt.pf ppf "bench %s/%s/c%d/s%d" b.app b.backend b.cores b.scale
+      let topo = if b.topology = "star" then "" else "/" ^ b.topology in
+      Fmt.pf ppf "bench %s/%s%s/c%d/s%d" b.app b.backend topo b.cores b.scale
   | Chaos c ->
-      Fmt.pf ppf "chaos %s/%s/c%d/s%d seed=%d" c.c_app c.c_backend c.c_cores
-        c.c_scale c.seed
+      let topo = if c.c_topology = "star" then "" else "/" ^ c.c_topology in
+      Fmt.pf ppf "chaos %s/%s%s/c%d/s%d seed=%d" c.c_app c.c_backend topo
+        c.c_cores c.c_scale c.seed

@@ -20,6 +20,10 @@ type check = {
 type bench = {
   app : string;
   backend : string;
+  topology : string;
+      (** fabric name accepted by {!Pmc_sim.Topology.resolve}; jobs
+          decoded from pre-topology encodings default to ["star"], which
+          is what they ran on — so old cache keys stay sound *)
   cores : int;
   scale : int;
   unbatched : bool;
@@ -30,6 +34,7 @@ type bench = {
 type chaos = {
   c_app : string;
   c_backend : string;
+  c_topology : string;  (** fabric name; decode default ["star"] *)
   c_cores : int;
   c_scale : int;
   seed : int;

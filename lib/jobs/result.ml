@@ -198,10 +198,19 @@ let metrics_to_json (m : Measure.metrics) =
       ("dcache_misses", Json.int m.Measure.dcache_misses);
       ("instructions", Json.int m.Measure.instructions);
       ("utilization", Json.float m.Measure.utilization);
+      ("requests", Json.int m.Measure.requests);
+      ("p50", Json.int m.Measure.p50);
+      ("p99", Json.int m.Measure.p99);
+      ("p999", Json.int m.Measure.p999);
+      ("lat_digest", Json.int m.Measure.lat_digest);
+      ("throughput", Json.float m.Measure.throughput);
     ]
 
 let metrics_of_json j : Measure.metrics =
   let i key = req key (Json.get_int key j) in
+  (* the served-traffic metrics default for results cached before they
+     existed: no requests recorded *)
+  let opt key = Option.value ~default:0 (Json.get_int key j) in
   {
     Measure.cycles = i "cycles";
     noc_flits = i "noc_flits";
@@ -212,6 +221,12 @@ let metrics_of_json j : Measure.metrics =
     dcache_misses = i "dcache_misses";
     instructions = i "instructions";
     utilization = req "utilization" (Json.get_num "utilization" j);
+    requests = opt "requests";
+    p50 = opt "p50";
+    p99 = opt "p99";
+    p999 = opt "p999";
+    lat_digest = opt "lat_digest";
+    throughput = Option.value ~default:0.0 (Json.get_num "throughput" j);
   }
 
 let to_json (t : t) : Json.t =

@@ -94,6 +94,11 @@ let find_backend name k =
   | Some b -> k b
   | None -> bad "unknown backend %S (seqcst|nocc|swcc|dsm|spm)" name
 
+let find_topology name ~cores k =
+  match Pmc_sim.Topology.resolve name ~cores with
+  | Ok t -> k t
+  | Error e -> bad "%s" e
+
 let check_geometry ~cores ~scale k =
   if cores < 1 || cores > 1024 then
     bad "cores must be in [1, 1024] (got %d)" cores
@@ -180,6 +185,7 @@ let run_check (c : Job.check) : Result.t =
 
 let run_bench ~budget (b : Job.bench) : Result.t =
   find_backend b.Job.backend @@ fun backend ->
+  find_topology b.Job.topology ~cores:b.Job.cores @@ fun topology ->
   check_geometry ~cores:b.Job.cores ~scale:b.Job.scale @@ fun () ->
   if b.Job.repeat < 1 then bad "repeat must be >= 1 (got %d)" b.Job.repeat
   else if b.Job.warmup < 0 then bad "warmup must be >= 0 (got %d)" b.Job.warmup
@@ -188,6 +194,7 @@ let run_bench ~budget (b : Job.bench) : Result.t =
       {
         Pmc_bench.Spec.app = b.Job.app;
         backend;
+        topology;
         cores = b.Job.cores;
         scale = b.Job.scale;
       }
@@ -218,6 +225,7 @@ let run_bench ~budget (b : Job.bench) : Result.t =
 
 let run_chaos ~budget (c : Job.chaos) : Result.t =
   find_backend c.Job.c_backend @@ fun backend ->
+  find_topology c.Job.c_topology ~cores:c.Job.c_cores @@ fun topology ->
   check_geometry ~cores:c.Job.c_cores ~scale:c.Job.c_scale @@ fun () ->
   match Pmc_apps.Registry.find c.Job.c_app with
   | None ->
@@ -229,8 +237,8 @@ let run_chaos ~budget (c : Job.chaos) : Result.t =
       Result.Chaos_soaked
         (Pmc_apps.Chaos.run_one ~intensity:c.Job.intensity
            ~model_check:c.Job.model_check ?replay_budget:c.Job.replay_budget
-           ?max_cycles:budget.max_cycles app ~backend ~cores:c.Job.c_cores
-           ~scale:c.Job.c_scale ~seed:c.Job.seed)
+           ?max_cycles:budget.max_cycles ~topology app ~backend
+           ~cores:c.Job.c_cores ~scale:c.Job.c_scale ~seed:c.Job.seed)
 
 (* ---------------- the entry points ---------------- *)
 

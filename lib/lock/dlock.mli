@@ -10,8 +10,11 @@
     no exclusive holder or waiter is present, so writers do not starve. *)
 
 type t
+(** A distributed lock; per-core grant mailboxes live in the tiles'
+    local memories. *)
 
 val create : Pmc_sim.Machine.t -> t
+(** Allocate a lock (one grant mailbox per core of the machine). *)
 
 val reset_ids : unit -> unit
 (** Restart lock-id allocation at 0 in the calling domain.  Ids are
@@ -46,8 +49,12 @@ val acquire_ro : t -> unit
 (** Join the reader group (shared mode). *)
 
 val release_ro : t -> unit
+(** Leave the reader group.
+    @raise Pmc_sim.Pmc_error.Error when the caller is not a reader. *)
 
 val holder : t -> int option
+(** The core holding the lock exclusively, if any (host-side view, for
+    tests and assertions — not a simulated read). *)
 
 val last_transfer_from : t -> int
 (** Tile the lock travelled from on the calling core's most recent
@@ -57,6 +64,11 @@ val last_transfer_from : t -> int
     burst (see {!Pmc_sim.Config.t.dsm_lazy_versions}). *)
 
 val reader_count : t -> int
+(** Number of cores currently in the reader group (host-side view). *)
 
 val with_lock : t -> (unit -> 'a) -> 'a
+(** [with_lock t f] brackets [f] with {!acquire}/{!release}; released on
+    exception too. *)
+
 val with_lock_ro : t -> (unit -> 'a) -> 'a
+(** [with_lock_ro t f] brackets [f] with {!acquire_ro}/{!release_ro}. *)

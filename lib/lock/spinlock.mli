@@ -3,8 +3,19 @@
     ablation baseline against {!Dlock}. *)
 
 type t
+(** A spinlock; the lock word lives in uncached SDRAM. *)
 
 val create : ?backoff:int -> Pmc_sim.Machine.t -> t
+(** Allocate a lock.  [backoff] (default 0) adds a fixed busy-wait
+    between failed test-and-set attempts, trading latency for SDRAM
+    port pressure. *)
+
 val acquire : t -> unit
+(** Spin (in simulated time) until the test-and-set succeeds. *)
+
 val release : t -> unit
+(** Clear the lock word.  Only the holder may call this. *)
+
 val with_lock : t -> (unit -> 'a) -> 'a
+(** [with_lock t f] brackets [f] with {!acquire}/{!release}; the lock is
+    released on exception too. *)

@@ -9,6 +9,7 @@
 
 type t = {
   cores : int;
+  topology : Topology.t;        (* fabric shape; Star = the seed machine *)
   (* data cache *)
   dcache_sets : int;
   dcache_ways : int;
@@ -63,6 +64,7 @@ type t = {
 let default =
   {
     cores = 32;
+    topology = Topology.Star;
     dcache_sets = 128;
     dcache_ways = 4;
     line_bytes = 32;
@@ -148,11 +150,11 @@ let chaos ?(intensity = 1.0) ~seed t =
     tile_stall_prob = p 0.002;
   }
 
-(* Number of NoC hops between two tiles: tiles on a bidirectional ring,
-   matching the connectionless NoC of the paper's platform [16]. *)
-let hops t ~src ~dst =
-  let d = abs (src - dst) in
-  min d (t.cores - d)
+(* Number of NoC hops between two tiles.  On the default Star fabric
+   this is the bidirectional-ring distance of the paper's platform [16];
+   the other fabrics route per Topology (XY for grids, via hubs for
+   hierarchical clusters). *)
+let hops t ~src ~dst = Topology.hops t.topology ~cores:t.cores ~src ~dst
 
 let noc_latency t ~src ~dst ~words =
   t.noc_base_cycles + (t.noc_hop_cycles * hops t ~src ~dst)

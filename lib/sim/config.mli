@@ -5,6 +5,10 @@
 
 type t = {
   cores : int;
+  topology : Topology.t;
+      (** Fabric shape ({!Topology.Star} by default — the seed machine).
+          Non-star fabrics route messages over physical links and model
+          per-link contention; see {!Topology} and [docs/TOPOLOGY.md]. *)
   dcache_sets : int;
   dcache_ways : int;
   line_bytes : int;
@@ -19,6 +23,10 @@ type t = {
   local_mem_cycles : int;       (** local memory access (single-cycle LMB) *)
   local_mem_bytes : int;
   sdram_bytes : int;
+      (** Shared SDRAM capacity.  A floor, not an exact size:
+          {!Machine.create} grows it to 64 KiB per tile when the
+          configured fabric needs more (large fabrics would otherwise
+          exhaust the cached region on per-core private arenas). *)
   noc_base_cycles : int;        (** remote-write setup latency *)
   noc_hop_cycles : int;         (** additional latency per ring hop *)
   noc_word_cycles : int;        (** per-word injection/burst cost *)
@@ -103,7 +111,9 @@ val chaos : ?intensity:float -> seed:int -> t -> t
     by [seed]. *)
 
 val hops : t -> src:int -> dst:int -> int
-(** Ring-topology hop distance between two tiles. *)
+(** Hop distance between two tiles on the configured fabric: ring
+    distance on {!Topology.Star}, Manhattan/wrapped-Manhattan on grids,
+    hub hops on hierarchical clusters. *)
 
 val noc_latency : t -> src:int -> dst:int -> words:int -> int
 val words_per_line : t -> int

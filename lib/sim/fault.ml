@@ -117,6 +117,44 @@ let noc_outcome t ~src ~dst ~seq ~attempt =
   end
   else Deliver
 
+(* Outcome of one delivery attempt routed over the physical links of a
+   non-star fabric: one independent draw per directed link of the route
+   (tag 4, keyed by link id — the by-hop chaos addressing).  A drop on
+   any link drops the packet; otherwise a corruption on any link
+   corrupts it; otherwise per-link transient delays accumulate.  The
+   packet-level counters tick once per attempt, like [noc_outcome], so
+   soak summaries mean the same thing on every fabric. *)
+let route_outcome t ~src ~dst ~seq ~attempt =
+  match t.cfg.Config.topology with
+  | Topology.Star -> noc_outcome t ~src ~dst ~seq ~attempt
+  | topo ->
+      let cfg = t.cfg in
+      let dropped = ref false and corrupted = ref false and delay = ref 0 in
+      Topology.iter_route topo ~cores:cfg.Config.cores ~src ~dst (fun link ->
+          let h = site t ~tag:4 ~a:link ~b:seq ~c:attempt ~d:0 in
+          let u = uniform h in
+          if u < cfg.Config.noc_drop_prob then dropped := true
+          else if u < cfg.Config.noc_drop_prob +. cfg.Config.noc_corrupt_prob
+          then corrupted := true
+          else if
+            u
+            < cfg.Config.noc_drop_prob +. cfg.Config.noc_corrupt_prob
+              +. cfg.Config.noc_delay_prob
+          then delay := !delay + 1 + pick h cfg.Config.noc_delay_max);
+      if !dropped then begin
+        t.counts.noc_drops <- t.counts.noc_drops + 1;
+        Drop
+      end
+      else if !corrupted then begin
+        t.counts.noc_corrupts <- t.counts.noc_corrupts + 1;
+        Corrupt
+      end
+      else if !delay > 0 then begin
+        t.counts.noc_delays <- t.counts.noc_delays + 1;
+        Delay !delay
+      end
+      else Deliver
+
 (* ---------------- SDRAM transient errors ---------------- *)
 
 (* One draw per (core, access); the caller retries until clean or the

@@ -38,8 +38,18 @@ type outcome = Deliver | Drop | Corrupt | Delay of int
 
 val noc_outcome :
   t -> src:int -> dst:int -> seq:int -> attempt:int -> outcome
-(** Outcome of one delivery attempt of packet [seq] on link (src, dst).
-    Updates {!counts}. *)
+(** Outcome of one delivery attempt of packet [seq] on the logical
+    (src, dst) link of the {!Topology.Star} fabric.  Updates
+    {!counts}. *)
+
+val route_outcome :
+  t -> src:int -> dst:int -> seq:int -> attempt:int -> outcome
+(** Topology-aware outcome of one delivery attempt: on {!Topology.Star}
+    identical to {!noc_outcome}; on routed fabrics one independent draw
+    per directed physical link of the route (the by-hop chaos
+    addressing) — a drop on any link drops the packet, else a corruption
+    on any link corrupts it, else per-link delays accumulate.  The
+    packet-level counters tick once per attempt on every fabric. *)
 
 val sdram_error : t -> core:int -> bool
 (** Whether this SDRAM access suffers a transient read error (one fresh

@@ -55,6 +55,16 @@ type t = {
 let private_bytes = 16 * 1024
 
 let create (cfg : Config.t) : t =
+  (* The cached region (half the SDRAM) must hold every tile's private
+     arena plus shared-object headroom, so the SDRAM grows with the
+     fabric: 64 KiB per tile, floored at the configured size.  The
+     default 8 MiB covers up to 128 tiles unchanged (the seed machine
+     and every golden run); a 1024-tile fabric gets 64 MiB. *)
+  let cfg =
+    let need = 4 * cfg.Config.cores * private_bytes in
+    if cfg.Config.sdram_bytes >= need then cfg
+    else { cfg with Config.sdram_bytes = need }
+  in
   let engine = Engine.create cfg in
   let fault = Fault.create cfg in
   let sdram =

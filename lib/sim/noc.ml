@@ -63,7 +63,15 @@ type t = {
   outstanding : int array;                 (* in-flight writes per source *)
   last_arrival : int array;                (* latest arrival time per source *)
   link_last : int array array;             (* per (src, dst) FIFO ordering *)
-  links : link array array;                (* resilient path, per (src, dst) *)
+  links : link array array;                (* resilient path, per (src, dst);
+                                              allocated only when the fault
+                                              plane is armed (cores² records
+                                              are real memory at 1024 tiles) *)
+  contended : bool;                        (* non-star fabric: route messages
+                                              over physical links and account
+                                              per-link contention *)
+  link_busy : int array;                   (* busy-until horizon per directed
+                                              physical link (empty on Star) *)
   mutable total_writes : int;
   (* fault-free delivery arena: pooled payload buffers + parallel fields,
      dispatched by one preallocated closure via [Engine.at_indexed] *)
@@ -95,10 +103,16 @@ let create (cfg : Config.t) (fault : Fault.t) (engine : Engine.t)
       last_arrival = Array.make cfg.cores 0;
       link_last = Array.make_matrix cfg.cores cfg.cores 0;
       links =
-        Array.init cfg.cores (fun _ ->
-            Array.init cfg.cores (fun _ ->
-                { q = Queue.create (); busy = false; dead = false;
-                  next_seq = 0 }));
+        (* fault-free runs never touch the resilient path, so a scale
+           machine skips allocating cores² queue records *)
+        (if Fault.enabled fault then
+           Array.init cfg.cores (fun _ ->
+               Array.init cfg.cores (fun _ ->
+                   { q = Queue.create (); busy = false; dead = false;
+                     next_seq = 0 }))
+         else [||]);
+      contended = cfg.topology <> Topology.Star;
+      link_busy = Array.make (Topology.link_count cfg.topology) 0;
       total_writes = 0;
       d_buf = Array.make initial_deliveries no_buf;
       d_src = Array.make initial_deliveries 0;
@@ -158,6 +172,34 @@ let alloc_delivery t ~src ~dst ~off ~len =
 let emit_fault t ~time f =
   Probe.emit (Engine.probe t.engine) ~time (Probe.Fault f)
 
+(* Arrival time of a posted write injected at [now], honouring both the
+   per-(src, dst) FIFO and — on routed fabrics — per-physical-link
+   contention.
+
+   Star keeps the seed model verbatim: flat [Config.noc_latency] bounded
+   below by the link FIFO.  On mesh/torus/hier fabrics the message is
+   walked store-and-forward over its route: at each directed link it
+   waits for the link's busy-until horizon, occupies the link for the
+   payload's serialization time and pays the hop latency — so latency
+   reflects path length, and two messages crossing the same link contend
+   even when their (src, dst) pairs differ.  The caller stores the
+   result into [link_last.(src).(dst)]. *)
+let route_arrival t ~now ~src ~dst ~words =
+  if not t.contended then
+    let latency = Config.noc_latency t.cfg ~src ~dst ~words in
+    max (now + latency) (t.link_last.(src).(dst) + 1)
+  else begin
+    let cfg = t.cfg in
+    let occupy = cfg.Config.noc_word_cycles * words in
+    let tm = ref (now + cfg.Config.noc_base_cycles) in
+    Topology.iter_route cfg.Config.topology ~cores:cfg.Config.cores ~src ~dst
+      (fun link ->
+        let depart = max !tm t.link_busy.(link) in
+        t.link_busy.(link) <- depart + occupy;
+        tm := depart + cfg.Config.noc_hop_cycles + occupy);
+    max !tm (t.link_last.(src).(dst) + 1)
+  end
+
 (* ---------------- resilient per-link delivery ---------------- *)
 
 (* The engine gives event closures no ambient clock, so every worker step
@@ -201,7 +243,7 @@ and service t ~src ~dst link ~time () =
       else begin
         p.attempts <- p.attempts + 1;
         match
-          Fault.noc_outcome t.fault ~src ~dst ~seq:p.seq ~attempt:p.attempts
+          Fault.route_outcome t.fault ~src ~dst ~seq:p.seq ~attempt:p.attempts
         with
         | Fault.Deliver -> complete t ~src ~dst link ~time ()
         | Fault.Delay d ->
@@ -249,8 +291,7 @@ and service t ~src ~dst link ~time () =
    (fault-free) arrival time; the actual landing may be later. *)
 let post_resilient t ~now ~src ~dst ~off (mem : Mem.t) ~pos ~len : int =
   let words = (len + 3) / 4 in
-  let latency = Config.noc_latency t.cfg ~src ~dst ~words in
-  let nominal = max (now + latency) (t.link_last.(src).(dst) + 1) in
+  let nominal = route_arrival t ~now ~src ~dst ~words in
   t.link_last.(src).(dst) <- nominal;
   let link = t.links.(src).(dst) in
   let data = Mem.to_bytes mem ~pos ~len in
@@ -303,9 +344,8 @@ let post_write t ~src ~dst ~off (mem : Mem.t) ~pos ~len : int =
     post_resilient t ~now ~src ~dst ~off mem ~pos ~len
   else begin
     let words = (len + 3) / 4 in
-    let latency = Config.noc_latency t.cfg ~src ~dst ~words in
     (* FIFO per link: never deliver before an earlier write on this link *)
-    let arrival = max (now + latency) (t.link_last.(src).(dst) + 1) in
+    let arrival = route_arrival t ~now ~src ~dst ~words in
     t.link_last.(src).(dst) <- arrival;
     post_plain t ~now ~src ~dst ~off ~arrival mem ~pos ~len;
     arrival
@@ -330,8 +370,7 @@ let post_multicast t ~src ~dsts ~off (mem : Mem.t) ~pos ~len : int =
       let arrival =
         if faulty then post_resilient t ~now ~src ~dst ~off mem ~pos ~len
         else begin
-          let latency = Config.noc_latency t.cfg ~src ~dst ~words in
-          let arrival = max (now + latency) (t.link_last.(src).(dst) + 1) in
+          let arrival = route_arrival t ~now ~src ~dst ~words in
           t.link_last.(src).(dst) <- arrival;
           post_plain t ~now ~src ~dst ~off ~arrival mem ~pos ~len;
           arrival

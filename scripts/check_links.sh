@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Check relative markdown links in the repo's documentation.
+#
+# Scans README.md and docs/*.md for [text](target) links and verifies
+# that every relative target (optionally with a #fragment) exists on
+# disk.  External links (http/https/mailto) are skipped — CI must not
+# depend on network reachability.  Exits non-zero listing every broken
+# link.
+#
+# Usage: scripts/check_links.sh [file-or-dir ...]   (default: README.md docs)
+
+set -u
+cd "$(dirname "$0")/.."
+
+targets=("$@")
+[ ${#targets[@]} -eq 0 ] && targets=(README.md docs)
+
+files=()
+for t in "${targets[@]}"; do
+  if [ -d "$t" ]; then
+    while IFS= read -r f; do files+=("$f"); done \
+      < <(find "$t" -name '*.md' | sort)
+  else
+    files+=("$t")
+  fi
+done
+
+bad=0
+for f in "${files[@]}"; do
+  # one link per line: "[text](target)" -> "target"
+  while IFS= read -r link; do
+    case "$link" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path="${link%%#*}"
+    # pure-fragment links (#section) refer to the file itself
+    [ -z "$path" ] && path="$f"
+    # relative links resolve against the linking file's directory
+    case "$path" in
+      /*) resolved="$path" ;;
+      *)  resolved="$(dirname "$f")/$path" ;;
+    esac
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN: $f -> $link"
+      bad=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$bad" -ne 0 ]; then
+  echo "check_links: broken links found"
+  exit 1
+fi
+echo "check_links: all relative links resolve (${#files[@]} files)"

@@ -11,6 +11,7 @@ let () =
       Test_flat.suite;
       Test_cache.suite;
       Test_sim.suite;
+      Test_topology.suite;
       Test_lock.suite;
       Test_runtime.suite;
       Test_fifo.suite;

@@ -73,8 +73,8 @@ let mk_sample ?(ok = true) ?(deterministic = true) ?(flits = 1000)
     ?(flushes = 50) ?(handovers = 100) ?(rate = 0.0) ~cycles app =
   {
     Pmc_bench.Measure.case =
-      { Pmc_bench.Spec.app; backend = Pmc.Backends.Swcc; cores = 4;
-        scale = 8 };
+      { Pmc_bench.Spec.app; backend = Pmc.Backends.Swcc;
+        topology = Pmc_sim.Topology.Star; cores = 4; scale = 8 };
     ok;
     deterministic;
     repeats = 1;
@@ -89,6 +89,12 @@ let mk_sample ?(ok = true) ?(deterministic = true) ?(flits = 1000)
         dcache_misses = 7;
         instructions = 1234;
         utilization = 0.5;
+        requests = 0;
+        p50 = 0;
+        p99 = 0;
+        p999 = 0;
+        lat_digest = 0;
+        throughput = 0.0;
       };
     host_s = 0.001;
     host_cycles_per_s = rate;

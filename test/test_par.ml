@@ -186,11 +186,11 @@ let tiny_spec : Pmc_bench.Spec.t =
     cases =
       [
         { Pmc_bench.Spec.app = "histogram"; backend = Pmc.Backends.Dsm;
-          cores = 4; scale = 8 };
+          topology = Pmc_sim.Topology.Star; cores = 4; scale = 8 };
         { Pmc_bench.Spec.app = "reduce"; backend = Pmc.Backends.Swcc;
-          cores = 4; scale = 64 };
+          topology = Pmc_sim.Topology.Star; cores = 4; scale = 64 };
         { Pmc_bench.Spec.app = "stencil"; backend = Pmc.Backends.Spm;
-          cores = 4; scale = 4 };
+          topology = Pmc_sim.Topology.Star; cores = 4; scale = 4 };
       ];
   }
 

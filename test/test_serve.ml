@@ -36,30 +36,41 @@ let gen_job =
     in
     return (Job.Check { Job.name = "gen"; source })
   in
+  let topology = QCheck.Gen.oneofl [ "star"; "mesh"; "torus"; "hier" ] in
   let bench =
     let* app = app in
     let* backend = backend in
+    let* topology = topology in
     let* cores = int_range 1 16 in
     let* scale = int_range 1 32 in
     let* unbatched = bool in
     let* warmup = int_bound 2 in
     let* repeat = int_range 1 3 in
-    return (Job.Bench { Job.app; backend; cores; scale; unbatched; warmup; repeat })
+    return
+      (Job.Bench
+         { Job.app; backend; topology; cores; scale; unbatched; warmup;
+           repeat })
   in
   let chaos =
     let* c_app = app in
     let* c_backend = backend in
+    let* c_topology = topology in
     let* c_cores = int_range 1 16 in
     let* c_scale = int_range 1 32 in
     let* seed = int_bound 10_000 in
     let* k = int_bound 24 in
     let* model_check = bool in
-    let* replay_budget = opt (int_range 1 100_000) in
+    (* capped at the library default: replays above it are skipped by
+       design, and history replay of very large traces would dominate
+       this round-trip test (it is about the wire bytes, not the
+       replay) *)
+    let* replay_budget = opt (int_range 1 Pmc_apps.Chaos.default_replay_budget) in
     return
       (Job.Chaos
          {
            Job.c_app;
            c_backend;
+           c_topology;
            c_cores;
            c_scale;
            seed;
@@ -207,6 +218,7 @@ let some_jobs =
       {
         Job.app = "reduce";
         backend = "dsm";
+        topology = "star";
         cores = 4;
         scale = 8;
         unbatched = false;
@@ -217,6 +229,7 @@ let some_jobs =
       {
         Job.c_app = "histogram";
         c_backend = "swcc";
+        c_topology = "star";
         c_cores = 4;
         c_scale = 4;
         seed = 3;
