@@ -9,6 +9,12 @@
          the CI gate: three kernels at a small geometry;
      pmc_chaos run --app stencil --seed 7 --intensity 2.0
          one seeded run with its full fault and verdict report;
+     pmc_chaos crash --seeds 0..255 --backend farmem
+         power-cut crash-recovery experiments on the far-memory tier:
+         each seed's run is cut at a deterministic cycle, recovery
+         replays the redo log from the durable image, and the checker
+         requires no torn object (exit 3) and a PMC-consistent durable
+         prefix (exit 4);
      pmc_chaos zerocost --baseline BENCH_BASELINE.json
          assert the zero-cost-when-off invariant: disarmed chaos
          machines ([Config.no_faults (Config.chaos ...)]) reproduce the
@@ -27,7 +33,7 @@ let parse_backend s =
   match Pmc.Backends.of_string s with
   | Some b -> b
   | None ->
-      Fmt.epr "unknown backend %S (seqcst|nocc|swcc|dsm|spm)@." s;
+      Fmt.epr "unknown backend %S (seqcst|nocc|swcc|dsm|spm|farmem)@." s;
       exit 2
 
 let parse_app s =
@@ -127,6 +133,7 @@ let soak_cmd app backend topology cores scale seeds seed_base intensity smoke
     List.iter (fun r -> Fmt.pr "%a@." Pmc_apps.Chaos.pp_report r) reports;
   let s = Pmc_apps.Chaos.summarize reports in
   Fmt.pr "%a@." Pmc_apps.Chaos.pp_soak s;
+  Fmt.pr "%a@." Pmc_apps.Chaos.pp_tag_summary (Pmc_apps.Chaos.soak_counts s);
   if not (Pmc_apps.Chaos.ok s) then begin
     List.iter
       (fun (r : Pmc_apps.Chaos.report) ->
@@ -154,6 +161,120 @@ let run_cmd app backend topology cores scale seed intensity no_model_check
   | _ -> ());
   match Pmc_jobs.Result.exit_code r with 0 -> () | c -> exit c
 
+(* ---------------- crash ---------------- *)
+
+(* --seeds accepts either a count N (seeds seed-base .. seed-base+N-1)
+   or an inclusive range A..B. *)
+let parse_seed_list ~seed_base s =
+  let fail () =
+    Fmt.epr "bad --seeds %S: expected a count N or a range A..B@." s;
+    exit 2
+  in
+  match String.split_on_char '.' s with
+  | [ n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> List.init n (fun i -> seed_base + i)
+      | _ -> fail ())
+  | [ a; ""; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b when b >= a -> List.init (b - a + 1) (fun i -> a + i)
+      | _ -> fail ())
+  | _ -> fail ()
+
+let crash_job ~app ~backend ~topology ~cores ~scale ~seed ~window ~log
+    ~model_check ~replay_budget =
+  Pmc_jobs.Job.Crash
+    {
+      Pmc_jobs.Job.x_app = app;
+      x_backend = backend;
+      x_topology = topology;
+      x_cores = cores;
+      x_scale = scale;
+      x_seed = seed;
+      x_window = window;
+      x_log = log;
+      x_model_check = model_check;
+      x_replay_budget = replay_budget;
+    }
+
+(* Torn objects are property failures (3); an inconsistent durable
+   prefix is a formal model violation (4); experiment errors are input/
+   runtime errors (2). *)
+let crash_exit_code (s : Pmc_apps.Crash.sweep) =
+  if s.Pmc_apps.Crash.inconsistent > 0 then 4
+  else if s.Pmc_apps.Crash.torn > 0 then 3
+  else 2
+
+let crash_cmd app backend topology cores scale seeds seed_base window no_log
+    smoke no_model_check replay_budget jobs quiet =
+  let b = parse_backend backend in
+  let cores, scale = if smoke then (4, min scale 4) else (cores, scale) in
+  let topo = parse_topology ~cores topology in
+  let app_names =
+    match app with
+    | Some a ->
+        ignore (parse_app a);
+        [ a ]
+    | None ->
+        let names = if smoke then smoke_apps else Pmc_apps.Registry.names in
+        List.iter (fun a -> ignore (parse_app a)) names;
+        names
+  in
+  let seeds = parse_seed_list ~seed_base seeds in
+  let log = not no_log in
+  (* the cut window is learned once per app from its fault-free twin
+     (mirroring Crash.sweep), then travels inside each job — the cut
+     cycle is fixed by the job encoding alone, at any --jobs width *)
+  let window_of =
+    match window with
+    | Some w -> fun _ -> max 1 w
+    | None ->
+        let cfg =
+          { Config.default with cores; topology = topo; farmem_log = log }
+        in
+        fun name ->
+          let a = parse_app name in
+          let r = Pmc_apps.Runner.run ~cfg a ~backend:b ~scale in
+          max 1 r.Pmc_apps.Runner.wall
+  in
+  let windows = List.map (fun a -> (a, window_of a)) app_names in
+  let wall =
+    List.concat_map
+      (fun (a, w) ->
+        List.map
+          (fun seed ->
+            crash_job ~app:a ~backend ~topology ~cores ~scale ~seed ~window:w
+              ~log ~model_check:(not no_model_check) ~replay_budget)
+          seeds)
+      windows
+  in
+  let results =
+    Pmc_par.Pool.with_pool ~jobs (fun pool ->
+        Pmc_jobs.Run.run_all ~pool wall)
+  in
+  let reports =
+    List.filter_map
+      (function
+        | Pmc_jobs.Result.Crash_checked r -> Some r
+        | Pmc_jobs.Result.Error e ->
+            Fmt.epr "crash: %s@." e.Pmc_jobs.Result.detail;
+            exit 2
+        | _ -> None)
+      results
+  in
+  if not quiet then
+    List.iter (fun r -> Fmt.pr "%a@." Pmc_apps.Crash.pp_report r) reports;
+  let s = Pmc_apps.Crash.summarize reports in
+  Fmt.pr "%a@." Pmc_apps.Crash.pp_sweep s;
+  if not (Pmc_apps.Crash.ok s) then begin
+    List.iter
+      (fun (r : Pmc_apps.Crash.report) ->
+        if not (Pmc_apps.Crash.acceptable r.Pmc_apps.Crash.verdict) then
+          Fmt.epr "FAILED: %a@." Pmc_apps.Crash.pp_report r)
+      s.Pmc_apps.Crash.reports;
+    exit (crash_exit_code s)
+  end
+
 (* ---------------- zerocost ---------------- *)
 
 (* Identity matrix: each smoke app on the replication-heavy back-ends. *)
@@ -179,7 +300,10 @@ let zerocost_identity ~seed ~quiet =
               (Pmc.Backends.to_string backend)
               id.Pmc_apps.Chaos.detail
           end)
-        [ Pmc.Backends.Swcc; Pmc.Backends.Dsm; Pmc.Backends.Spm ])
+        [
+          Pmc.Backends.Swcc; Pmc.Backends.Dsm; Pmc.Backends.Spm;
+          Pmc.Backends.Farmem;
+        ])
     smoke_apps;
   !failures
 
@@ -270,7 +394,13 @@ let zerocost_cmd baseline seed quiet =
 let backend_t =
   Arg.(
     value & opt string "dsm"
-    & info [ "backend"; "b" ] ~doc:"seqcst, nocc, swcc, dsm or spm.")
+    & info [ "backend"; "b" ] ~doc:"seqcst, nocc, swcc, dsm, spm or farmem.")
+
+let crash_backend_t =
+  Arg.(
+    value & opt string "farmem"
+    & info [ "backend"; "b" ]
+        ~doc:"Back-end to crash (only farmem has a durable tier).")
 
 let cores_t =
   Arg.(value & opt int 8 & info [ "cores"; "c" ] ~doc:"Number of tiles.")
@@ -332,6 +462,31 @@ let replay_budget_t =
           "Skip the model replay for traces above N captured events \
            (default 10000).")
 
+let crash_seeds_t =
+  Arg.(
+    value & opt string "8"
+    & info [ "seeds" ] ~docv:"N|A..B"
+        ~doc:
+          "Power-cut seeds per app: a count N (from seed-base) or an \
+           inclusive range A..B.")
+
+let window_t =
+  Arg.(
+    value & opt (some int) None
+    & info [ "window" ] ~docv:"CYCLES"
+        ~doc:
+          "Cut window in cycles.  Default: each app's fault-free wall \
+           clock, so the cut lands inside the run.")
+
+let no_log_t =
+  Arg.(
+    value & flag
+    & info [ "no-log" ]
+        ~doc:
+          "Disarm the redo log: exit_x publishes word by word, which a \
+           mid-publication cut can tear — the negative control the \
+           checker must catch.")
+
 let app_opt_t =
   Arg.(
     value & opt (some string) None
@@ -380,6 +535,26 @@ let run_c =
       const run_cmd $ app_t $ backend_t $ topology_t $ cores_t $ scale_t
       $ seed_t $ intensity_t $ no_model_check_t $ replay_budget_t)
 
+let crash_c =
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:"Power-cut crash-recovery experiments on the far-memory tier"
+       ~exits:
+         [
+           Cmd.Exit.info 0
+             ~doc:"every experiment recovered clean (or completed).";
+           Cmd.Exit.info 2
+             ~doc:"input error, or an experiment itself failed.";
+           Cmd.Exit.info 3
+             ~doc:"property failure: a recovered object was torn.";
+           Cmd.Exit.info 4
+             ~doc:"a durable prefix replayed PMC-inconsistent.";
+         ])
+    Term.(
+      const crash_cmd $ app_opt_t $ crash_backend_t $ topology_t $ cores_t
+      $ scale_t $ crash_seeds_t $ seed_base_t $ window_t $ no_log_t $ smoke_t
+      $ no_model_check_t $ replay_budget_t $ jobs_t $ quiet_t)
+
 let zerocost_c =
   Cmd.v
     (Cmd.info "zerocost"
@@ -397,6 +572,6 @@ let main_c =
   Cmd.group
     (Cmd.info "pmc_chaos" ~version:"%%VERSION%%"
        ~doc:"Fault injection and chaos soak harness for the PMC simulator")
-    [ soak_c; run_c; zerocost_c ]
+    [ soak_c; run_c; crash_c; zerocost_c ]
 
 let () = exit (Cmd.eval main_c)

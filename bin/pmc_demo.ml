@@ -21,7 +21,7 @@ let run_app app_name backend_name topology_name cores scale breakdown verify
   | Some app -> (
       match Pmc.Backends.of_string backend_name with
       | None ->
-          Fmt.epr "unknown backend %S (seqcst|nocc|swcc|dsm|spm)@."
+          Fmt.epr "unknown backend %S (seqcst|nocc|swcc|dsm|spm|farmem)@."
             backend_name;
           exit 1
       | Some backend ->
@@ -130,7 +130,7 @@ let backend_t =
   Arg.(
     value & opt string "swcc"
     & info [ "backend"; "b" ]
-        ~doc:"Memory architecture: seqcst, nocc, swcc, dsm or spm.")
+        ~doc:"Memory architecture: seqcst, nocc, swcc, dsm, spm or farmem.")
 
 let cores_t =
   Arg.(value & opt int 32 & info [ "cores"; "c" ] ~doc:"Number of tiles.")

@@ -2,7 +2,7 @@
    cache.
 
      pmc_serve daemon --socket /tmp/pmc.sock --jobs 4
-         serve litmus/check/bench/chaos jobs over a Unix-domain socket,
+         serve litmus/check/bench/chaos/crash jobs over a Unix-domain socket,
          multiplexed onto a domain pool, with an LRU verdict cache;
      pmc_serve submit litmus --program mp_fence --socket /tmp/pmc.sock
          one job over the socket, rendered exactly as the one-shot CLI
@@ -206,6 +206,24 @@ let submit_chaos_cmd socket local no_wait max_cycles max_states app backend
          replay_budget;
        })
 
+let submit_crash_cmd socket local no_wait max_cycles max_states app backend
+    topology cores scale seed window no_log no_model_check replay_budget =
+  submit_job ~socket ~local ~no_wait
+    ~budget:(budget_of max_cycles max_states)
+    (Job.Crash
+       {
+         Job.x_app = app;
+         x_backend = backend;
+         x_topology = topology;
+         x_cores = cores;
+         x_scale = scale;
+         x_seed = seed;
+         x_window = window;
+         x_log = not no_log;
+         x_model_check = not no_model_check;
+         x_replay_budget = replay_budget;
+       })
+
 (* ---------------- stats / shutdown ---------------- *)
 
 let stats_cmd socket json =
@@ -376,7 +394,7 @@ let submit_check_c =
 let backend_t =
   Arg.(
     value & opt string "dsm"
-    & info [ "backend"; "b" ] ~doc:"seqcst, nocc, swcc, dsm or spm.")
+    & info [ "backend"; "b" ] ~doc:"seqcst, nocc, swcc, dsm, spm or farmem.")
 
 let cores_t =
   Arg.(value & opt int 8 & info [ "cores"; "c" ] ~doc:"Number of tiles.")
@@ -453,13 +471,67 @@ let submit_chaos_c =
       $ max_states_t $ app_t $ backend_t $ topology_t $ cores_t $ scale_t
       $ seed_t $ intensity_t $ no_model_check_t $ replay_budget_t)
 
+let submit_crash_c =
+  let app_t =
+    Arg.(
+      value & opt string "stencil" & info [ "app"; "a" ] ~doc:"Application.")
+  in
+  let crash_backend_t =
+    Arg.(
+      value & opt string "farmem"
+      & info [ "backend"; "b" ]
+          ~doc:"Back-end to crash (only farmem has a durable tier).")
+  in
+  let seed_t =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Power-cut seed.")
+  in
+  let window_t =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "window" ] ~docv:"CYCLES"
+          ~doc:
+            "Cut window in cycles.  Required: the cut cycle is a pure \
+             function of (seed, window), so the job encoding — the \
+             verdict-cache key — must carry it.")
+  in
+  let no_log_t =
+    Arg.(
+      value & flag
+      & info [ "no-log" ]
+          ~doc:"Disarm the redo log (the tearable debug mode).")
+  in
+  let no_model_check_t =
+    Arg.(
+      value & flag
+      & info [ "no-model-check" ]
+          ~doc:"Skip the PMC model replay of the durable prefix.")
+  in
+  let replay_budget_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replay-budget" ] ~docv:"N"
+          ~doc:"Skip the model replay for prefixes above N events.")
+  in
+  Cmd.v
+    (Cmd.info "crash" ~doc:"Submit a power-cut crash-recovery job"
+       ~exits:exit_codes_doc)
+    Term.(
+      const submit_crash_cmd $ socket_t $ local_t $ no_wait_t $ max_cycles_t
+      $ max_states_t $ app_t $ crash_backend_t $ topology_t $ cores_t
+      $ scale_t $ seed_t $ window_t $ no_log_t $ no_model_check_t
+      $ replay_budget_t)
+
 let submit_c =
   Cmd.group
     (Cmd.info "submit"
        ~doc:
          "Submit one job (over the socket, or in-process with $(b,--local))"
        ~exits:exit_codes_doc)
-    [ submit_litmus_c; submit_check_c; submit_bench_c; submit_chaos_c ]
+    [
+      submit_litmus_c; submit_check_c; submit_bench_c; submit_chaos_c;
+      submit_crash_c;
+    ]
 
 let stats_c =
   let json_t =

@@ -18,7 +18,7 @@ let parse_backend s =
   match Pmc.Backends.of_string s with
   | Some b -> b
   | None ->
-      Fmt.epr "unknown backend %S (seqcst|nocc|swcc|dsm|spm)@." s;
+      Fmt.epr "unknown backend %S (seqcst|nocc|swcc|dsm|spm|farmem)@." s;
       exit 1
 
 let parse_app s =
@@ -171,7 +171,7 @@ let app_t =
 let backend_t =
   Arg.(
     value & opt string "swcc"
-    & info [ "backend"; "b" ] ~doc:"seqcst, nocc, swcc, dsm or spm.")
+    & info [ "backend"; "b" ] ~doc:"seqcst, nocc, swcc, dsm, spm or farmem.")
 
 let cores_t =
   Arg.(value & opt int 8 & info [ "cores"; "c" ] ~doc:"Number of tiles.")

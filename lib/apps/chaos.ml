@@ -56,18 +56,50 @@ let copy_counts (c : Fault.counts) : Fault.counts =
     tile_stalls = c.Fault.tile_stalls;
     stall_cycles = c.Fault.stall_cycles;
     lock_timeouts = c.Fault.lock_timeouts;
+    noc_draws = c.Fault.noc_draws;
+    sdram_draws = c.Fault.sdram_draws;
+    stall_draws = c.Fault.stall_draws;
+    power_cut_draws = c.Fault.power_cut_draws;
+    power_cuts = c.Fault.power_cuts;
   }
 
 let zero_counts () : Fault.counts =
   {
     Fault.noc_drops = 0; noc_corrupts = 0; noc_delays = 0; noc_retries = 0;
     links_dead = 0; relay_deliveries = 0; sdram_retries = 0; tile_stalls = 0;
-    stall_cycles = 0; lock_timeouts = 0;
+    stall_cycles = 0; lock_timeouts = 0; noc_draws = 0; sdram_draws = 0;
+    stall_draws = 0; power_cut_draws = 0; power_cuts = 0;
   }
 
 let total_injected (c : Fault.counts) =
   c.Fault.noc_drops + c.Fault.noc_corrupts + c.Fault.noc_delays
-  + c.Fault.sdram_retries + c.Fault.tile_stalls
+  + c.Fault.sdram_retries + c.Fault.tile_stalls + c.Fault.power_cuts
+
+(* Accumulate one run's counters into a per-tag aggregate (the soak
+   summary's denominator/numerator pairs). *)
+let add_counts (acc : Fault.counts) (c : Fault.counts) =
+  acc.Fault.noc_drops <- acc.Fault.noc_drops + c.Fault.noc_drops;
+  acc.Fault.noc_corrupts <- acc.Fault.noc_corrupts + c.Fault.noc_corrupts;
+  acc.Fault.noc_delays <- acc.Fault.noc_delays + c.Fault.noc_delays;
+  acc.Fault.noc_retries <- acc.Fault.noc_retries + c.Fault.noc_retries;
+  acc.Fault.links_dead <- acc.Fault.links_dead + c.Fault.links_dead;
+  acc.Fault.relay_deliveries <-
+    acc.Fault.relay_deliveries + c.Fault.relay_deliveries;
+  acc.Fault.sdram_retries <- acc.Fault.sdram_retries + c.Fault.sdram_retries;
+  acc.Fault.tile_stalls <- acc.Fault.tile_stalls + c.Fault.tile_stalls;
+  acc.Fault.stall_cycles <- acc.Fault.stall_cycles + c.Fault.stall_cycles;
+  acc.Fault.lock_timeouts <- acc.Fault.lock_timeouts + c.Fault.lock_timeouts;
+  acc.Fault.noc_draws <- acc.Fault.noc_draws + c.Fault.noc_draws;
+  acc.Fault.sdram_draws <- acc.Fault.sdram_draws + c.Fault.sdram_draws;
+  acc.Fault.stall_draws <- acc.Fault.stall_draws + c.Fault.stall_draws;
+  acc.Fault.power_cut_draws <-
+    acc.Fault.power_cut_draws + c.Fault.power_cut_draws;
+  acc.Fault.power_cuts <- acc.Fault.power_cuts + c.Fault.power_cuts
+
+let total_counts (counts : Fault.counts list) : Fault.counts =
+  let acc = zero_counts () in
+  List.iter (add_counts acc) counts;
+  acc
 
 (* The model checker's cost grows super-linearly with history length;
    above this many captured events a replay would dominate the soak, so
@@ -152,6 +184,13 @@ let run_one ?(intensity = 1.0) ?(model_check = true)
         ~replayed:false
   | exception Engine.Deadlock msg ->
       finish (Typed_error ("deadlock: " ^ msg)) ~replayed:false
+  | exception Engine.Power_cut cycle ->
+      (* a soak config that also arms the power-cut tag loses the run at
+         the cut; the crash checker ([Crash]) is the harness that judges
+         what the cut left behind *)
+      finish
+        (Typed_error (Printf.sprintf "power cut at cycle %d" cycle))
+        ~replayed:false
 
 (* ---------------- the soak loop ---------------- *)
 
@@ -285,3 +324,20 @@ let pp_soak ppf (s : soak) =
   Fmt.pf ppf
     "%d runs: %d completed, %d typed errors, %d failures; %d faults injected"
     s.total s.completed s.typed_errors s.failed s.injected
+
+(* Per-tag injection summary: how often each fault tag consulted the
+   hash stream (draws) and how often it fired (hits) — the at-a-glance
+   answer to "did this soak actually exercise tag X?". *)
+let pp_tag_summary ppf (c : Fault.counts) =
+  let noc_hits =
+    c.Fault.noc_drops + c.Fault.noc_corrupts + c.Fault.noc_delays
+  in
+  Fmt.pf ppf
+    "fault tags (hits/draws): noc %d/%d, sdram %d/%d, stall %d/%d, \
+     power-cut %d/%d"
+    noc_hits c.Fault.noc_draws c.Fault.sdram_retries c.Fault.sdram_draws
+    c.Fault.tile_stalls c.Fault.stall_draws c.Fault.power_cuts
+    c.Fault.power_cut_draws
+
+let soak_counts (s : soak) : Fault.counts =
+  total_counts (List.map (fun r -> r.faults) s.reports)

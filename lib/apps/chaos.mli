@@ -43,7 +43,14 @@ val acceptable : verdict -> bool
 
 val total_injected : Pmc_sim.Fault.counts -> int
 (** Faults actually injected (drops, corruptions, delays, SDRAM errors,
-    stalls) — protocol reactions (retries, relays) not included. *)
+    stalls, power cuts) — protocol reactions (retries, relays) not
+    included. *)
+
+val add_counts : Pmc_sim.Fault.counts -> Pmc_sim.Fault.counts -> unit
+(** [add_counts acc c] accumulates [c] into [acc] field by field. *)
+
+val total_counts : Pmc_sim.Fault.counts list -> Pmc_sim.Fault.counts
+(** Fresh aggregate of a list of per-run counter snapshots. *)
 
 val default_replay_budget : int
 (** Captured-event count above which the model replay is skipped
@@ -107,8 +114,16 @@ val zero_cost_identity :
     never-armed run exactly — same wall clock, same checksum, same
     per-category cycle accounts. *)
 
+val soak_counts : soak -> Pmc_sim.Fault.counts
+(** Aggregate fault counters across every report of the soak. *)
+
 val verdict_name : verdict -> string
 val pp_verdict : Format.formatter -> verdict -> unit
 val pp_counts : Format.formatter -> Pmc_sim.Fault.counts -> unit
+
+val pp_tag_summary : Format.formatter -> Pmc_sim.Fault.counts -> unit
+(** One line of per-tag hits/draws pairs (noc, sdram, stall, power-cut)
+    — the soak's "did tag X actually fire?" summary. *)
+
 val pp_report : Format.formatter -> report -> unit
 val pp_soak : Format.formatter -> soak -> unit

@@ -7,8 +7,9 @@ type kind =
   | Swcc    (* software cache coherency (Table II, column 1) *)
   | Dsm     (* distributed shared memory over the write-only NoC (col 2) *)
   | Spm     (* scratch-pad staging (column 3) *)
+  | Farmem  (* crash-consistent far-memory tier (redo-logged commits) *)
 
-let all = [ Seqcst; Nocc; Swcc; Dsm; Spm ]
+let all = [ Seqcst; Nocc; Swcc; Dsm; Spm; Farmem ]
 
 let to_string = function
   | Seqcst -> "seqcst"
@@ -16,6 +17,7 @@ let to_string = function
   | Swcc -> "swcc"
   | Dsm -> "dsm"
   | Spm -> "spm"
+  | Farmem -> "farmem"
 
 let of_string = function
   | "seqcst" -> Some Seqcst
@@ -23,6 +25,7 @@ let of_string = function
   | "swcc" -> Some Swcc
   | "dsm" -> Some Dsm
   | "spm" -> Some Spm
+  | "farmem" -> Some Farmem
   | _ -> None
 
 let make_backend kind (m : Pmc_sim.Machine.t) : Backend_sig.backend =
@@ -32,5 +35,6 @@ let make_backend kind (m : Pmc_sim.Machine.t) : Backend_sig.backend =
   | Swcc -> Backend_sig.B ((module Swcc), Swcc.create m)
   | Dsm -> Backend_sig.B ((module Dsm), Dsm.create m)
   | Spm -> Backend_sig.B ((module Spm), Spm.create m)
+  | Farmem -> Backend_sig.B ((module Farmem), Farmem.create m)
 
 let create ?check kind m : Api.t = Api.create ?check (make_backend kind m)

@@ -7,12 +7,18 @@ type kind =
   | Swcc    (** software cache coherency (Table II, column 1) *)
   | Dsm     (** distributed shared memory over the write-only NoC (col. 2) *)
   | Spm     (** scratch-pad staging (column 3) *)
+  | Farmem
+      (** crash-consistent far-memory tier: SPM-style staging over the
+          durable {!Pmc_sim.Farmem} device, with failure-atomic
+          [exit_x]/[flush] through a redo log *)
 
 val all : kind list
-(** Every back-end, in Table II order (with the two baselines first). *)
+(** Every back-end, in Table II order (with the two baselines first and
+    the far-memory tier last). *)
 
 val to_string : kind -> string
-(** The CLI name: ["seqcst"], ["nocc"], ["swcc"], ["dsm"] or ["spm"]. *)
+(** The CLI name: ["seqcst"], ["nocc"], ["swcc"], ["dsm"], ["spm"] or
+    ["farmem"]. *)
 
 val of_string : string -> kind option
 (** Inverse of {!to_string}. *)

@@ -44,17 +44,37 @@ type chaos = {
   replay_budget : int option;
 }
 
+(* The power-cut cycle is a pure function of (seed, window)
+   ([Pmc_sim.Fault.power_cut_cycle]), so carrying the window by value —
+   instead of re-learning it from a twin run at execution time — keeps
+   the cut deterministic from the encoding alone: cache-key
+   soundness. *)
+type crash = {
+  x_app : string;
+  x_backend : string;
+  x_topology : string;
+  x_cores : int;
+  x_scale : int;
+  x_seed : int;
+  x_window : int;         (* cut window in cycles (> 0) *)
+  x_log : bool;           (* redo log armed; false = tearable debug mode *)
+  x_model_check : bool;
+  x_replay_budget : int option;
+}
+
 type t =
   | Litmus of litmus
   | Check of check
   | Bench of bench
   | Chaos of chaos
+  | Crash of crash
 
 let kind_name = function
   | Litmus _ -> "litmus"
   | Check _ -> "check"
   | Bench _ -> "bench"
   | Chaos _ -> "chaos"
+  | Crash _ -> "chaos-crash"
 
 (* ---------------- JSON ----------------
 
@@ -107,6 +127,21 @@ let to_json (t : t) : Json.t =
           ("intensity", Json.float c.intensity);
           ("model_check", Json.Bool c.model_check);
           ("replay_budget", opt_int c.replay_budget);
+        ]
+  | Crash c ->
+      Json.Obj
+        [
+          ("kind", Json.Str "chaos-crash");
+          ("app", Json.Str c.x_app);
+          ("backend", Json.Str c.x_backend);
+          ("topology", Json.Str c.x_topology);
+          ("cores", Json.int c.x_cores);
+          ("scale", Json.int c.x_scale);
+          ("seed", Json.int c.x_seed);
+          ("window", Json.int c.x_window);
+          ("log", Json.Bool c.x_log);
+          ("model_check", Json.Bool c.x_model_check);
+          ("replay_budget", opt_int c.x_replay_budget);
         ]
 
 let fail msg = failwith ("Pmc_jobs.Job: malformed job: " ^ msg)
@@ -172,6 +207,20 @@ let of_json (j : Json.t) : t =
           model_check = req "model_check" (Json.get_bool "model_check" j);
           replay_budget = get_opt_int "replay_budget" j;
         }
+  | "chaos-crash" ->
+      Crash
+        {
+          x_app = req "app" (Json.get_str "app" j);
+          x_backend = req "backend" (Json.get_str "backend" j);
+          x_topology = get_topology j;
+          x_cores = req "cores" (Json.get_int "cores" j);
+          x_scale = req "scale" (Json.get_int "scale" j);
+          x_seed = req "seed" (Json.get_int "seed" j);
+          x_window = req "window" (Json.get_int "window" j);
+          x_log = req "log" (Json.get_bool "log" j);
+          x_model_check = req "model_check" (Json.get_bool "model_check" j);
+          x_replay_budget = get_opt_int "replay_budget" j;
+        }
   | k -> fail ("unknown kind " ^ k)
 
 let key t = Json.to_compact (to_json t)
@@ -187,3 +236,8 @@ let pp ppf t =
       let topo = if c.c_topology = "star" then "" else "/" ^ c.c_topology in
       Fmt.pf ppf "chaos %s/%s%s/c%d/s%d seed=%d" c.c_app c.c_backend topo
         c.c_cores c.c_scale c.seed
+  | Crash c ->
+      let topo = if c.x_topology = "star" then "" else "/" ^ c.x_topology in
+      Fmt.pf ppf "crash %s/%s%s/c%d/s%d seed=%d%s" c.x_app c.x_backend topo
+        c.x_cores c.x_scale c.x_seed
+        (if c.x_log then "" else " no-log")

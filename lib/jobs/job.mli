@@ -43,11 +43,29 @@ type chaos = {
   replay_budget : int option;
 }
 
+type crash = {
+  x_app : string;
+  x_backend : string;
+  x_topology : string;  (** fabric name; decode default ["star"] *)
+  x_cores : int;
+  x_scale : int;
+  x_seed : int;
+  x_window : int;
+      (** power-cut window in cycles.  Carried by value because the cut
+          cycle is a pure function of (seed, window)
+          ({!Pmc_sim.Fault.power_cut_cycle}) — the encoding alone
+          determines the cut, which keeps the verdict cache sound *)
+  x_log : bool;  (** redo log armed; [false] = tearable debug mode *)
+  x_model_check : bool;
+  x_replay_budget : int option;
+}
+
 type t =
   | Litmus of litmus  (** enumerate outcome sets under each model *)
   | Check of check    (** parse + static discipline check + lowering *)
   | Bench of bench    (** one measured benchmark case (no host timing) *)
   | Chaos of chaos    (** one seeded fault-injection run with verdict *)
+  | Crash of crash    (** one power-cut crash-recovery experiment *)
 
 val kind_name : t -> string
 

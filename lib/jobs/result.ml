@@ -48,6 +48,7 @@ type t =
   | Check_checked of check_report
   | Bench_measured of bench_sample
   | Chaos_soaked of Pmc_apps.Chaos.report
+  | Crash_checked of Pmc_apps.Crash.report
   | Error of error
 
 (* ---------------- exit codes ----------------
@@ -66,6 +67,12 @@ let exit_code = function
       | Pmc_apps.Chaos.Completed | Pmc_apps.Chaos.Typed_error _ -> 0
       | Pmc_apps.Chaos.Wrong_result _ -> 3
       | Pmc_apps.Chaos.Inconsistent _ -> 4)
+  | Crash_checked r -> (
+      match r.Pmc_apps.Crash.verdict with
+      | Pmc_apps.Crash.Completed | Pmc_apps.Crash.Recovered -> 0
+      | Pmc_apps.Crash.Check_error _ -> 2
+      | Pmc_apps.Crash.Torn _ -> 3
+      | Pmc_apps.Crash.Prefix_inconsistent _ -> 4)
   | Error _ -> 2
 
 (* Input errors dominate (a 2 means "the batch did not even run as
@@ -156,6 +163,81 @@ let verdict_of_json j : Pmc_apps.Chaos.verdict =
         (req "violations" (Json.get_int "violations" j))
   | v -> fail ("unknown verdict " ^ v)
 
+let crash_verdict_to_json (v : Pmc_apps.Crash.verdict) =
+  match v with
+  | Pmc_apps.Crash.Completed -> Json.Obj [ ("v", Json.Str "completed") ]
+  | Pmc_apps.Crash.Recovered -> Json.Obj [ ("v", Json.Str "recovered") ]
+  | Pmc_apps.Crash.Torn { objects; words } ->
+      Json.Obj
+        [
+          ("v", Json.Str "torn");
+          ("objects", Json.int objects);
+          ("words", Json.int words);
+        ]
+  | Pmc_apps.Crash.Prefix_inconsistent n ->
+      Json.Obj [ ("v", Json.Str "inconsistent"); ("violations", Json.int n) ]
+  | Pmc_apps.Crash.Check_error detail ->
+      Json.Obj [ ("v", Json.Str "error"); ("detail", Json.Str detail) ]
+
+let crash_verdict_of_json j : Pmc_apps.Crash.verdict =
+  match req "v" (Json.get_str "v" j) with
+  | "completed" -> Pmc_apps.Crash.Completed
+  | "recovered" -> Pmc_apps.Crash.Recovered
+  | "torn" ->
+      Pmc_apps.Crash.Torn
+        {
+          objects = req "objects" (Json.get_int "objects" j);
+          words = req "words" (Json.get_int "words" j);
+        }
+  | "inconsistent" ->
+      Pmc_apps.Crash.Prefix_inconsistent
+        (req "violations" (Json.get_int "violations" j))
+  | "error" ->
+      Pmc_apps.Crash.Check_error (req "detail" (Json.get_str "detail" j))
+  | v -> fail ("unknown crash verdict " ^ v)
+
+let obj_check_to_json (o : Pmc_apps.Crash.obj_check) =
+  Json.Obj
+    [
+      ("name", Json.Str o.Pmc_apps.Crash.obj_name);
+      ("words", Json.int o.Pmc_apps.Crash.words);
+      ("committed", Json.int o.Pmc_apps.Crash.committed);
+      ("published", Json.int o.Pmc_apps.Crash.published);
+      ("in_flight", Json.Bool o.Pmc_apps.Crash.in_flight);
+      ("torn_words", Json.int o.Pmc_apps.Crash.torn_words);
+    ]
+
+let obj_check_of_json j : Pmc_apps.Crash.obj_check =
+  {
+    Pmc_apps.Crash.obj_name = req "name" (Json.get_str "name" j);
+    words = req "words" (Json.get_int "words" j);
+    committed = req "committed" (Json.get_int "committed" j);
+    published = req "published" (Json.get_int "published" j);
+    in_flight = req "in_flight" (Json.get_bool "in_flight" j);
+    torn_words = req "torn_words" (Json.get_int "torn_words" j);
+  }
+
+let recovery_to_json = function
+  | None -> Json.Null
+  | Some (r : Pmc_sim.Farmem.recovery) ->
+      Json.Obj
+        [
+          ("committed", Json.Bool r.Pmc_sim.Farmem.committed);
+          ("records", Json.int r.Pmc_sim.Farmem.records);
+          ("words_applied", Json.int r.Pmc_sim.Farmem.words_applied);
+        ]
+
+let recovery_of_json j : Pmc_sim.Farmem.recovery option =
+  match j with
+  | None | Some Json.Null -> None
+  | Some r ->
+      Some
+        {
+          Pmc_sim.Farmem.committed = req "committed" (Json.get_bool "committed" r);
+          records = req "records" (Json.get_int "records" r);
+          words_applied = req "words_applied" (Json.get_int "words_applied" r);
+        }
+
 let counts_to_json (c : Pmc_sim.Fault.counts) =
   Json.Obj
     [
@@ -169,10 +251,18 @@ let counts_to_json (c : Pmc_sim.Fault.counts) =
       ("tile_stalls", Json.int c.Pmc_sim.Fault.tile_stalls);
       ("stall_cycles", Json.int c.Pmc_sim.Fault.stall_cycles);
       ("lock_timeouts", Json.int c.Pmc_sim.Fault.lock_timeouts);
+      ("noc_draws", Json.int c.Pmc_sim.Fault.noc_draws);
+      ("sdram_draws", Json.int c.Pmc_sim.Fault.sdram_draws);
+      ("stall_draws", Json.int c.Pmc_sim.Fault.stall_draws);
+      ("power_cut_draws", Json.int c.Pmc_sim.Fault.power_cut_draws);
+      ("power_cuts", Json.int c.Pmc_sim.Fault.power_cuts);
     ]
 
 let counts_of_json j : Pmc_sim.Fault.counts =
   let i key = req key (Json.get_int key j) in
+  (* the draw/power-cut counters default for results cached before they
+     existed *)
+  let opt key = Option.value ~default:0 (Json.get_int key j) in
   {
     Pmc_sim.Fault.noc_drops = i "noc_drops";
     noc_corrupts = i "noc_corrupts";
@@ -184,6 +274,11 @@ let counts_of_json j : Pmc_sim.Fault.counts =
     tile_stalls = i "tile_stalls";
     stall_cycles = i "stall_cycles";
     lock_timeouts = i "lock_timeouts";
+    noc_draws = opt "noc_draws";
+    sdram_draws = opt "sdram_draws";
+    stall_draws = opt "stall_draws";
+    power_cut_draws = opt "power_cut_draws";
+    power_cuts = opt "power_cuts";
   }
 
 let metrics_to_json (m : Measure.metrics) =
@@ -275,6 +370,31 @@ let to_json (t : t) : Json.t =
           ("dropped", Json.int r.Pmc_apps.Chaos.dropped);
           ("replayed", Json.Bool r.Pmc_apps.Chaos.replayed);
         ]
+  | Crash_checked r ->
+      Json.Obj
+        [
+          ("kind", Json.Str "chaos-crash");
+          ("app", Json.Str r.Pmc_apps.Crash.app);
+          ( "backend",
+            Json.Str (Pmc.Backends.to_string r.Pmc_apps.Crash.backend) );
+          ("cores", Json.int r.Pmc_apps.Crash.cores);
+          ("scale", Json.int r.Pmc_apps.Crash.scale);
+          ("seed", Json.int r.Pmc_apps.Crash.seed);
+          ("window", Json.int r.Pmc_apps.Crash.window);
+          ( "cut",
+            match r.Pmc_apps.Crash.cut with
+            | None -> Json.Null
+            | Some c -> Json.int c );
+          ("log", Json.Bool r.Pmc_apps.Crash.log);
+          ("verdict", crash_verdict_to_json r.Pmc_apps.Crash.verdict);
+          ("wall", Json.int r.Pmc_apps.Crash.wall);
+          ( "objects",
+            Json.List (List.map obj_check_to_json r.Pmc_apps.Crash.objects) );
+          ("recovery", recovery_to_json r.Pmc_apps.Crash.recovery);
+          ("events", Json.int r.Pmc_apps.Crash.events);
+          ("dropped", Json.int r.Pmc_apps.Crash.dropped);
+          ("replayed", Json.Bool r.Pmc_apps.Crash.replayed);
+        ]
   | Error e ->
       Json.Obj
         [
@@ -328,6 +448,40 @@ let of_json (j : Json.t) : t =
           dropped = req "dropped" (Json.get_int "dropped" j);
           replayed = req "replayed" (Json.get_bool "replayed" j);
         }
+  | "chaos-crash" ->
+      let backend_s = req "backend" (Json.get_str "backend" j) in
+      let backend =
+        match Pmc.Backends.of_string backend_s with
+        | Some b -> b
+        | None -> fail ("unknown backend " ^ backend_s)
+      in
+      Crash_checked
+        {
+          Pmc_apps.Crash.app = req "app" (Json.get_str "app" j);
+          backend;
+          cores = req "cores" (Json.get_int "cores" j);
+          scale = req "scale" (Json.get_int "scale" j);
+          seed = req "seed" (Json.get_int "seed" j);
+          window = req "window" (Json.get_int "window" j);
+          cut =
+            (match Json.member "cut" j with
+            | None | Some Json.Null -> None
+            | Some v -> (
+                match Json.to_int v with
+                | Some c -> Some c
+                | None -> fail "cut must be an integer or null"));
+          log = req "log" (Json.get_bool "log" j);
+          verdict =
+            crash_verdict_of_json (req "verdict" (Json.member "verdict" j));
+          wall = req "wall" (Json.get_int "wall" j);
+          objects =
+            List.map obj_check_of_json
+              (req "objects" (Json.get_list "objects" j));
+          recovery = recovery_of_json (Json.member "recovery" j);
+          events = req "events" (Json.get_int "events" j);
+          dropped = req "dropped" (Json.get_int "dropped" j);
+          replayed = req "replayed" (Json.get_bool "replayed" j);
+        }
   | "error" ->
       let kind_s = req "error" (Json.get_str "error" j) in
       let kind =
@@ -376,8 +530,14 @@ let pp ppf (t : t) =
         (Json.to_compact (Json.float m.Measure.utilization))
   | Chaos_soaked r ->
       (* identical to pmc_chaos run's report *)
-      Fmt.pf ppf "%a@.trace: %d events captured, %d dropped@."
-        Pmc_apps.Chaos.pp_report r r.Pmc_apps.Chaos.events
+      Fmt.pf ppf "%a@.%a@.trace: %d events captured, %d dropped@."
+        Pmc_apps.Chaos.pp_report r Pmc_apps.Chaos.pp_tag_summary
+        r.Pmc_apps.Chaos.faults r.Pmc_apps.Chaos.events
         r.Pmc_apps.Chaos.dropped
+  | Crash_checked r ->
+      (* identical to pmc_chaos crash's per-experiment report *)
+      Fmt.pf ppf "%a@.trace: %d events captured, %d dropped@."
+        Pmc_apps.Crash.pp_report r r.Pmc_apps.Crash.events
+        r.Pmc_apps.Crash.dropped
   | Error e ->
       Fmt.pf ppf "error (%s): %s@." (error_kind_name e.kind) e.detail

@@ -46,6 +46,8 @@ type t =
   | Check_checked of check_report
   | Bench_measured of bench_sample
   | Chaos_soaked of Pmc_apps.Chaos.report
+  | Crash_checked of Pmc_apps.Crash.report
+      (** one power-cut crash-recovery experiment ({!Pmc_apps.Crash}) *)
   | Error of error
 
 val exit_code : t -> int

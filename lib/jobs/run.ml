@@ -92,7 +92,7 @@ let bad fmt = Printf.ksprintf (fun detail ->
 let find_backend name k =
   match Pmc.Backends.of_string name with
   | Some b -> k b
-  | None -> bad "unknown backend %S (seqcst|nocc|swcc|dsm|spm)" name
+  | None -> bad "unknown backend %S (seqcst|nocc|swcc|dsm|spm|farmem)" name
 
 let find_topology name ~cores k =
   match Pmc_sim.Topology.resolve name ~cores with
@@ -240,6 +240,28 @@ let run_chaos ~budget (c : Job.chaos) : Result.t =
            ?max_cycles:budget.max_cycles ~topology app ~backend
            ~cores:c.Job.c_cores ~scale:c.Job.c_scale ~seed:c.Job.seed)
 
+let run_crash (c : Job.crash) : Result.t =
+  find_backend c.Job.x_backend @@ fun backend ->
+  find_topology c.Job.x_topology ~cores:c.Job.x_cores @@ fun topology ->
+  check_geometry ~cores:c.Job.x_cores ~scale:c.Job.x_scale @@ fun () ->
+  if backend <> Pmc.Backends.Farmem then
+    bad "chaos-crash requires the farmem backend (got %S)" c.Job.x_backend
+  else if c.Job.x_window < 1 then
+    bad "window must be >= 1 (got %d)" c.Job.x_window
+  else
+    match Pmc_apps.Registry.find c.Job.x_app with
+    | None ->
+        bad "unknown app %S (known: %s)" c.Job.x_app
+          (String.concat ", " Pmc_apps.Registry.names)
+    | Some app ->
+        (* the window travels in the job, so the cut cycle is fixed by
+           the encoding — no twin run at execution time *)
+        Result.Crash_checked
+          (Pmc_apps.Crash.crash_one ~log:c.Job.x_log ~window:c.Job.x_window
+             ~model_check:c.Job.x_model_check
+             ?replay_budget:c.Job.x_replay_budget ~topology app ~backend
+             ~cores:c.Job.x_cores ~scale:c.Job.x_scale ~seed:c.Job.x_seed)
+
 (* ---------------- the entry points ---------------- *)
 
 let run ?(budget = no_budget) (job : Job.t) : Result.t =
@@ -249,6 +271,7 @@ let run ?(budget = no_budget) (job : Job.t) : Result.t =
     | Job.Check c -> run_check c
     | Job.Bench b -> run_bench ~budget b
     | Job.Chaos c -> run_chaos ~budget c
+    | Job.Crash c -> run_crash c
   with
   | Pmc_sim.Pmc_error.Error ctx ->
       Result.Error

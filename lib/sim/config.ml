@@ -56,6 +56,20 @@ type t = {
   sdram_retry_limit : int;      (* consecutive errors before typed failure *)
   tile_stall_prob : float;      (* transient stall per timed access *)
   tile_stall_cycles : int;      (* max cycles of one stall *)
+  (* far-memory tier (the farmem back-end's persistence domain) *)
+  farmem_bytes : int;           (* capacity, log region included *)
+  farmem_word_cycles : int;     (* single-word access latency *)
+  farmem_word_occupancy : int;  (* port busy time per word (contention) *)
+  farmem_burst_word_cycles : int; (* per-word streaming cost of a burst *)
+  farmem_barrier_cycles : int;  (* flush barrier (drain the device cache) *)
+  farmem_log : bool;            (* failure-atomic exit_x via the redo log;
+                                   off = the deliberately tearable debug
+                                   mode the crash checker must catch *)
+  (* power failure: a whole-machine cut at a seed-derived cycle.  Not an
+     access-level fault class — armed separately from [faults_enabled] so
+     a crash-only config keeps the fault-free timing path up to the cut. *)
+  power_cut_prob : float;       (* probability a run is cut at all *)
+  power_cut_window : int;       (* the cut cycle is drawn from [1, window] *)
   (* simulation *)
   max_cycles : int;             (* watchdog against livelock *)
   seed : int;                   (* PRNG seed for workload randomness *)
@@ -100,6 +114,14 @@ let default =
     sdram_retry_limit = 8;
     tile_stall_prob = 0.0;
     tile_stall_cycles = 400;
+    farmem_bytes = 1024 * 1024;
+    farmem_word_cycles = 60;
+    farmem_word_occupancy = 4;
+    farmem_burst_word_cycles = 4;
+    farmem_barrier_cycles = 120;
+    farmem_log = true;
+    power_cut_prob = 0.0;
+    power_cut_window = 1_000_000;
     max_cycles = 2_000_000_000;
     seed = 42;
   }
@@ -128,12 +150,20 @@ let no_faults t =
     noc_delay_prob = 0.0;
     sdram_error_prob = 0.0;
     tile_stall_prob = 0.0;
+    power_cut_prob = 0.0;
   }
 
+(* The per-access fault classes.  The power cut is deliberately excluded:
+   it is a single scheduled event, not a per-access draw, and arming it
+   alone must leave the access-level plane (and so every latency) on the
+   fault-free path — the pre-cut timeline of a crash run is bit-identical
+   to the fault-free run. *)
 let faults_enabled t =
   t.noc_drop_prob > 0.0 || t.noc_corrupt_prob > 0.0
   || t.noc_delay_prob > 0.0 || t.sdram_error_prob > 0.0
   || t.tile_stall_prob > 0.0
+
+let power_cut_armed t = t.power_cut_prob > 0.0
 
 (* The standard chaos schedule of the soak harness: every fault class
    armed, scaled by [intensity] (1.0 = the default mix).  [seed] selects
@@ -148,6 +178,18 @@ let chaos ?(intensity = 1.0) ~seed t =
     noc_delay_prob = p 0.05;
     sdram_error_prob = p 0.01;
     tile_stall_prob = p 0.002;
+  }
+
+(* The crash harness's schedule: only the power cut armed, so the run is
+   bit-identical to the fault-free machine up to the cut cycle.  [window]
+   bounds the seed-derived cut cycle; pick the fault-free wall time of
+   the same workload so the cut lands mid-run. *)
+let crash ?window ~seed t =
+  {
+    t with
+    fault_seed = seed;
+    power_cut_prob = 1.0;
+    power_cut_window = Option.value ~default:t.power_cut_window window;
   }
 
 (* Number of NoC hops between two tiles.  On the default Star fabric

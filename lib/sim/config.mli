@@ -77,6 +77,33 @@ type t = {
           raises a typed {!Pmc_error.Error}. *)
   tile_stall_prob : float;      (** transient tile stall per timed access *)
   tile_stall_cycles : int;      (** max cycles of one stall *)
+  farmem_bytes : int;
+      (** Capacity of the far-memory tier behind SDRAM (the [farmem]
+          back-end's persistence domain), redo-log region included. *)
+  farmem_word_cycles : int;     (** far-memory single-word access latency *)
+  farmem_word_occupancy : int;  (** far-memory port busy time per word *)
+  farmem_burst_word_cycles : int; (** per-word streaming cost of a burst *)
+  farmem_barrier_cycles : int;
+      (** Cost of a far-memory flush barrier.  Writes reach a volatile
+          device cache first and become durable only when a barrier
+          drains it — the persistence domain of {!Farmem}. *)
+  farmem_log : bool;
+      (** Whether the [farmem] back-end commits [exit_x] through its
+          redo log (failure-atomic).  [false] is a debug knob: scope
+          publication degrades to word-by-word in-place writes with
+          interleaved barriers, which a power cut can tear — the
+          negative control the crash checker must catch. *)
+  power_cut_prob : float;
+      (** Probability that a run suffers a whole-machine power failure at
+          a deterministic, seed-derived cycle.  Zero (the default) means
+          no cut is ever scheduled and the machine is bit-identical to
+          the fault-free one.  Unlike the per-access classes above, a
+          non-zero value does {e not} arm the access-level fault plane
+          ({!faults_enabled} stays [false]), so the pre-cut timeline of
+          a crash run is bit-identical to the fault-free run. *)
+  power_cut_window : int;
+      (** The cut cycle is drawn uniformly from [\[1, window\]] by the
+          fault hash stream (tag 5, keyed by [fault_seed]). *)
   max_cycles : int;             (** livelock watchdog *)
   seed : int;                   (** PRNG seed for workload randomness *)
 }
@@ -103,12 +130,26 @@ val no_faults : t -> t
     CI gate assert. *)
 
 val faults_enabled : t -> bool
-(** Whether any fault probability is non-zero. *)
+(** Whether any {e per-access} fault probability is non-zero.  The power
+    cut is excluded on purpose: it is one scheduled event, not a
+    per-access draw, and arming it alone keeps every latency on the
+    fault-free path (see {!power_cut_armed}). *)
+
+val power_cut_armed : t -> bool
+(** Whether a power cut may be scheduled ([power_cut_prob > 0]). *)
 
 val chaos : ?intensity:float -> seed:int -> t -> t
 (** The soak harness's standard fault schedule: every fault class armed,
     probabilities scaled by [intensity] (default 1.0), schedule selected
     by [seed]. *)
+
+val crash : ?window:int -> seed:int -> t -> t
+(** The crash harness's schedule: only the power cut armed
+    ([power_cut_prob = 1.0]), cut cycle drawn from [\[1, window\]]
+    (default: the existing [power_cut_window]) by [seed].  Every
+    per-access probability is left untouched, so on a fault-free base
+    config the run is bit-identical to the fault-free machine up to the
+    cut. *)
 
 val hops : t -> src:int -> dst:int -> int
 (** Hop distance between two tiles on the configured fabric: ring

@@ -37,6 +37,11 @@ exception Watchdog of int
 
 exception Deadlock of string
 
+exception Power_cut of int
+(* raised out of [run] when a scheduled power failure fires: every tile
+   dies at that cycle and every non-durable byte is gone.  Carried cycle
+   = the cut time.  Raised by the machine's cut closure, not here. *)
+
 type task_state =
   | Not_started of (unit -> unit)
   | Suspended of (unit, unit) Effect.Deep.continuation
@@ -360,6 +365,7 @@ let next_pending_time t =
 
 let stats t = t.stats
 let probe t = t.probe
+let live_tasks t = t.tasks_live
 
 let fresh_seq t =
   let s = t.next_seq in

@@ -35,6 +35,12 @@ exception Watchdog of int
 
 exception Deadlock of string
 
+exception Power_cut of int
+(** A scheduled whole-machine power failure fired at the carried cycle:
+    every tile dies and every non-durable byte is dropped.  Raised out
+    of {!run} by the machine's cut closure (see
+    [Config.power_cut_prob]); never raised when the cut is disarmed. *)
+
 type t
 
 val create : Config.t -> t
@@ -52,6 +58,11 @@ val spawn : ?start:int -> t -> core:int -> (unit -> unit) -> unit
 
 val at : t -> time:int -> (unit -> unit) -> unit
 (** Schedule a closure at an absolute time. *)
+
+val live_tasks : t -> int
+(** Spawned tasks that have not yet finished.  The power-cut closure
+    consults this so a cut scheduled past the end of the workload is a
+    no-op instead of a spurious {!Power_cut}. *)
 
 val at_indexed : t -> time:int -> (int -> unit) -> int -> unit
 (** Allocation-free variant of {!at}: schedule [fn arg] at an absolute

@@ -22,6 +22,13 @@ type counts = {
   mutable tile_stalls : int;
   mutable stall_cycles : int;
   mutable lock_timeouts : int;     (* typed Dlock timeouts (counted always) *)
+  (* draws: how often each tag consulted the hash stream, hit or not —
+     the denominator of the per-tag soak summary *)
+  mutable noc_draws : int;
+  mutable sdram_draws : int;
+  mutable stall_draws : int;
+  mutable power_cut_draws : int;
+  mutable power_cuts : int;        (* cuts that actually fired *)
 }
 
 type t = {
@@ -41,6 +48,8 @@ let create (cfg : Config.t) =
         noc_drops = 0; noc_corrupts = 0; noc_delays = 0; noc_retries = 0;
         links_dead = 0; relay_deliveries = 0; sdram_retries = 0;
         tile_stalls = 0; stall_cycles = 0; lock_timeouts = 0;
+        noc_draws = 0; sdram_draws = 0; stall_draws = 0;
+        power_cut_draws = 0; power_cuts = 0;
       };
     sdram_tick = Array.make cfg.Config.cores 0;
     stall_tick = Array.make cfg.Config.cores 0;
@@ -98,6 +107,7 @@ type outcome = Deliver | Drop | Corrupt | Delay of int
    retransmission of a dropped packet can itself be delayed. *)
 let noc_outcome t ~src ~dst ~seq ~attempt =
   let cfg = t.cfg in
+  t.counts.noc_draws <- t.counts.noc_draws + 1;
   let h = site t ~tag:1 ~a:src ~b:dst ~c:seq ~d:attempt in
   let u = uniform h in
   if u < cfg.Config.noc_drop_prob then begin
@@ -131,6 +141,7 @@ let route_outcome t ~src ~dst ~seq ~attempt =
       let cfg = t.cfg in
       let dropped = ref false and corrupted = ref false and delay = ref 0 in
       Topology.iter_route topo ~cores:cfg.Config.cores ~src ~dst (fun link ->
+          t.counts.noc_draws <- t.counts.noc_draws + 1;
           let h = site t ~tag:4 ~a:link ~b:seq ~c:attempt ~d:0 in
           let u = uniform h in
           if u < cfg.Config.noc_drop_prob then dropped := true
@@ -162,6 +173,7 @@ let route_outcome t ~src ~dst ~seq ~attempt =
 let sdram_error t ~core =
   let tick = t.sdram_tick.(core) in
   t.sdram_tick.(core) <- tick + 1;
+  t.counts.sdram_draws <- t.counts.sdram_draws + 1;
   let hit =
     uniform (site t ~tag:2 ~a:core ~b:tick ~c:0 ~d:0)
     < t.cfg.Config.sdram_error_prob
@@ -175,6 +187,7 @@ let sdram_error t ~core =
 let tile_stall t ~core =
   let tick = t.stall_tick.(core) in
   t.stall_tick.(core) <- tick + 1;
+  t.counts.stall_draws <- t.counts.stall_draws + 1;
   let h = site t ~tag:3 ~a:core ~b:tick ~c:0 ~d:0 in
   if uniform h < t.cfg.Config.tile_stall_prob then begin
     let cycles = 1 + pick h t.cfg.Config.tile_stall_cycles in
@@ -183,3 +196,30 @@ let tile_stall t ~core =
     cycles
   end
   else 0
+
+(* ---------------- power failure ---------------- *)
+
+(* The seed-derived cut cycle: one draw for the whole run (tag 5).  Pure
+   in (fault_seed, window) so job planners can predict the cycle without
+   a Fault.t — the cycle is a function of the job key. *)
+let power_cut_cycle ~fault_seed ~window =
+  let h = mix64 (Int64.of_int (fault_seed lxor 0x9E3779B9)) in
+  let h = fold (fold (fold (fold (fold h 5) 0) 0) 0) 0 in
+  1 + pick h window
+
+(* Whether (and when) this machine's power fails.  Checked once at
+   machine construction; [None] when disarmed, without consulting the
+   hash stream — the disarmed machine schedules nothing and stays
+   bit-identical to the fault-free one. *)
+let power_cut_at t =
+  if t.cfg.Config.power_cut_prob <= 0.0 then None
+  else begin
+    t.counts.power_cut_draws <- t.counts.power_cut_draws + 1;
+    let h = site t ~tag:5 ~a:0 ~b:0 ~c:0 ~d:0 in
+    if uniform h < t.cfg.Config.power_cut_prob then
+      Some (power_cut_cycle ~fault_seed:t.cfg.Config.fault_seed
+              ~window:t.cfg.Config.power_cut_window)
+    else None
+  end
+
+let record_power_cut t = t.counts.power_cuts <- t.counts.power_cuts + 1

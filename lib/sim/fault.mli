@@ -21,6 +21,14 @@ type counts = {
   mutable tile_stalls : int;
   mutable stall_cycles : int;
   mutable lock_timeouts : int;     (** typed {!Pmc_lock.Dlock} timeouts *)
+  mutable noc_draws : int;
+      (** How often the NoC tag consulted the hash stream (per-attempt on
+          star, per-link on routed fabrics), hit or not — the
+          denominator of the per-tag soak summary. *)
+  mutable sdram_draws : int;       (** SDRAM-error draws *)
+  mutable stall_draws : int;       (** tile-stall draws *)
+  mutable power_cut_draws : int;   (** power-cut draws (one per machine) *)
+  mutable power_cuts : int;        (** power cuts that actually fired *)
 }
 
 type t
@@ -58,3 +66,19 @@ val sdram_error : t -> core:int -> bool
 val tile_stall : t -> core:int -> int
 (** Cycles of transient stall injected into the calling tile at this
     timed access; [0] for none. *)
+
+val power_cut_cycle : fault_seed:int -> window:int -> int
+(** The seed-derived power-cut cycle in [\[1, window\]] (hash tag 5).
+    Pure in its arguments — job planners can predict the cycle a machine
+    built from the same seed and window will cut at, which is what makes
+    caching crash verdicts by job key sound. *)
+
+val power_cut_at : t -> int option
+(** Whether (and at which cycle) this machine's power fails.  Consulted
+    once at machine construction.  [None] without touching the hash
+    stream when [Config.power_cut_prob] is zero, so the disarmed machine
+    schedules nothing and stays bit-identical to the fault-free one. *)
+
+val record_power_cut : t -> unit
+(** Count a cut that actually fired (the scheduled cycle was reached
+    with tasks still live). *)

@@ -50,6 +50,7 @@ type t = {
   code : code_state array;
   scratch : Mem.t;               (* staging for single-word posted writes *)
   staging : Mem.t array;         (* per-core NoC push staging, grown on use *)
+  mutable farmem : Farmem.t option;  (* far-memory tier, created on demand *)
 }
 
 let private_bytes = 16 * 1024
@@ -116,6 +117,7 @@ let create (cfg : Config.t) : t =
       code;
       scratch = Mem.create 8;
       staging = Array.init cfg.cores (fun _ -> Mem.create 64);
+      farmem = None;
     }
   in
   (* carve out per-core private arenas from the cached region *)
@@ -124,11 +126,47 @@ let create (cfg : Config.t) : t =
       m.private_base.(i) <- m.cached_brk + (i * private_bytes))
     m.private_base;
   m.cached_brk <- m.cached_brk + (cfg.cores * private_bytes);
+  (* Power failure (the chaos plane's tag 5): when armed, one closure at
+     the seed-derived cut cycle kills the whole machine by raising
+     [Engine.Power_cut] out of [Engine.run] — unless every task already
+     finished, in which case the run simply completed before the cut.
+     Nothing is scheduled when disarmed, so the disarmed machine's event
+     sequence (and hence every tie-break) is bit-identical to the
+     fault-free one. *)
+  (match Fault.power_cut_at fault with
+  | None -> ()
+  | Some cut ->
+      Engine.at engine ~time:cut (fun () ->
+          if Engine.live_tasks engine > 0 then begin
+            Fault.record_power_cut fault;
+            let probe = Engine.probe engine in
+            if Probe.active probe then
+              Probe.emit probe ~time:cut
+                (Probe.Fault (Probe.F_power_cut { cycle = cut }));
+            raise (Engine.Power_cut cut)
+          end));
   m
 
 let config m = m.cfg
 let engine m = m.engine
 let fault m = m.fault
+
+(* The far-memory tier, created on first use: a machine whose back-end
+   never asks for it allocates nothing and behaves bit-identically to a
+   build without the device. *)
+let farmem m =
+  match m.farmem with
+  | Some f -> f
+  | None ->
+      let f =
+        Farmem.create ~data_bytes:m.cfg.farmem_bytes
+          ~word_occupancy:m.cfg.farmem_word_occupancy
+          ~slots:m.cfg.cores
+      in
+      m.farmem <- Some f;
+      f
+
+let farmem_opt m = m.farmem
 let link_dead m ~src ~dst = Noc.link_dead m.noc ~src ~dst
 let stats m = Engine.stats m.engine
 let probe m = Engine.probe m.engine
@@ -506,6 +544,18 @@ let blit_sdram_to_local m ~core ~sdram ~off ~len =
 let blit_local_to_sdram m ~core ~off ~sdram ~len =
   check_local m off len;
   Sdram.blit_from m.sdram ~addr:sdram m.locals.(core) ~pos:off ~len
+
+(* DMA data paths between the far-memory tier and a tile's local memory
+   (the farmem back-end's staging copies).  Data only — the caller
+   charges the burst timing.  Reads serve the durable media, writes land
+   in the device cache (durable only after a barrier). *)
+let blit_farmem_to_local m ~core ~far ~off ~len =
+  check_local m off len;
+  Farmem.blit_to (farmem m) ~addr:far m.locals.(core) ~pos:off ~len
+
+let blit_local_to_farmem m ~core ~off ~far ~len =
+  check_local m off len;
+  Farmem.blit_from (farmem m) ~addr:far m.locals.(core) ~pos:off ~len
 
 (* One SDRAM port arbitration for a single word access — the per-word
    staging model used when [Config.batched_maint] is off. *)

@@ -25,6 +25,16 @@ val fault : t -> Fault.t
 (** The machine's fault plane — counters, configuration, and the draws
     the NoC and timed accesses consult (see {!Fault}). *)
 
+val farmem : t -> Farmem.t
+(** The far-memory tier behind SDRAM (the [farmem] back-end's
+    persistence domain), created on first use — a machine that never
+    asks for it allocates nothing. *)
+
+val farmem_opt : t -> Farmem.t option
+(** The far-memory tier if some back-end already instantiated it —
+    what the crash checker snapshots a durable image from without
+    accidentally creating a device on a machine that has none. *)
+
 val link_dead : t -> src:int -> dst:int -> bool
 (** Whether the (src, dst) NoC link has exhausted its retry budget and
     degraded to the SDRAM relay path (always [false] with the fault
@@ -128,6 +138,18 @@ val blit_sdram_to_local :
 val blit_local_to_sdram :
   t -> core:int -> off:int -> sdram:int -> len:int -> unit
 (** Bulk-copy local memory back to SDRAM (the SPM write-back path). *)
+
+val blit_farmem_to_local :
+  t -> core:int -> far:int -> off:int -> len:int -> unit
+(** Bulk-copy [len] bytes of durable far memory at [far] into tile
+    [core]'s local memory at [off] — the farmem staging data path.
+    Reads serve committed (durable) data only.  Untimed; the caller
+    charges the burst. *)
+
+val blit_local_to_farmem :
+  t -> core:int -> off:int -> far:int -> len:int -> unit
+(** Bulk-copy local memory into the far-memory device cache; the bytes
+    become durable only at the next {!Farmem.barrier}. *)
 
 val sdram_word_wait : t -> int
 (** Arbitrate for the SDRAM port for one word access and return the

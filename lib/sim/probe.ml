@@ -25,6 +25,7 @@ type fault =
   | F_sdram_retry of { core : int; attempt : int }
   | F_tile_stall of { core : int; cycles : int }
   | F_lock_timeout of { core : int; lock : int; waited : int }
+  | F_power_cut of { cycle : int }
 
 type event =
   | Noc_post of {

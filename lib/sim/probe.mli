@@ -34,6 +34,9 @@ type fault =
       (** Transient stall injected into a tile. *)
   | F_lock_timeout of { core : int; lock : int; waited : int }
       (** A bounded lock acquisition gave up after [waited] cycles. *)
+  | F_power_cut of { cycle : int }
+      (** Whole-machine power failure: every tile dies at [cycle] and
+          every non-durable byte is dropped. *)
 
 type event =
   | Noc_post of {

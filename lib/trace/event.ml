@@ -33,6 +33,7 @@ type fault_kind =
   | Sdram_retry
   | Tile_stall
   | Lock_timeout
+  | Power_cut
 
 type kind =
   | Annot of { ann : annot; obj : obj option }
@@ -93,6 +94,7 @@ let fault_kind_name = function
   | Sdram_retry -> "sdram_retry"
   | Tile_stall -> "tile_stall"
   | Lock_timeout -> "lock_timeout"
+  | Power_cut -> "power_cut"
 
 let pp_kind ppf = function
   | Annot { ann; obj = None } -> Fmt.pf ppf "%s" (annot_name ann)

@@ -27,6 +27,7 @@ type fault_kind =
   | Sdram_retry
   | Tile_stall
   | Lock_timeout
+  | Power_cut
 
 type kind =
   | Annot of { ann : annot; obj : obj option }

@@ -144,6 +144,9 @@ let probe_sink t ~time (ev : Probe.event) =
         | Probe.F_lock_timeout { core; lock; waited } ->
             ( core, Event.Lock_timeout,
               Printf.sprintf "lock#%d waited=%d" lock waited )
+        | Probe.F_power_cut { cycle } ->
+            (* the cut kills every tile at once; attribute it to core 0 *)
+            (0, Event.Power_cut, Printf.sprintf "at=%d" cycle)
       in
       push t ~core ~time (Event.Fault { kind; detail })
 

@@ -23,6 +23,7 @@ let () =
       Test_trace.suite;
       Test_bench.suite;
       Test_chaos.suite;
+      Test_crash.suite;
       Test_par.suite;
       Test_serve.suite;
     ]

@@ -29,7 +29,7 @@ let test_disarmed_is_identical () =
            (Pmc.Backends.to_string backend)
            id.Pmc_apps.Chaos.detail)
         true id.Pmc_apps.Chaos.identical)
-    [ Pmc.Backends.Swcc; Pmc.Backends.Dsm ]
+    [ Pmc.Backends.Swcc; Pmc.Backends.Dsm; Pmc.Backends.Farmem ]
 
 let test_no_faults_clears_knobs () =
   let c = Config.no_faults (Config.chaos ~seed:3 Config.default) in
@@ -312,6 +312,38 @@ let prop_seeded_runs_acceptable =
       let r = run_seed ~backend:Pmc.Backends.Dsm ~seed in
       Pmc_apps.Chaos.acceptable r.Pmc_apps.Chaos.verdict)
 
+let prop_seeded_runs_acceptable_farmem =
+  QCheck.Test.make ~count:25
+    ~name:"chaos runs complete or fail typed (farmem)"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let r = run_seed ~backend:Pmc.Backends.Farmem ~seed in
+      Pmc_apps.Chaos.acceptable r.Pmc_apps.Chaos.verdict)
+
+(* the disarmed power-cut plane: [Config.no_faults] on a crash config
+   must reproduce the fault-free run bit for bit — the [farmem] twin of
+   the zero-cost-when-off identity *)
+let prop_disarmed_power_cut_identical =
+  QCheck.Test.make ~count:10 ~name:"disarmed power-cut plane is free"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let app =
+        match Pmc_apps.Registry.find "histogram" with
+        | Some a -> a
+        | None -> Alcotest.fail "histogram app missing"
+      in
+      let base = { Config.small with Config.cores = 4 } in
+      let backend = Pmc.Backends.Farmem in
+      let plain = Pmc_apps.Runner.run ~cfg:base app ~backend ~scale:6 in
+      let disarmed =
+        Pmc_apps.Runner.run
+          ~cfg:(Config.no_faults (Config.crash ~seed ~window:10_000 base))
+          app ~backend ~scale:6
+      in
+      plain.Pmc_apps.Runner.wall = disarmed.Pmc_apps.Runner.wall
+      && plain.Pmc_apps.Runner.checksum = disarmed.Pmc_apps.Runner.checksum
+      && plain.Pmc_apps.Runner.summary = disarmed.Pmc_apps.Runner.summary)
+
 let prop_seeded_runs_deterministic =
   QCheck.Test.make ~count:10 ~name:"chaos verdicts reproducible"
     QCheck.(int_range 1 10_000)
@@ -364,6 +396,8 @@ let suite =
       Alcotest.test_case "lock errors carry the core" `Quick
         test_lock_errors_typed;
       QCheck_alcotest.to_alcotest prop_seeded_runs_acceptable;
+      QCheck_alcotest.to_alcotest prop_seeded_runs_acceptable_farmem;
+      QCheck_alcotest.to_alcotest prop_disarmed_power_cut_identical;
       QCheck_alcotest.to_alcotest prop_seeded_runs_deterministic;
       Alcotest.test_case "soak with model replay" `Slow test_soak_with_replay;
     ] )
