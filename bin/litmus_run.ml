@@ -100,6 +100,49 @@ let print_dot () =
   ignore (Execution.release e ~proc:1 ~loc:0);
   print_string (Dot.of_execution e)
 
+(* --stats: per-(program, model) exploration statistics with host
+   timing.  This measures the enumeration engine itself, so it calls
+   [Litmus.enumerate] directly rather than going through the jobs layer
+   (whose output is a wire contract and carries no timing).  Cells run
+   sequentially and the pool is handed to [enumerate] instead: --jobs N
+   parallelizes {e within} each enumeration (the frontier BFS), which
+   is the path a wide fan-out never exercises.  Every non-timing column
+   is deterministic at any --jobs width.  States are memoized on
+   injective packed keys, so the two counts printed — states explored
+   and distinct keys — are the same number by construction; the column
+   exists so a key-packing bug would be visible as a count explosion
+   rather than silently wrong outcome sets. *)
+let print_stats pool programs =
+  let cells =
+    List.concat_map
+      (fun p -> List.map (fun m -> (p, m)) Models.all)
+      programs
+  in
+  let rows =
+    List.map
+      (fun ((p : Lprog.t), m) ->
+        let t0 = Unix.gettimeofday () in
+        let r = Litmus.enumerate ~pool m p in
+        (p, r, Unix.gettimeofday () -. t0))
+      cells
+  in
+  Fmt.pr "%-28s %-24s %9s %9s %6s %8s %12s@." "program" "model" "states"
+    "keys" "stuck" "host s" "states/s";
+  let total_states = ref 0 and total_t = ref 0.0 in
+  List.iter
+    (fun ((p : Lprog.t), (r : Litmus.result), dt) ->
+      total_states := !total_states + r.Litmus.states_explored;
+      total_t := !total_t +. dt;
+      Fmt.pr "%-28s %-24s %9d %9d %6d %8.3f %12.0f@." p.Lprog.name
+        r.Litmus.model r.Litmus.states_explored r.Litmus.states_explored
+        r.Litmus.stuck_states dt
+        (if dt > 0.0 then float_of_int r.Litmus.states_explored /. dt
+         else 0.0))
+    rows;
+  Fmt.pr "total: %d states in %.3f s (%.0f states/s)@." !total_states
+    !total_t
+    (if !total_t > 0.0 then float_of_int !total_states /. !total_t else 0.0)
+
 (* The default mode: one Pmc_jobs litmus job per program (all models),
    fanned over the pool; sections print in program order, so the output
    is identical at any width — and to the pmc_serve daemon's answers. *)
@@ -115,7 +158,7 @@ let print_programs pool programs =
   List.iter (fun r -> Fmt.pr "%a" Pmc_jobs.Result.pp r) results;
   Pmc_jobs.Result.exit_code_all results
 
-let main figures drf dot programs jobs =
+let main figures drf dot stats programs jobs =
   if figures then (print_figures (); 0)
   else if dot then (print_dot (); 0)
   else
@@ -142,6 +185,7 @@ let main figures drf dot programs jobs =
     | Ok selected ->
         Pmc_par.Pool.with_pool ~jobs (fun pool ->
             if drf then (print_drf pool; 0)
+            else if stats then (print_stats pool selected; 0)
             else print_programs pool selected)
 
 let cmd =
@@ -161,6 +205,16 @@ let cmd =
       $ Arg.(value & flag & info [ "figures" ] ~doc:"Print Fig. 2-5 graphs.")
       $ Arg.(value & flag & info [ "drf" ] ~doc:"Data-race analysis.")
       $ Arg.(value & flag & info [ "dot" ] ~doc:"Fig. 5 as Graphviz dot.")
+      $ Arg.(
+          value & flag
+          & info [ "stats" ]
+              ~doc:
+                "Print exploration statistics per (program, model) cell: \
+                 states explored, distinct packed keys, stuck states, \
+                 host time and states per second.  With $(b,--jobs) N \
+                 the pool parallelizes the frontier BFS inside each \
+                 enumeration; all non-timing columns are identical at \
+                 any width.")
       $ Arg.(
           value & opt_all string []
           & info [ "program"; "p" ] ~docv:"NAME"

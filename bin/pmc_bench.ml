@@ -174,7 +174,7 @@ let run_info =
 
 (* ---------------- compare ---------------- *)
 
-let compare_cmd base_path cur_path tolerance_spec no_rate_gate =
+let compare_cmd base_path cur_path tolerance_spec no_rate_gate subset =
   let tolerances =
     match tolerance_spec with
     | None -> Pmc_bench.Compare.default_tolerances
@@ -191,7 +191,7 @@ let compare_cmd base_path cur_path tolerance_spec no_rate_gate =
   | Ok base, Ok cur ->
       let outcome =
         Pmc_bench.Compare.run ~tolerances ~gate_rate:(not no_rate_gate)
-          ~base ~cur ()
+          ~subset ~base ~cur ()
       in
       Fmt.pr "%a" Pmc_bench.Compare.pp outcome;
       if not (Pmc_bench.Compare.ok outcome) then exit 1
@@ -228,8 +228,20 @@ let no_rate_gate_t =
            $(b,--jobs) equality gates — where both arms shared the host \
            and their relative speed carries no signal.")
 
+let subset_t =
+  Arg.(
+    value & flag
+    & info [ "subset" ]
+        ~doc:
+          "Accept a current report that ran only a sub-suite of the \
+           baseline: baseline cases absent from it are not counted \
+           missing.  Lets the combined $(b,ci) baseline gate the \
+           $(b,smoke) and $(b,check) suites separately.")
+
 let compare_term =
-  Term.(const compare_cmd $ base_t $ cur_t $ tolerance_t $ no_rate_gate_t)
+  Term.(
+    const compare_cmd $ base_t $ cur_t $ tolerance_t $ no_rate_gate_t
+    $ subset_t)
 
 let compare_info =
   Cmd.info "compare"

@@ -54,8 +54,9 @@ val total_counts : Pmc_sim.Fault.counts list -> Pmc_sim.Fault.counts
 
 val default_replay_budget : int
 (** Captured-event count above which the model replay is skipped
-    (currently 10000): the checker's cost grows super-linearly with
-    history length and would otherwise dominate a soak. *)
+    (currently 100000).  The incremental {!Pmc_model.History.check}
+    replays events in near-constant time each, so at the default budget
+    a replay stays well under a second. *)
 
 val run_one :
   ?intensity:float -> ?model_check:bool -> ?replay_budget:int ->

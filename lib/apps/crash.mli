@@ -61,7 +61,9 @@ val acceptable : verdict -> bool
 (** [Completed] and [Recovered] pass; everything else fails. *)
 
 val default_replay_budget : int
-(** Prefix length above which the model replay is skipped (50000). *)
+(** Prefix length above which the model replay is skipped (500000) —
+    wide enough that a durable-prefix replay is effectively never
+    skipped at crash-experiment geometry. *)
 
 val crash_one :
   ?log:bool -> ?window:int -> ?capacity:int -> ?replay_budget:int ->

@@ -82,16 +82,20 @@ let judge ~tol ~base ~cur =
   (delta, verdict)
 
 let run ?(tolerances = default_tolerances) ?(gate_rate = true)
-    ~(base : Report.t) ~(cur : Report.t) () : outcome =
+    ?(subset = false) ~(base : Report.t) ~(cur : Report.t) () : outcome =
   let index (r : Report.t) =
     List.map (fun (s : Measure.sample) -> (Spec.case_id s.Measure.case, s))
       r.Report.samples
   in
   let bi = index base and ci = index cur in
   let missing =
-    List.filter_map
-      (fun (id, _) -> if List.mem_assoc id ci then None else Some id)
-      bi
+    (* [subset]: the current report deliberately ran a sub-suite of the
+       (combined) baseline — baseline-only cases are not failures *)
+    if subset then []
+    else
+      List.filter_map
+        (fun (id, _) -> if List.mem_assoc id ci then None else Some id)
+        bi
   in
   let added =
     List.filter_map

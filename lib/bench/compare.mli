@@ -59,6 +59,7 @@ val default_tolerances : (string * float) list
 val run :
   ?tolerances:(string * float) list ->
   ?gate_rate:bool ->
+  ?subset:bool ->
   base:Report.t ->
   cur:Report.t ->
   unit ->
@@ -67,7 +68,12 @@ val run :
     [false] when the two reports are arms of the same run sharing the
     host — the [--jobs] equality gates — where relative host speed
     carries no signal (host time is never part of the metric gate
-    either way). *)
+    either way).
+
+    [subset] (default [false]) accepts a current report that ran only a
+    sub-suite of the baseline: baseline cases absent from it are not
+    counted missing.  This lets one committed baseline (the [ci] suite)
+    gate the [smoke] and [check] suites separately. *)
 
 val regressions : outcome -> row list
 

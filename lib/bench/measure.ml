@@ -80,7 +80,57 @@ let trimmed_mean xs =
 
 exception Unknown_app of string
 
-let run_case ?max_cycles ~unbatched ~warmup ~repeat (c : Spec.case) : sample =
+let zero_metrics =
+  {
+    cycles = 0; noc_flits = 0; noc_writes = 0; flushes = 0;
+    lock_acquires = 0; lock_transfers = 0; dcache_misses = 0;
+    instructions = 0; utilization = 0.0; requests = 0; p50 = 0; p99 = 0;
+    p999 = 0; lat_digest = 0; throughput = 0.0;
+  }
+
+(* A check case: time one of the model-plane workloads with the same
+   discipline as a simulator case.  The work count lands in [cycles]
+   (so the 2% cycle tolerance pins it exactly — it is deterministic)
+   and the verdict digest in [lat_digest]; the gated rate is work per
+   host second. *)
+let run_check_case ~warmup ~repeat (c : Spec.case)
+    (f : unit -> Checkload.outcome) : sample =
+  let once () =
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let o = f () in
+    let t1 = Unix.gettimeofday () in
+    let w1 = Gc.minor_words () in
+    (o, t1 -. t0, w1 -. w0)
+  in
+  for _ = 1 to warmup do
+    ignore (once ())
+  done;
+  let repeat = max 1 repeat in
+  let runs = List.init repeat (fun _ -> once ()) in
+  let outs = List.map (fun (o, _, _) -> o) runs in
+  let times = List.map (fun (_, t, _) -> t) runs in
+  let words = List.map (fun (_, _, w) -> w) runs in
+  let o0 = List.hd outs in
+  let host_s = trimmed_mean times in
+  {
+    case = c;
+    ok = List.for_all (fun (o : Checkload.outcome) -> o.Checkload.ok) outs;
+    deterministic = List.for_all (fun o -> o = o0) outs;
+    repeats = repeat;
+    metrics =
+      { zero_metrics with
+        cycles = o0.Checkload.work;
+        lat_digest = o0.Checkload.digest };
+    host_s;
+    host_cycles_per_s =
+      (if host_s > 0.0 then float_of_int o0.Checkload.work /. host_s
+       else 0.0);
+    minor_words = trimmed_mean words;
+  }
+
+let run_sim_case ?max_cycles ~unbatched ~warmup ~repeat (c : Spec.case) :
+    sample =
   let app =
     match Pmc_apps.Registry.find c.Spec.app with
     | Some a -> a
@@ -139,9 +189,23 @@ let run_case ?max_cycles ~unbatched ~warmup ~repeat (c : Spec.case) : sample =
     minor_words = trimmed_mean words;
   }
 
-(* ---------------- JSON (schema v4) ----------------
+let run_case ?max_cycles ~unbatched ~warmup ~repeat (c : Spec.case) :
+    sample =
+  match c.Spec.work with
+  | Spec.Sim -> run_sim_case ?max_cycles ~unbatched ~warmup ~repeat c
+  | Spec.Check_replay ->
+      run_check_case ~warmup ~repeat c (fun () ->
+          Checkload.replay ~procs:c.Spec.cores ~events:c.Spec.scale)
+  | Spec.Check_enum ->
+      run_check_case ~warmup ~repeat c (fun () -> Checkload.enum ())
 
-   v4 (this build): v3 plus the per-case [topology] (absent means star,
+(* ---------------- JSON (schema v5) ----------------
+
+   v5 (this build): v4 plus the per-case [work] discriminator ("sim",
+   "check_replay", "check_enum"; absent means sim, so every older
+   report loads unchanged).  Check cases store their deterministic work
+   count in [cycles] and their verdict digest in [lat_digest].
+   v4: v3 plus the per-case [topology] (absent means star,
    so pre-topology reports load unchanged) and the served-traffic
    metrics [requests]/[p50]/[p99]/[p999]/[lat_digest]/[throughput]
    (absent or requests = 0 means the app records none).
@@ -150,7 +214,18 @@ let run_case ?max_cycles ~unbatched ~warmup ~repeat (c : Spec.case) : sample =
    and v2 reports still load: the rate is reconstructed from
    cycles / host_s and minor_words defaults to absent (negative). *)
 
-let schema_version = 4
+let schema_version = 5
+
+let work_to_string = function
+  | Spec.Sim -> "sim"
+  | Spec.Check_replay -> "check_replay"
+  | Spec.Check_enum -> "check_enum"
+
+let work_of_string = function
+  | "sim" -> Some Spec.Sim
+  | "check_replay" -> Some Spec.Check_replay
+  | "check_enum" -> Some Spec.Check_enum
+  | _ -> None
 
 let metrics_to_json (m : metrics) : Json.t =
   Json.Obj
@@ -176,6 +251,7 @@ let sample_to_json (s : sample) : Json.t =
   Json.Obj
     [
       ("app", Json.Str s.case.Spec.app);
+      ("work", Json.Str (work_to_string s.case.Spec.work));
       ("backend", Json.Str (Pmc.Backends.to_string s.case.Spec.backend));
       ("topology", Json.Str (Topology.to_string s.case.Spec.topology));
       ("cores", Json.int s.case.Spec.cores);
@@ -231,6 +307,15 @@ let sample_of_json (j : Json.t) : sample =
         | Ok t -> t
         | Error e -> fail e)
   in
+  let work =
+    (* pre-v5 reports carry no work discriminator — all simulator runs *)
+    match Json.get_str "work" j with
+    | None -> Spec.Sim
+    | Some s -> (
+        match work_of_string s with
+        | Some w -> w
+        | None -> fail ("unknown work kind " ^ s))
+  in
   {
     case =
       {
@@ -239,6 +324,7 @@ let sample_of_json (j : Json.t) : sample =
         topology;
         cores;
         scale = req "scale" (Json.get_int "scale" j);
+        work;
       };
     ok = req "ok" (Json.get_bool "ok" j);
     deterministic = req "deterministic" (Json.get_bool "deterministic" j);

@@ -50,10 +50,15 @@ exception Unknown_app of string
 val run_case :
   ?max_cycles:int ->
   unbatched:bool -> warmup:int -> repeat:int -> Spec.case -> sample
-(** [max_cycles] tightens the simulator's livelock watchdog to a
+(** Simulator cases run the registered application; check cases
+    ({!Spec.work}) time the corresponding {!Checkload} workload with
+    the same warmup/repeat/trim discipline, recording the work count in
+    [metrics.cycles] and work-per-host-second in [host_cycles_per_s].
+    [max_cycles] tightens the simulator's livelock watchdog to a
     per-request cycle budget (it can only lower the config's horizon) —
     the run raises {!Pmc_sim.Engine.Watchdog} past it.
-    @raise Unknown_app when the case names no registered application. *)
+    @raise Unknown_app when a simulator case names no registered
+    application. *)
 
 val trimmed_mean : float list -> float
 

@@ -5,12 +5,23 @@
    registry; the scale suite runs the served-traffic apps on the big
    routed fabrics (256-tile mesh, 1024-tile hierarchy). *)
 
+(* What a case exercises: a simulator run, or one of the two model-plane
+   hot paths (the "check" suite).  Check cases reuse the same sample
+   shape — [metrics.cycles] holds the deterministic work count (events
+   replayed, states enumerated) and [host_cycles_per_s] the gated
+   throughput rate. *)
+type work =
+  | Sim
+  | Check_replay  (* History.check over a synthetic [scale]-event trace *)
+  | Check_enum    (* Litmus.enumerate over the standard corpus *)
+
 type case = {
   app : string;
   backend : Pmc.Backends.kind;
   topology : Pmc_sim.Topology.t;
   cores : int;
   scale : int;
+  work : work;
 }
 
 type t = {
@@ -25,22 +36,27 @@ type t = {
 (* Star cases keep the historic id so baselines recorded before
    topologies existed still join in [Compare]. *)
 let case_id (c : case) =
-  match c.topology with
-  | Pmc_sim.Topology.Star ->
-      Printf.sprintf "%s/%s/c%d/s%d" c.app
-        (Pmc.Backends.to_string c.backend)
-        c.cores c.scale
-  | t ->
-      Printf.sprintf "%s/%s/%s/c%d/s%d" c.app
-        (Pmc.Backends.to_string c.backend)
-        (Pmc_sim.Topology.to_string t)
-        c.cores c.scale
+  match c.work with
+  | Check_replay -> Printf.sprintf "check/replay/c%d/s%d" c.cores c.scale
+  | Check_enum -> Printf.sprintf "check/enum/%s/s%d" c.app c.scale
+  | Sim -> (
+      match c.topology with
+      | Pmc_sim.Topology.Star ->
+          Printf.sprintf "%s/%s/c%d/s%d" c.app
+            (Pmc.Backends.to_string c.backend)
+            c.cores c.scale
+      | t ->
+          Printf.sprintf "%s/%s/%s/c%d/s%d" c.app
+            (Pmc.Backends.to_string c.backend)
+            (Pmc_sim.Topology.to_string t)
+            c.cores c.scale)
 
 let mk ?(topology = Pmc_sim.Topology.Star) ~cores backends apps =
   List.concat_map
     (fun (app, scale) ->
       List.map
-        (fun backend -> { app; backend; topology; cores; scale })
+        (fun backend ->
+          { app; backend; topology; cores; scale; work = Sim })
         backends)
     apps
 
@@ -87,6 +103,22 @@ let scale_cases =
       ~cores:1024 all_backends
       [ ("kv_store", 4) ]
 
+(* The model-plane throughput gate: replay a synthetic 200k-event trace
+   through the incremental [History.check] (4 processes, the checker's
+   cost is per-event × procs), and enumerate the standard litmus corpus
+   under every semantics.  Both work counts are deterministic, so only
+   the rate is host-dependent — it is gated by [Compare.host_rate_floor]
+   like every simulator case. *)
+let check_case ~app ~cores ~scale work =
+  { app; backend = Pmc.Backends.Nocc; topology = Pmc_sim.Topology.Star;
+    cores; scale; work }
+
+let check_cases =
+  [
+    check_case ~app:"replay" ~cores:4 ~scale:200_000 Check_replay;
+    check_case ~app:"corpus" ~cores:1 ~scale:1 Check_enum;
+  ]
+
 let suite ?(label = "bench") ?(unbatched = false) ?(warmup = 1) ?(repeat = 3)
     name =
   match name with
@@ -96,6 +128,12 @@ let suite ?(label = "bench") ?(unbatched = false) ?(warmup = 1) ?(repeat = 3)
                      cases = full_cases }
   | "scale" -> Some { label; suite = name; unbatched; warmup; repeat;
                       cases = scale_cases }
+  | "check" -> Some { label; suite = name; unbatched; warmup; repeat;
+                      cases = check_cases }
+  (* the committed-baseline set: everything BENCH_BASELINE.json records,
+     so one run regenerates the whole file *)
+  | "ci" -> Some { label; suite = name; unbatched; warmup; repeat;
+                   cases = smoke_cases @ check_cases }
   | _ -> None
 
-let suite_names = [ "smoke"; "full"; "scale" ]
+let suite_names = [ "smoke"; "full"; "scale"; "check"; "ci" ]

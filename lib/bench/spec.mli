@@ -1,12 +1,27 @@
 (** Benchmark suite descriptions: which (app, back-end, topology, cores,
     scale) combinations to run and with what measurement discipline. *)
 
+(** What a case exercises: a simulator run, or one of the model plane's
+    two hot paths.  Check cases record their deterministic work count in
+    [metrics.cycles] (events replayed / states enumerated) and their
+    throughput in [host_cycles_per_s], so the existing rate gate applies
+    unchanged. *)
+type work =
+  | Sim
+  | Check_replay
+      (** {!Pmc_model.History.check} over a synthetic [scale]-event
+          trace with [cores] processes *)
+  | Check_enum
+      (** {!Pmc_model.Litmus.enumerate} over the standard corpus under
+          every semantics *)
+
 type case = {
   app : string;       (** registry name, see {!Pmc_apps.Registry} *)
   backend : Pmc.Backends.kind;
   topology : Pmc_sim.Topology.t;  (** fabric the case runs on *)
   cores : int;
   scale : int;
+  work : work;
 }
 
 type t = {
@@ -23,8 +38,9 @@ type t = {
 val case_id : case -> string
 (** Stable identifier used to join baseline and current reports in
     {!Compare}: ["app/backend/cN/sM"] on {!Pmc_sim.Topology.Star} (the
-    historic form, so pre-topology baselines still join) and
-    ["app/backend/topology/cN/sM"] on routed fabrics. *)
+    historic form, so pre-topology baselines still join),
+    ["app/backend/topology/cN/sM"] on routed fabrics, and
+    ["check/replay/cN/sM"] / ["check/enum/app/sM"] for check cases. *)
 
 val smoke_cases : case list
 (** The CI gate: three kernels with distinct traffic shapes on every
@@ -38,6 +54,11 @@ val scale_cases : case list
     on a 256-tile mesh, kv_store on a 1024-tile hierarchy, all five
     back-ends. *)
 
+val check_cases : case list
+(** The model-plane throughput gate: incremental history replay
+    (200k synthetic events, 4 processes) and litmus-corpus enumeration
+    (every standard program under every semantics). *)
+
 val suite :
   ?label:string ->
   ?unbatched:bool ->
@@ -45,6 +66,8 @@ val suite :
   ?repeat:int ->
   string ->
   t option
-(** [suite name] builds a suite by name; [None] for unknown names. *)
+(** [suite name] builds a suite by name ([smoke], [full], [scale],
+    [check], or [ci] — smoke plus check, the committed-baseline set);
+    [None] for unknown names. *)
 
 val suite_names : string list

@@ -197,6 +197,7 @@ let run_bench ~budget (b : Job.bench) : Result.t =
         topology;
         cores = b.Job.cores;
         scale = b.Job.scale;
+        work = Pmc_bench.Spec.Sim;
       }
     in
     match

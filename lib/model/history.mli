@@ -29,7 +29,8 @@ type violation =
 
 val pp_violation : Format.formatter -> violation -> unit
 
-type report = { exec : Execution.t; violations : violation list }
+type report = { violations : violation list }
+(** What {!check} found, in event order. *)
 
 val ok : report -> bool
 
@@ -42,4 +43,27 @@ val check :
     [require_locked_writes], also the discipline that every write happens
     under the location's lock.  [init] gives each location's initial
     value (default 0); it behaves as a write ordered before every
-    operation, so reads with no ordered-before write may return it. *)
+    operation, so reads with no ordered-before write may return it.
+
+    This is the incremental checker: it never materializes the execution
+    DAG (whose Table-I edge sets grow quadratically with the history) and
+    instead carries per-(process, location) write frontiers across
+    events, so an n-event history replays in roughly O(n · procs² · locs)
+    int operations.  It reports exactly the violations, in exactly the
+    order, that {!check_reference} would. *)
+
+type full_report = { exec : Execution.t; full_violations : violation list }
+(** {!check_reference}'s result: the violations plus the execution DAG it
+    built, for callers that want to run further {!Observe} queries. *)
+
+val full_ok : full_report -> bool
+
+val check_reference :
+  ?require_locked_writes:bool -> ?init:(int -> int) -> procs:int ->
+  locs:int -> event list -> full_report
+(** The original checker — every event issued through
+    [Execution.execute], every read answered by
+    [Observe.readable_writes] — kept as the executable specification that
+    the qcheck equivalence properties compare {!check} against.  Its cost
+    grows superlinearly with the history; use {!check} for anything
+    big. *)

@@ -14,20 +14,77 @@ type result = {
 
 exception State_space_too_large of int
 
-(* Breadth-first exploration with memoization on marshalled states.  The
+(* The memo table: an open-addressing set of key strings.  [Hashtbl]
+   costs two hash+probe passes per membership-then-add and allocates a
+   bucket cell per insert; this set does one hash, one probe run, and
+   stores the key string directly.  Keys are never empty (every state
+   packs at least one program counter byte), so [""] marks a free
+   slot. *)
+module Seen : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> string -> bool
+  (** [add t k] — insert; [true] iff [k] was not already present. *)
+
+  val cardinal : t -> int
+end = struct
+  type t = {
+    mutable slots : string array;  (* "" = empty *)
+    mutable mask : int;            (* capacity - 1, capacity a power of 2 *)
+    mutable count : int;
+  }
+
+  let create () = { slots = Array.make 4096 ""; mask = 4095; count = 0 }
+
+  let rec insert slots mask k =
+    (* linear probing from the key's hash *)
+    let i = ref (Hashtbl.hash k land mask) in
+    let result = ref true in
+    (try
+       while String.length (Array.unsafe_get slots !i) > 0 do
+         if String.equal (Array.unsafe_get slots !i) k then begin
+           result := false;
+           raise Exit
+         end;
+         i := (!i + 1) land mask
+       done;
+       Array.unsafe_set slots !i k
+     with Exit -> ());
+    !result
+
+  and grow t =
+    let slots = Array.make (2 * Array.length t.slots) "" in
+    let mask = (2 * Array.length t.slots) - 1 in
+    Array.iter
+      (fun k -> if String.length k > 0 then ignore (insert slots mask k))
+      t.slots;
+    t.slots <- slots;
+    t.mask <- mask
+
+  let add t k =
+    let added = insert t.slots t.mask k in
+    if added then begin
+      t.count <- t.count + 1;
+      (* keep load factor under 1/2 *)
+      if 2 * t.count > Array.length t.slots then grow t
+    end;
+    added
+
+  let cardinal t = t.count
+end
+
+(* Breadth-first exploration with memoization on packed state keys.  The
    litmus programs are tiny, but [limit] guards against writing one whose
    stream interleavings explode. *)
-let enumerate ?(limit = 2_000_000) (module M : Models.SEM) (p : Lprog.t) :
-    result =
-  let seen = Hashtbl.create 4096 in
+let enumerate_seq ~limit (module M : Models.SEM) (p : Lprog.t) : result =
+  let seen = Seen.create () in
   let outcomes = ref Lprog.Outcome_set.empty in
   let queue = Queue.create () in
   let push st =
-    let k = M.key st in
-    if not (Hashtbl.mem seen k) then begin
-      Hashtbl.add seen k ();
-      if Hashtbl.length seen > limit then
-        raise (State_space_too_large (Hashtbl.length seen));
+    if Seen.add seen (M.key st) then begin
+      if Seen.cardinal seen > limit then
+        raise (State_space_too_large (Seen.cardinal seen));
       Queue.add st queue
     end
   in
@@ -49,9 +106,80 @@ let enumerate ?(limit = 2_000_000) (module M : Models.SEM) (p : Lprog.t) :
     program = p;
     model = M.name;
     outcomes = !outcomes;
-    states_explored = Hashtbl.length seen;
+    states_explored = Seen.cardinal seen;
     stuck_states = !stuck;
   }
+
+(* Level-synchronous parallel BFS.  Each level's frontier is sharded by
+   key hash — a pure function of the state, not of discovery order — the
+   pool expands the shards concurrently (successor computation and key
+   packing are the hot work), and the coordinator merges results in
+   shard order against the single memo table.  Every reported field
+   (outcome set, distinct-state count, stuck count) is a function of the
+   reachable-state set alone, so the result is identical to
+   {!enumerate_seq} at any pool width. *)
+let enumerate_par ~limit ~pool (module M : Models.SEM) (p : Lprog.t) :
+    result =
+  let seen = Seen.create () in
+  let outcomes = ref Lprog.Outcome_set.empty in
+  let stuck = ref 0 in
+  let nshards = 4 * Pmc_par.Pool.jobs pool in
+  let init = M.init p in
+  let init_key = M.key init in
+  ignore (Seen.add seen init_key);
+  let frontier = ref [ (init, init_key) ] in
+  while !frontier <> [] do
+    let shards = Array.make nshards [] in
+    List.iter
+      (fun (st, k) ->
+        let h = Hashtbl.hash k mod nshards in
+        shards.(h) <- st :: shards.(h))
+      !frontier;
+    let expanded =
+      Pmc_par.Pool.map_list_ordered pool (Array.to_list shards)
+        ~f:
+          (List.map (fun st ->
+               let final = M.is_final p st in
+               let out =
+                 if final then
+                   Some (Lprog.outcome_to_string (M.outcome p st))
+                 else None
+               in
+               let succs = M.successors p st in
+               (out, final, List.map (fun s -> (s, M.key s)) succs)))
+    in
+    let next = ref [] in
+    List.iter
+      (List.iter (fun (out, final, succs) ->
+           (match out with
+           | Some o -> outcomes := Lprog.Outcome_set.add o !outcomes
+           | None -> ());
+           if succs = [] && not final then incr stuck;
+           List.iter
+             (fun (s, k) ->
+               if Seen.add seen k then begin
+                 if Seen.cardinal seen > limit then
+                   raise (State_space_too_large (Seen.cardinal seen));
+                 next := (s, k) :: !next
+               end)
+             succs))
+      expanded;
+    frontier := List.rev !next
+  done;
+  {
+    program = p;
+    model = M.name;
+    outcomes = !outcomes;
+    states_explored = Seen.cardinal seen;
+    stuck_states = !stuck;
+  }
+
+let enumerate ?(limit = 2_000_000) ?pool (module M : Models.SEM)
+    (p : Lprog.t) : result =
+  match pool with
+  | Some pool when Pmc_par.Pool.jobs pool > 1 ->
+      enumerate_par ~limit ~pool (module M) p
+  | _ -> enumerate_seq ~limit (module M) p
 
 let outcomes_list r = Lprog.Outcome_set.elements r.outcomes
 

@@ -29,14 +29,22 @@ module type SEM = sig
   val is_final : Lprog.t -> state -> bool
   val outcome : Lprog.t -> state -> Lprog.outcome
   val key : state -> string
-  (** Serialization for memoized state-space exploration. *)
+  (** Injective serialization for memoized state-space exploration:
+      equal keys if and only if structurally equal states.  Every
+      semantics hand-packs its state — fixed-shape components as one
+      byte per small int, variable-shape ones length-prefixed — which
+      is roughly an order of magnitude cheaper than [Marshal] and
+      stable across OCaml versions. *)
 end
 
 val clone2 : int array array -> int array array
 (** Deep copy of a 2-D state component (shared by the semantics). *)
 
 val marshal_key : 'a -> string
-(** Default {!SEM.key}: [Marshal] the state. *)
+(** The previous implementation of {!module-type:SEM}'s [key]
+    ([Marshal] the state),
+    retained as the reference the packed-key equivalence properties
+    enumerate against. *)
 
 module Sc : SEM
 module Pc : SEM

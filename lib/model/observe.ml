@@ -12,6 +12,30 @@
    the set has more than one element.  The default view is the issuing
    process's own (its local edges from the initial write guarantee the set
    is never empty, as Def. 11 requires). *)
+(* Both passes below run on a bitset reachability closure (one ancestor
+   row per operation, built by word-at-a-time unions): every "a ≺ b"
+   question is then an O(1) bit test instead of a DFS. *)
+let last_writes_in (c : Order.closure) (exec : Execution.t) (o : Op.t) :
+    Op.t list =
+  let v = o.Op.loc in
+  let row = Order.ancestors_row c o.Op.id in
+  let ws = ref [] in
+  for i = min (Execution.n_ops exec) (Order.Bits.length row) - 1 downto 0 do
+    let a = Execution.op exec i in
+    if Op.is_write a && a.Op.loc = v && Order.Bits.get row i then
+      ws := a :: !ws
+  done;
+  let ws = !ws in
+  (* Maximality: drop a if some b in ws has a ≺ b — each test is one bit
+     probe of b's closure row. *)
+  List.filter
+    (fun (a : Op.t) ->
+      not
+        (List.exists
+           (fun (b : Op.t) -> b.id <> a.id && Order.precedes c a.id b.id)
+           ws))
+    ws
+
 let last_writes ?(view : int option) (exec : Execution.t) (o : Op.t) :
     Op.t list =
   let rel =
@@ -19,32 +43,7 @@ let last_writes ?(view : int option) (exec : Execution.t) (o : Op.t) :
     | Some p -> Order.View p
     | None -> if o.Op.proc >= 0 then Order.View o.Op.proc else Order.Global
   in
-  let v = o.Op.loc in
-  (* One backward pass answers "a ≺ o" for every candidate at once. *)
-  let anc = Order.ancestors rel exec o.Op.id in
-  let ws = ref [] in
-  for i = Execution.n_ops exec - 1 downto 0 do
-    let a = Execution.op exec i in
-    if Op.is_write a && a.Op.loc = v && anc.(a.id) then ws := a :: !ws
-  done;
-  let ws = !ws in
-  (* Maximality: drop a if some b in ws has a ≺ b.  Edges point from
-     lower to higher ids, so any dominator of a has a higher id: sweep ws
-     from newest to oldest, accumulating the ancestors of the survivors.
-     A dominated b contributes nothing — its ancestors are a subset of
-     its dominator's (transitivity) — so the union over survivors equals
-     the union over all of ws. *)
-  let covered = Array.make (Execution.n_ops exec) false in
-  let keep = Hashtbl.create 8 in
-  List.iter
-    (fun (a : Op.t) ->
-      if not covered.(a.id) then begin
-        Hashtbl.replace keep a.id ();
-        let anc_a = Order.ancestors rel exec a.id in
-        Array.iteri (fun i c -> if c then covered.(i) <- true) anc_a
-      end)
-    (List.rev ws);
-  List.filter (fun (a : Op.t) -> Hashtbl.mem keep a.id) ws
+  last_writes_in (Order.closure rel exec) exec o
 
 (* Readable values for a read [o] by its process (Def. 12): the values of
    writes b such that some last write a satisfies a p⪯ b — i.e. b is not
@@ -52,25 +51,19 @@ let last_writes ?(view : int option) (exec : Execution.t) (o : Op.t) :
    they have not been issued from o's point of view. *)
 let readable_writes (exec : Execution.t) (o : Op.t) : Op.t list =
   let p = o.Op.proc in
-  let rel = Order.View p in
-  let lw = last_writes ~view:p exec o in
+  let c = Order.closure (Order.View p) exec in
+  let lw = last_writes_in c exec o in
   let v = o.Op.loc in
-  (* Again bulk passes instead of a DFS per candidate: one forward pass
-     from o (writes strictly after o are not readable) and one from each
-     last write (the a ⪯ b test). *)
-  let after_o = Order.descendants rel exec o.Op.id in
   let n = Execution.n_ops exec in
-  let from_lw = Array.make n false in
-  List.iter
-    (fun (a : Op.t) ->
-      from_lw.(a.id) <- true;
-      let d = Order.descendants rel exec a.id in
-      Array.iteri (fun i c -> if c then from_lw.(i) <- true) d)
-    lw;
   let out = ref [] in
   for i = n - 1 downto 0 do
     let b = Execution.op exec i in
-    if Op.is_write b && b.Op.loc = v && (not after_o.(b.id)) && from_lw.(b.id)
+    if
+      Op.is_write b && b.Op.loc = v
+      && (not (Order.precedes c o.Op.id b.id))
+      && List.exists
+           (fun (a : Op.t) -> a.id = b.id || Order.precedes c a.id b.id)
+           lw
     then out := b :: !out
   done;
   !out
@@ -90,6 +83,7 @@ let pp_race ppf { loc; a; b } =
   Fmt.pf ppf "race on v%d between %a and %a" loc Op.pp a Op.pp b
 
 let write_write_races (exec : Execution.t) : race list =
+  let c = Order.closure Order.Full exec in
   let races = ref [] in
   for v = 0 to exec.Execution.locs - 1 do
     let ws = Order.writes_of exec v in
@@ -98,8 +92,10 @@ let write_write_races (exec : Execution.t) : race list =
       | (a : Op.t) :: rest ->
           List.iter
             (fun (b : Op.t) ->
-              if Order.concurrent Order.Full exec a.id b.id then
-                races := { loc = v; a; b } :: !races)
+              if
+                (not (Order.precedes c a.id b.id))
+                && not (Order.precedes c b.id a.id)
+              then races := { loc = v; a; b } :: !races)
             rest;
           pairs rest
     in

@@ -13,6 +13,77 @@ let edge_visible (rel : relation) (k : Execution.edge_kind) =
   | View p, Execution.Local q -> p = q
   | Full, Execution.Local _ -> true
 
+(* Bytes-backed bitsets, unioned a 64-bit word at a time.  The closure
+   below and the bulk passes in [Observe] spend almost all of their time
+   in [union_into]; on a [bool array] the same union costs one branch per
+   element instead of one OR per 64. *)
+module Bits = struct
+  type t = { words : Bytes.t; bits : int }
+
+  let create bits =
+    { words = Bytes.make (((bits + 63) / 64) * 8) '\000'; bits }
+
+  let length t = t.bits
+  let get t i = Bytes.get_uint8 t.words (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+  let set t i =
+    Bytes.set_uint8 t.words (i lsr 3)
+      (Bytes.get_uint8 t.words (i lsr 3) lor (1 lsl (i land 7)))
+
+  (* [into] may be shorter than [src] (rows of a growing closure): only
+     the prefix covering [into] is unioned, which is exactly right when
+     [src]'s extra bits are known to be clear. *)
+  let union_into ~(into : t) (src : t) =
+    let n = min (Bytes.length into.words) (Bytes.length src.words) in
+    let i = ref 0 in
+    while !i < n do
+      let w =
+        Int64.logor
+          (Bytes.get_int64_ne into.words !i)
+          (Bytes.get_int64_ne src.words !i)
+      in
+      Bytes.set_int64_ne into.words !i w;
+      i := !i + 8
+    done
+
+  let iter f t =
+    for i = 0 to t.bits - 1 do
+      if get t i then f i
+    done
+end
+
+(* Reachability closure under [rel]: one bitset row per operation holding
+   its ancestor set.  Ids are issue-ordered and every edge points from a
+   lower id to a higher one, so row [i] is the union of the rows of its
+   visible predecessors plus the predecessors themselves — each row is
+   built once, in id order, by word-at-a-time unions. *)
+type closure = { c_rel : relation; rows : Bits.t array }
+
+let closure (rel : relation) (exec : Execution.t) : closure =
+  let n = Execution.n_ops exec in
+  let rows = Array.make n (Bits.create 1) in
+  for i = 0 to n - 1 do
+    (* every predecessor has a lower id, so its row is already final *)
+    let row = Bits.create (max 1 i) in
+    List.iter
+      (fun (k, p) ->
+        if edge_visible rel k then begin
+          Bits.union_into ~into:row rows.(p);
+          Bits.set row p
+        end)
+      exec.Execution.preds.(i);
+    rows.(i) <- row
+  done;
+  { c_rel = rel; rows }
+
+let closure_relation c = c.c_rel
+
+(* [precedes c a b] — a ≺ b under the closure's relation.  O(1). *)
+let precedes (c : closure) (a : int) (b : int) : bool =
+  a <> b && a < Bits.length c.rows.(b) && Bits.get c.rows.(b) a
+
+let ancestors_row (c : closure) (b : int) : Bits.t = c.rows.(b)
+
 (* [reaches rel exec a b] — is there a path a ≺ ... ≺ b using only edges
    visible under [rel]?  DFS; executions in this library are small (tests,
    litmus programs, history checking), so no closure is cached. *)

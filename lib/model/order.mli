@@ -27,6 +27,55 @@ val descendants : relation -> Execution.t -> int -> bool array
     in one forward traversal.  Unlike {!ancestors} this set can grow as
     later operations are issued. *)
 
+(** Bytes-backed bitsets, unioned a 64-bit word at a time.  One bit per
+    operation id; the closure rows below and the bulk reachability passes
+    in {!Observe} are built out of these. *)
+module Bits : sig
+  type t
+
+  val create : int -> t
+  (** [create n] — an all-clear set over bits [0..n-1]. *)
+
+  val length : t -> int
+  (** The bit capacity given to {!create}. *)
+
+  val get : t -> int -> bool
+  (** Is the bit set?  The index must be below {!length}. *)
+
+  val set : t -> int -> unit
+  (** Set one bit. *)
+
+  val union_into : into:t -> t -> unit
+  (** [union_into ~into src] — OR [src] into [into], word at a time, over
+      the shorter of the two capacities. *)
+
+  val iter : (int -> unit) -> t -> unit
+  (** Apply to every set bit, ascending. *)
+end
+
+type closure
+(** The full reachability closure of an execution under one relation: a
+    bitset ancestor row per operation.  Ids are issue-ordered and every
+    edge points from a lower id to a higher one, so row [i] is the union
+    of its predecessors' rows plus the predecessors themselves — the
+    whole closure is built in one pass of word-at-a-time unions, and
+    answers every precedence query about the execution in O(1). *)
+
+val closure : relation -> Execution.t -> closure
+(** Build the closure.  O(n²/64) words plus one union per edge. *)
+
+val closure_relation : closure -> relation
+(** The relation the closure was built under. *)
+
+val precedes : closure -> int -> int -> bool
+(** [precedes c a b] — does operation [a] strictly precede [b] under the
+    closure's relation?  O(1). *)
+
+val ancestors_row : closure -> int -> Bits.t
+(** The ancestor bitset of one operation (bit [a] set iff [a] precedes
+    it).  The row's {!Bits.length} may be smaller than the execution —
+    only ids below the operation's own can ever be ancestors. *)
+
 val concurrent : relation -> Execution.t -> int -> int -> bool
 (** Neither reaches the other. *)
 

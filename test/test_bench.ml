@@ -74,7 +74,8 @@ let mk_sample ?(ok = true) ?(deterministic = true) ?(flits = 1000)
   {
     Pmc_bench.Measure.case =
       { Pmc_bench.Spec.app; backend = Pmc.Backends.Swcc;
-        topology = Pmc_sim.Topology.Star; cores = 4; scale = 8 };
+        topology = Pmc_sim.Topology.Star; cores = 4; scale = 8;
+        work = Pmc_bench.Spec.Sim };
     ok;
     deterministic;
     repeats = 1;
@@ -366,6 +367,66 @@ let test_batching_gate () =
         (float_of_int b <= 0.8 *. float_of_int u))
     [ ("streaming", 64); ("stencil", 16) ]
 
+(* ---------------- the check suite ---------------- *)
+
+(* The tentpole regression guard: a kv_store-scale trace (8 processes,
+   locked accesses throughout) of ~100k events must replay to a verdict
+   in interactive time.  Under the pre-incremental checker this replay
+   recomputed readable-writes closures per read and took hours — the
+   very reason the old chaos replay budget was capped at 10k events. *)
+let test_replay_100k_events () =
+  let events = 100_000 in
+  let t0 = Unix.gettimeofday () in
+  let o = Pmc_bench.Checkload.replay ~procs:8 ~events in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "all events replayed" events o.Pmc_bench.Checkload.work;
+  Alcotest.(check bool) "consistent trace verdict" true
+    o.Pmc_bench.Checkload.ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "verdict within interactive time (%.2fs)" dt)
+    true (dt < 60.0)
+
+(* A check case measured through the ordinary [Measure.run_case] path:
+   deterministic work count in [cycles], digest pinned, rate recorded. *)
+let test_check_case_measured () =
+  let case =
+    { Pmc_bench.Spec.app = "replay"; backend = Pmc.Backends.Nocc;
+      topology = Pmc_sim.Topology.Star; cores = 4; scale = 20_000;
+      work = Pmc_bench.Spec.Check_replay }
+  in
+  let s =
+    Pmc_bench.Measure.run_case ~unbatched:false ~warmup:0 ~repeat:2 case
+  in
+  Alcotest.(check bool) "ok" true s.Pmc_bench.Measure.ok;
+  Alcotest.(check bool) "deterministic" true
+    s.Pmc_bench.Measure.deterministic;
+  Alcotest.(check int) "cycles = events" 20_000
+    s.Pmc_bench.Measure.metrics.Pmc_bench.Measure.cycles;
+  Alcotest.(check bool) "rate recorded" true
+    (s.Pmc_bench.Measure.host_cycles_per_s > 0.0);
+  (* the sample round-trips through schema-5 JSON with its work kind *)
+  let s' =
+    Pmc_bench.Measure.sample_of_json (Pmc_bench.Measure.sample_to_json s)
+  in
+  Alcotest.(check bool) "work kind survives JSON" true
+    (s'.Pmc_bench.Measure.case.Pmc_bench.Spec.work
+    = Pmc_bench.Spec.Check_replay);
+  Alcotest.(check string) "case id" "check/replay/c4/s20000"
+    (Pmc_bench.Spec.case_id case)
+
+let test_check_suite_shape () =
+  match Pmc_bench.Spec.suite "check" with
+  | None -> Alcotest.fail "check suite missing"
+  | Some spec ->
+      Alcotest.(check int) "two cases" 2
+        (List.length spec.Pmc_bench.Spec.cases);
+      (match Pmc_bench.Spec.suite "ci" with
+      | None -> Alcotest.fail "ci suite missing"
+      | Some ci ->
+          Alcotest.(check int) "ci = smoke + check"
+            (List.length Pmc_bench.Spec.smoke_cases + 2)
+            (List.length ci.Pmc_bench.Spec.cases))
+
 let suite =
   ( "bench",
     [
@@ -381,4 +442,9 @@ let suite =
       Alcotest.test_case "trimmed mean" `Quick test_trimmed_mean;
       QCheck_alcotest.to_alcotest prop_batching_equivalence;
       Alcotest.test_case "batching perf gate" `Slow test_batching_gate;
+      Alcotest.test_case "100k-event replay to verdict" `Quick
+        test_replay_100k_events;
+      Alcotest.test_case "check case measured" `Quick
+        test_check_case_measured;
+      Alcotest.test_case "check suite shape" `Quick test_check_suite_shape;
     ] )

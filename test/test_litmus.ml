@@ -210,6 +210,50 @@ let prop_pmc_contains_sc =
           let pmc = Litmus.enumerate ~limit:300_000 (module Models.Pmc) p in
           Lprog.Outcome_set.subset sc.Litmus.outcomes pmc.Litmus.outcomes))
 
+(* ---------------- enumeration-engine equivalences ----------------
+
+   The BFS memoizes on hand-packed keys and can fan a level out over a
+   domain pool; both are pure optimizations, so every observable result
+   field must match (a) the same semantics memoized on [marshal_key] —
+   the previous key implementation, retained as the reference — and
+   (b) the sequential exploration, at any pool width. *)
+
+let with_marshal_key (module M : Models.SEM) : (module Models.SEM) =
+  (module struct
+    include M
+
+    let key st = Models.marshal_key st
+  end)
+
+let result_sig (r : Litmus.result) =
+  ( Lprog.Outcome_set.elements r.Litmus.outcomes,
+    (r.Litmus.states_explored, r.Litmus.stuck_states) )
+
+let result_sig_t = Alcotest.(pair (list string) (pair int int))
+
+let each_cell f =
+  List.iter
+    (fun (p : Lprog.t) ->
+      List.iter
+        (fun ((module M : Models.SEM) as m) -> f p m M.name)
+        Models.all)
+    Lprog.all_standard
+
+let test_packed_key_matches_marshal () =
+  each_cell (fun p m name ->
+      Alcotest.check result_sig_t
+        (p.Lprog.name ^ " / " ^ name)
+        (result_sig (Litmus.enumerate (with_marshal_key m) p))
+        (result_sig (Litmus.enumerate m p)))
+
+let test_parallel_bfs_matches_sequential () =
+  Pmc_par.Pool.with_pool ~jobs:2 (fun pool ->
+      each_cell (fun p m name ->
+          Alcotest.check result_sig_t
+            (p.Lprog.name ^ " / " ^ name)
+            (result_sig (Litmus.enumerate m p))
+            (result_sig (Litmus.enumerate ~pool m p))))
+
 let suite =
   ( "litmus",
     [
@@ -229,6 +273,10 @@ let suite =
         test_pmc_weaker_than_ec;
       Alcotest.test_case "no spurious stuck states" `Quick
         test_no_spurious_stuck;
+      Alcotest.test_case "packed keys == marshal keys (corpus)" `Slow
+        test_packed_key_matches_marshal;
+      Alcotest.test_case "parallel BFS == sequential (corpus)" `Slow
+        test_parallel_bfs_matches_sequential;
       QCheck_alcotest.to_alcotest prop_chain;
       QCheck_alcotest.to_alcotest prop_pmc_contains_sc;
     ] )

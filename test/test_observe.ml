@@ -228,9 +228,83 @@ let prop_corrupted_value_caught =
       in
       not (History.ok (History.check ~procs:3 ~locs:2 events)))
 
+(* ---- equivalence of the incremental checker and the reference ---- *)
+
+(* Completely arbitrary histories — ill-formed locking, reads of values
+   never written, read-only scopes, fences — over a small geometry, so the
+   generator reaches every violation constructor. *)
+let event_to_string =
+  let open History in
+  function
+  | E_read { proc; loc; value } -> Printf.sprintf "r p%d v%d=%d" proc loc value
+  | E_write { proc; loc; value } ->
+      Printf.sprintf "w p%d v%d:=%d" proc loc value
+  | E_acquire { proc; loc } -> Printf.sprintf "A p%d v%d" proc loc
+  | E_release { proc; loc } -> Printf.sprintf "R p%d v%d" proc loc
+  | E_acquire_ro { proc; loc } -> Printf.sprintf "Aro p%d v%d" proc loc
+  | E_release_ro { proc; loc } -> Printf.sprintf "Rro p%d v%d" proc loc
+  | E_fence { proc } -> Printf.sprintf "F p%d" proc
+
+let gen_wild_events =
+  let open QCheck.Gen in
+  let event =
+    int_range 0 2 >>= fun proc ->
+    int_range 0 1 >>= fun loc ->
+    int_range 0 2 >>= fun value ->
+    frequency
+      [
+        (4, return (History.E_read { proc; loc; value }));
+        (4, return (History.E_write { proc; loc; value }));
+        (2, return (History.E_acquire { proc; loc }));
+        (2, return (History.E_release { proc; loc }));
+        (1, return (History.E_acquire_ro { proc; loc }));
+        (1, return (History.E_release_ro { proc; loc }));
+        (1, return (History.E_fence { proc }));
+      ]
+  in
+  list_size (int_range 0 40) event
+
+let arb_wild_events =
+  QCheck.make
+    ~print:(fun evs -> String.concat "; " (List.map event_to_string evs))
+    gen_wild_events
+
+(* The incremental checker must report exactly the violations, in exactly
+   the order, that the reference (DAG-building) checker does — on any
+   history, well-formed or not, under every option combination. *)
+let same_verdict ?require_locked_writes ?init events =
+  let r = History.check ?require_locked_writes ?init ~procs:3 ~locs:2 events in
+  let f =
+    History.check_reference ?require_locked_writes ?init ~procs:3 ~locs:2
+      events
+  in
+  r.History.violations = f.History.full_violations
+
+let prop_incremental_matches_reference =
+  QCheck.Test.make ~count:500
+    ~name:"incremental check ≡ reference on arbitrary histories"
+    arb_wild_events (same_verdict ?require_locked_writes:None ?init:None)
+
+let prop_incremental_matches_reference_locked =
+  QCheck.Test.make ~count:300
+    ~name:"incremental check ≡ reference (require_locked_writes)"
+    arb_wild_events
+    (same_verdict ~require_locked_writes:true ?init:None)
+
+let prop_incremental_matches_reference_init =
+  QCheck.Test.make ~count:300
+    ~name:"incremental check ≡ reference (nonzero init)" arb_wild_events
+    (same_verdict ?require_locked_writes:None ~init:(fun l -> l + 1))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_sc_traces_validate; prop_corrupted_value_caught ]
+    [
+      prop_sc_traces_validate;
+      prop_corrupted_value_caught;
+      prop_incremental_matches_reference;
+      prop_incremental_matches_reference_locked;
+      prop_incremental_matches_reference_init;
+    ]
 
 let suite =
   ( "observe+history",

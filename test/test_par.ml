@@ -186,11 +186,14 @@ let tiny_spec : Pmc_bench.Spec.t =
     cases =
       [
         { Pmc_bench.Spec.app = "histogram"; backend = Pmc.Backends.Dsm;
-          topology = Pmc_sim.Topology.Star; cores = 4; scale = 8 };
+          topology = Pmc_sim.Topology.Star; cores = 4; scale = 8;
+        work = Pmc_bench.Spec.Sim };
         { Pmc_bench.Spec.app = "reduce"; backend = Pmc.Backends.Swcc;
-          topology = Pmc_sim.Topology.Star; cores = 4; scale = 64 };
+          topology = Pmc_sim.Topology.Star; cores = 4; scale = 64;
+          work = Pmc_bench.Spec.Sim };
         { Pmc_bench.Spec.app = "stencil"; backend = Pmc.Backends.Spm;
-          topology = Pmc_sim.Topology.Star; cores = 4; scale = 4 };
+          topology = Pmc_sim.Topology.Star; cores = 4; scale = 4;
+          work = Pmc_bench.Spec.Sim };
       ];
   }
 

@@ -60,11 +60,7 @@ let gen_job =
     let* seed = int_bound 10_000 in
     let* k = int_bound 24 in
     let* model_check = bool in
-    (* capped at the library default: replays above it are skipped by
-       design, and history replay of very large traces would dominate
-       this round-trip test (it is about the wire bytes, not the
-       replay) *)
-    let* replay_budget = opt (int_range 1 Pmc_apps.Chaos.default_replay_budget) in
+    let* replay_budget = opt (int_range 1 (2 * Pmc_apps.Chaos.default_replay_budget)) in
     return
       (Job.Chaos
          {

@@ -326,6 +326,7 @@ let test_sample_roundtrip_v4 () =
       topology = Topology.Mesh { x = 4; y = 4 };
       cores = 16;
       scale = 4;
+      work = Pmc_bench.Spec.Sim;
     }
   in
   let sample =
